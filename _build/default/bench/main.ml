@@ -1,0 +1,455 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (section 6).
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- fig7    -- one figure
+     dune exec bench/main.exe -- list    -- available targets
+
+   Absolute numbers come from the simulator's cycle model (lib/vm/cost.ml)
+   and are calibrated for shape, not for matching the authors' hardware;
+   EXPERIMENTS.md records paper-vs-measured for each figure. *)
+
+open Jt_workloads
+
+(* ---- per-benchmark measurement cache ---- *)
+
+type bench_runs = {
+  b_sheet : Sheet.t;
+  b_native_cycles : int;
+  b_native_output : string;
+  b_null : float;
+  b_jasan_h : float;
+  b_jasan_b : float;
+  b_jasan_d : float;
+  b_valgrind : float;
+  b_retrowrite : Jt_metrics.Metrics.cell;
+  b_jcfi_h : float;
+  b_jcfi_d : float;
+  b_jcfi_fwd : float;
+  b_lockdown : Jt_metrics.Metrics.cell;
+  b_bincfi : Jt_metrics.Metrics.cell;
+  b_dynfrac : float;
+  b_dair_h : float;
+  b_dair_d : float;
+  b_lk_s_air : Jt_metrics.Metrics.cell;
+  b_lk_w_air : Jt_metrics.Metrics.cell;
+  b_sair_jcfi : float;
+  b_sair_bincfi : Jt_metrics.Metrics.cell;
+  mutable b_sound : bool;
+}
+
+let cache : (string, bench_runs) Hashtbl.t = Hashtbl.create 32
+
+let ratio c n = float_of_int c /. float_of_int n
+
+let measure (s : Sheet.t) =
+  match Hashtbl.find_opt cache s.s_name with
+  | Some r -> r
+  | None ->
+    let w = Specgen.build s in
+    let registry = w.w_registry in
+    let main = s.s_name in
+    let native = Specgen.run_native w in
+    let n = native.r_cycles in
+    let sound = ref true in
+    let check_out (r : Jt_vm.Vm.result) =
+      if r.r_output <> native.r_output || r.r_status <> native.r_status then
+        sound := false
+    in
+    let run_tool ?(hybrid = true) mk =
+      let tool = mk () in
+      let o = Janitizer.Driver.run ~hybrid ~tool ~registry ~main () in
+      check_out o.o_result;
+      o
+    in
+    let null = Janitizer.Driver.run_null ~registry ~main () in
+    check_out null.o_result;
+    let jasan_h = run_tool (fun () -> fst (Jt_jasan.Jasan.create ())) in
+    let jasan_b =
+      run_tool (fun () ->
+          fst (Jt_jasan.Jasan.create ~liveness:Jt_jasan.Jasan.Live_none ()))
+    in
+    let jasan_d = run_tool ~hybrid:false (fun () -> fst (Jt_jasan.Jasan.create ())) in
+    let valgrind = Jt_baselines.Valgrind_like.run ~registry ~main () in
+    check_out valgrind;
+    (* RetroWrite gets the PIC build it requires (the original paper's
+       setup); its slowdown is measured against the PIC native run. *)
+    let retrowrite =
+      let wp = Specgen.build ~kind:Jt_obj.Objfile.Exec_pic s in
+      match
+        Jt_baselines.Retrowrite_like.run ~registry:wp.w_registry ~main ()
+      with
+      | Ok r ->
+        let np = Specgen.run_native wp in
+        if r.r_output <> np.r_output then sound := false;
+        Jt_metrics.Metrics.Value (ratio r.r_cycles np.r_cycles)
+      | Error (Jt_baselines.Retrowrite_like.Needs_pic m) ->
+        Jt_metrics.Metrics.Fail ("non-PIC: " ^ m)
+      | Error (Jt_baselines.Retrowrite_like.Unsupported_feature (m, f)) ->
+        Jt_metrics.Metrics.Fail (m ^ ": " ^ f)
+      | Error Jt_baselines.Retrowrite_like.Applicable -> assert false
+    in
+    let run_jcfi ?(hybrid = true) ?config () =
+      let tool, rt = Jt_jcfi.Jcfi.create ?config () in
+      let o = Janitizer.Driver.run ~hybrid ~tool ~registry ~main () in
+      check_out o.o_result;
+      (o, rt)
+    in
+    let jcfi_h, rt_h = run_jcfi () in
+    let jcfi_d, rt_d = run_jcfi ~hybrid:false () in
+    let jcfi_fwd, _ =
+      run_jcfi ~config:{ Jt_jcfi.Jcfi.cf_forward = true; cf_backward = false } ()
+    in
+    let lockdown, lk_s_air, lk_w_air =
+      if s.s_fails_lockdown then
+        ( Jt_metrics.Metrics.Fail "crash (as in the original paper)",
+          Jt_metrics.Metrics.Fail "-",
+          Jt_metrics.Metrics.Fail "-" )
+      else begin
+        let lk = Jt_baselines.Lockdown.run ~registry ~main () in
+        let lkw =
+          Jt_baselines.Lockdown.run ~policy:Jt_baselines.Lockdown.Weak ~registry
+            ~main ()
+        in
+        if lk.lk_result.r_output <> native.r_output then sound := false;
+        ( Jt_metrics.Metrics.Value (ratio lk.lk_result.r_cycles n),
+          Jt_metrics.Metrics.Value lk.lk_dynamic_air,
+          Jt_metrics.Metrics.Value lkw.lk_dynamic_air )
+      end
+    in
+    let bincfi =
+      match Jt_baselines.Bincfi.run ~registry ~main () with
+      | Ok r ->
+        check_out r;
+        Jt_metrics.Metrics.Value (ratio r.r_cycles n)
+      | Error (Jt_baselines.Bincfi.Broken_rewrite m) ->
+        Jt_metrics.Metrics.Fail ("broken rewrite: " ^ m)
+      | Error Jt_baselines.Bincfi.Applicable -> assert false
+    in
+    let closure = Janitizer.Driver.static_closure ~registry ~main in
+    let sair_jcfi = Jt_jcfi.Air.static_jcfi closure in
+    let sair_bincfi =
+      match Jt_baselines.Bincfi.applicability ~registry ~main with
+      | Jt_baselines.Bincfi.Applicable ->
+        Jt_metrics.Metrics.Value (Jt_baselines.Bincfi.static_air closure)
+      | Jt_baselines.Bincfi.Broken_rewrite m ->
+        Jt_metrics.Metrics.Fail ("broken rewrite: " ^ m)
+    in
+    let r =
+      {
+        b_sheet = s;
+        b_native_cycles = n;
+        b_native_output = native.r_output;
+        b_null = ratio null.o_result.r_cycles n;
+        b_jasan_h = ratio jasan_h.o_result.r_cycles n;
+        b_jasan_b = ratio jasan_b.o_result.r_cycles n;
+        b_jasan_d = ratio jasan_d.o_result.r_cycles n;
+        b_valgrind = ratio valgrind.r_cycles n;
+        b_retrowrite = retrowrite;
+        b_jcfi_h = ratio jcfi_h.o_result.r_cycles n;
+        b_jcfi_d = ratio jcfi_d.o_result.r_cycles n;
+        b_jcfi_fwd = ratio jcfi_fwd.o_result.r_cycles n;
+        b_lockdown = lockdown;
+        b_bincfi = bincfi;
+        b_dynfrac = jasan_h.o_dynamic_fraction;
+        b_dair_h = Jt_jcfi.Air.dynamic rt_h;
+        b_dair_d = Jt_jcfi.Air.dynamic rt_d;
+        b_lk_s_air = lk_s_air;
+        b_lk_w_air = lk_w_air;
+        b_sair_jcfi = sair_jcfi;
+        b_sair_bincfi = sair_bincfi;
+        b_sound = !sound;
+      }
+    in
+    Hashtbl.replace cache s.s_name r;
+    if not !sound then
+      Printf.printf "!! soundness warning: %s produced divergent output\n%!"
+        s.s_name;
+    r
+
+let all_runs () =
+  List.map
+    (fun s ->
+      Printf.eprintf "  measuring %s...\n%!" s.Sheet.s_name;
+      measure s)
+    Sheet.all
+
+(* ---- figures ---- *)
+
+let open_table title unit cols rows =
+  Jt_metrics.Metrics.print
+    { Jt_metrics.Metrics.t_title = title; t_unit = unit; t_cols = cols; t_rows = rows }
+
+let fig7 () =
+  let rows =
+    List.map
+      (fun r ->
+        ( r.b_sheet.Sheet.s_name,
+          [
+            Jt_metrics.Metrics.Value r.b_valgrind;
+            Jt_metrics.Metrics.Value r.b_jasan_d;
+            r.b_retrowrite;
+            Jt_metrics.Metrics.Value r.b_jasan_h;
+          ] ))
+      (all_runs ())
+  in
+  open_table "Figure 7: JASan overhead on SPEC CPU2006-like workloads"
+    "slowdown vs native"
+    [ "Valgrind"; "JASan-dyn"; "Retrowrite"; "JASan-hybrid" ]
+    rows
+
+let fig8 () =
+  let rows =
+    List.map
+      (fun r ->
+        ( r.b_sheet.Sheet.s_name,
+          [
+            Jt_metrics.Metrics.Value r.b_null;
+            Jt_metrics.Metrics.Value r.b_jasan_h;
+            Jt_metrics.Metrics.Value r.b_jasan_b;
+            Jt_metrics.Metrics.Value r.b_jasan_d;
+          ] ))
+      (all_runs ())
+  in
+  open_table "Figure 8: JASan overhead breakdown" "slowdown vs native"
+    [ "Null client"; "hybrid(full)"; "hybrid(base)"; "JASan-dyn" ]
+    rows
+
+let fig9 () =
+  let rows =
+    List.map
+      (fun r ->
+        ( r.b_sheet.Sheet.s_name,
+          [
+            r.b_lockdown;
+            Jt_metrics.Metrics.Value r.b_jcfi_d;
+            Jt_metrics.Metrics.Value r.b_jcfi_h;
+            r.b_bincfi;
+          ] ))
+      (all_runs ())
+  in
+  open_table "Figure 9: JCFI overhead vs Lockdown and BinCFI"
+    "slowdown vs native"
+    [ "Lockdown"; "JCFI-dyn"; "JCFI-hybrid"; "BinCFI" ]
+    rows
+
+let fig10 () =
+  Printf.printf "\n  running 624 Juliet CWE-122 cases x 2 variants x 2 tools...\n%!";
+  let j = Juliet.evaluate Juliet.Jasan_hybrid in
+  let v = Juliet.evaluate Juliet.Valgrind in
+  Jt_metrics.Metrics.print_kv
+    "Figure 10: security properties across 624 Juliet CWE-122 test cases"
+    [
+      ("", "Valgrind   JASan");
+      ( "good: False Positives",
+        Printf.sprintf "%9d %7d" v.t_false_pos j.t_false_pos );
+      ( "good: True Negatives",
+        Printf.sprintf "%9d %7d" v.t_true_neg j.t_true_neg );
+      ( "bad:  True Positives",
+        Printf.sprintf "%9d %7d" v.t_true_pos j.t_true_pos );
+      ( "bad:  False Negatives",
+        Printf.sprintf "%9d %7d" v.t_false_neg j.t_false_neg );
+    ]
+
+let fig11 () =
+  let rows =
+    List.map
+      (fun r ->
+        ( r.b_sheet.Sheet.s_name,
+          [
+            Jt_metrics.Metrics.Value r.b_null;
+            Jt_metrics.Metrics.Value r.b_jcfi_fwd;
+            Jt_metrics.Metrics.Value r.b_jcfi_h;
+          ] ))
+      (all_runs ())
+  in
+  open_table "Figure 11: forward/backward CFI contribution to JCFI overhead"
+    "slowdown vs native"
+    [ "Null client"; "+Forward CFI"; "+Backward CFI" ]
+    rows
+
+let fig12 () =
+  let rows =
+    List.map
+      (fun r ->
+        ( r.b_sheet.Sheet.s_name,
+          [
+            r.b_lk_s_air;
+            Jt_metrics.Metrics.Value r.b_dair_d;
+            Jt_metrics.Metrics.Value r.b_dair_h;
+            r.b_lk_w_air;
+          ] ))
+      (all_runs ())
+  in
+  open_table "Figure 12: dynamic average indirect-target reduction (DAIR)"
+    "% (higher is better)"
+    [ "Lockdown(S)"; "JCFI-dyn"; "JCFI-hybrid"; "Lockdown(W)" ]
+    rows
+
+let fig13 () =
+  let rows =
+    List.map
+      (fun r ->
+        ( r.b_sheet.Sheet.s_name,
+          [ Jt_metrics.Metrics.Value r.b_sair_jcfi; r.b_sair_bincfi ] ))
+      (all_runs ())
+  in
+  open_table "Figure 13: static average indirect-target reduction (AIR)"
+    "% (higher is better)" [ "JCFI"; "BinCFI" ] rows
+
+let fig14 () =
+  let runs = all_runs () in
+  let rows =
+    List.map
+      (fun r ->
+        ( r.b_sheet.Sheet.s_name,
+          [ Jt_metrics.Metrics.Value (100.0 *. r.b_dynfrac) ] ))
+      runs
+  in
+  open_table
+    "Figure 14: basic blocks only discovered by the dynamic modifier"
+    "% of executed unique blocks" [ "dynamic code" ] rows;
+  let mean =
+    List.fold_left (fun acc r -> acc +. r.b_dynfrac) 0.0 runs
+    /. float_of_int (List.length runs)
+  in
+  Printf.printf "arith. mean: %.2f%%\n" (100.0 *. mean)
+
+(* ---- ablation: the static-pass design choices DESIGN.md calls out ---- *)
+
+let ablation () =
+  let subset = [ "bzip2"; "perlbench"; "hmmer"; "gobmk"; "milc"; "soplex" ] in
+  let configs =
+    [
+      ("full", fun () -> fst (Jt_jasan.Jasan.create ()));
+      ("no SCEV hoisting", fun () -> fst (Jt_jasan.Jasan.create ~hoist_scev:false ()));
+      ( "no frame-skip",
+        fun () -> fst (Jt_jasan.Jasan.create ~skip_frame_accesses:false ()) );
+      ( "no liveness",
+        fun () -> fst (Jt_jasan.Jasan.create ~liveness:Jt_jasan.Jasan.Live_none ()) );
+      ( "clean calls",
+        fun () -> fst (Jt_jasan.Jasan.create ~clean_calls:true ()) );
+    ]
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let s = Sheet.find name in
+        let w = Specgen.build s in
+        let native = Specgen.run_native w in
+        ( name,
+          List.map
+            (fun (_, mk) ->
+              let o =
+                Janitizer.Driver.run ~tool:(mk ()) ~registry:w.w_registry
+                  ~main:name ()
+              in
+              Jt_metrics.Metrics.Value (ratio o.o_result.r_cycles native.r_cycles))
+            configs ))
+      subset
+  in
+  open_table "Ablation: JASan static-pass optimizations (subset)"
+    "slowdown vs native" (List.map fst configs) rows;
+  (* Canary analysis is a soundness requirement, not an optimization:
+     once frame accesses are instrumented (as RetroWrite-class tools and
+     the dynamic fallback must), the epilogue's own canary read trips the
+     poison unless canary analysis exempts it. *)
+  let w = Specgen.build (Sheet.find "gobmk") in
+  let run_cfg ~exempt =
+    let tool =
+      fst
+        (Jt_jasan.Jasan.create ~skip_frame_accesses:false ~exempt_canary:exempt ())
+    in
+    let o = Janitizer.Driver.run ~tool ~registry:w.w_registry ~main:"gobmk" () in
+    List.length o.o_result.r_violations
+  in
+  Printf.printf
+    "\ncanary-analysis necessity (frame accesses instrumented): %d false\n\
+     violations on gobmk without the exemption, %d with it\n"
+    (run_cfg ~exempt:false) (run_cfg ~exempt:true)
+
+(* ---- bechamel microbenchmarks of the framework's own primitives ---- *)
+
+let micro () =
+  let open Bechamel in
+  let insn_bytes =
+    Jt_isa.Encode.encode ~at:0x400000
+      (Jt_isa.Insn.Load (Jt_isa.Insn.W4, Jt_isa.Reg.r1, Jt_isa.Insn.mem_base ~disp:16 Jt_isa.Reg.r2))
+  in
+  let decode_test =
+    Test.make ~name:"decode one instruction" (Staged.stage (fun () ->
+        ignore (Jt_isa.Decode.from_string insn_bytes ~pos:0 ~at:0x400000)))
+  in
+  let shadow = Jt_jasan.Shadow.create () in
+  Jt_jasan.Shadow.poison shadow 0x5000_0000 ~len:16 Jt_jasan.Shadow.Heap_redzone;
+  let shadow_test =
+    Test.make ~name:"shadow check (4 bytes)" (Staged.stage (fun () ->
+        ignore (Jt_jasan.Shadow.first_poisoned shadow 0x5100_0000 ~len:4)))
+  in
+  let file =
+    {
+      Jt_rules.Rules.rf_module = "m";
+      rf_rules =
+        List.init 512 (fun i ->
+            Jt_rules.Rules.make ~id:0x101 ~bb:(0x400000 + (i * 16))
+              ~insn:(0x400000 + (i * 16))
+              ~data:[ 2; 1 ] ());
+    }
+  in
+  let table = Jt_rules.Rules.Table.load file ~base:0 ~pic:false in
+  let table_test =
+    Test.make ~name:"rule-table lookup" (Staged.stage (fun () ->
+        ignore (Jt_rules.Rules.Table.at_insn table 0x400800)))
+  in
+  let tests = [ decode_test; shadow_test; table_test ] in
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
+    let raw =
+      Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ]
+        (Test.make_grouped ~name:"g" [ test ])
+    in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    Hashtbl.iter
+      (fun name o ->
+        match Analyze.OLS.estimates o with
+        | Some [ est ] -> Printf.printf "  %-40s %10.1f ns/op\n" name est
+        | Some _ | None -> ())
+      results
+  in
+  Printf.printf "\n== Microbenchmarks (bechamel) ==\n";
+  List.iter benchmark tests
+
+(* ---- driver ---- *)
+
+let targets =
+  [
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("ablation", ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "list" ] ->
+    List.iter (fun (n, _) -> print_endline n) targets
+  | [] ->
+    Printf.printf "janitizer benchmark harness: regenerating all figures\n%!";
+    List.iter (fun (n, f) -> Printf.printf "\n---- %s ----\n%!" n; f ()) targets
+  | names ->
+    List.iter
+      (fun n ->
+        match List.assoc_opt n targets with
+        | Some f -> f ()
+        | None -> Printf.eprintf "unknown target %s (try 'list')\n" n)
+      names

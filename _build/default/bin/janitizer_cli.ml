@@ -1,0 +1,252 @@
+(* The janitizer command-line tool.
+
+     janitizer_cli list
+     janitizer_cli inspect <workload>
+     janitizer_cli run <workload> [--tool jasan|jcfi|valgrind|null] [--no-static]
+     janitizer_cli juliet [--detector jasan|valgrind] [--limit N]   *)
+
+open Cmdliner
+open Jt_workloads
+
+let find_workload name =
+  match Sheet.find name with
+  | s -> Ok (Specgen.build s)
+  | exception Not_found ->
+    Error
+      (Printf.sprintf "unknown workload %S (try `janitizer_cli list`)" name)
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let doc = "List the available SPEC CPU2006-like workloads." in
+  let run () =
+    List.iter
+      (fun (s : Sheet.t) ->
+        Printf.printf "%-12s %s\n" s.s_name
+          (match s.s_lang with
+          | Sheet.C -> "C"
+          | Sheet.Cxx -> "C++"
+          | Sheet.Fortran -> "Fortran"
+          | Sheet.Mixed_cf -> "C/Fortran"))
+      Sheet.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ---- inspect ---- *)
+
+let workload_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let inspect_cmd =
+  let doc = "Run the static analyzer over a workload and report findings." in
+  let run name =
+    match find_workload name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok w ->
+      let closure =
+        Janitizer.Driver.static_closure ~registry:w.w_registry ~main:name
+      in
+      List.iter
+        (fun (m : Jt_obj.Objfile.t) ->
+          let sa = Janitizer.Static_analyzer.analyze m in
+          let covered, total = Jt_disasm.Disasm.code_stats sa.sa_disasm in
+          let loops =
+            List.fold_left
+              (fun acc (fa : Janitizer.Static_analyzer.fn_analysis) ->
+                acc + List.length fa.fa_fn.Jt_cfg.Cfg.f_loops)
+              0 sa.sa_fns
+          in
+          let canaries =
+            List.fold_left
+              (fun acc (fa : Janitizer.Static_analyzer.fn_analysis) ->
+                acc + List.length fa.fa_canaries)
+              0 sa.sa_fns
+          in
+          let hoistable =
+            List.fold_left
+              (fun acc (fa : Janitizer.Static_analyzer.fn_analysis) ->
+                acc + List.length fa.fa_scev)
+              0 sa.sa_fns
+          in
+          let jasan, _ = Jt_jasan.Jasan.create () in
+          let rules = jasan.Janitizer.Tool.t_static sa in
+          Printf.printf
+            "%-18s %-5s  %4d fns %5d blocks  %3d loops (%d hoistable)  %2d \
+             canary sites  %5d/%5d code bytes decoded  %5d JASan rules\n"
+            m.name
+            (match m.kind with
+            | Jt_obj.Objfile.Exec_nonpic -> "EXEC"
+            | Jt_obj.Objfile.Exec_pic -> "PIE"
+            | Jt_obj.Objfile.Shared -> "DYN")
+            (List.length sa.sa_fns)
+            (Jt_cfg.Cfg.block_count sa.sa_cfg)
+            loops hoistable canaries covered total
+            (List.length rules.rf_rules))
+        closure
+  in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ workload_arg)
+
+(* ---- run ---- *)
+
+let tool_conv =
+  Arg.enum
+    [ ("jasan", `Jasan); ("jcfi", `Jcfi); ("taint", `Taint); ("valgrind", `Valgrind);
+      ("null", `Null) ]
+
+let tool_arg =
+  Arg.(value & opt tool_conv `Jasan & info [ "tool" ] ~docv:"TOOL" ~doc:"Security tool")
+
+let no_static_arg =
+  Arg.(value & flag & info [ "no-static" ] ~doc:"Disable the static analyzer (dynamic-only mode)")
+
+let run_cmd =
+  let doc = "Execute a workload under the dynamic modifier with a tool." in
+  let run name tool no_static =
+    match find_workload name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok w ->
+      let hybrid = not no_static in
+      let native = Specgen.run_native w in
+      let show label (r : Jt_vm.Vm.result) extra =
+        Printf.printf "%s: %s, %d instructions, %d cycles (%.2fx)%s\n" label
+          (Format.asprintf "%a" Jt_vm.Vm.pp_status r.r_status)
+          r.r_icount r.r_cycles
+          (float_of_int r.r_cycles /. float_of_int native.r_cycles)
+          extra;
+        match r.r_violations with
+        | [] -> ()
+        | vs ->
+          List.iter
+            (fun v ->
+              Printf.printf "  violation: %s at 0x%08x (pc 0x%08x)\n"
+                v.Jt_vm.Vm.v_kind v.v_addr v.v_pc)
+            vs
+      in
+      show "native" native "";
+      (match tool with
+      | `Null ->
+        let o = Janitizer.Driver.run_null ~registry:w.w_registry ~main:name () in
+        show "null client" o.o_result ""
+      | `Valgrind ->
+        let r = Jt_baselines.Valgrind_like.run ~registry:w.w_registry ~main:name () in
+        show "valgrind-class" r ""
+      | `Jasan ->
+        let t, _ = Jt_jasan.Jasan.create () in
+        let o = Janitizer.Driver.run ~hybrid ~tool:t ~registry:w.w_registry ~main:name () in
+        show "jasan" o.o_result
+          (Printf.sprintf ", %d rules, %.1f%% dynamic blocks" o.o_rule_count
+             (100.0 *. o.o_dynamic_fraction))
+      | `Jcfi ->
+        let t, rt = Jt_jcfi.Jcfi.create () in
+        let o = Janitizer.Driver.run ~hybrid ~tool:t ~registry:w.w_registry ~main:name () in
+        show "jcfi" o.o_result
+          (Printf.sprintf ", %d rules, DAIR %.2f%%" o.o_rule_count
+             (Jt_jcfi.Air.dynamic rt))
+      | `Taint ->
+        let t, rt = Jt_taint.Taint.create () in
+        let o = Janitizer.Driver.run ~hybrid ~tool:t ~registry:w.w_registry ~main:name () in
+        show "jtaint" o.o_result
+          (Printf.sprintf ", %d rules, %d alerts" o.o_rule_count
+             (Jt_taint.Taint.Rt.alerts rt)));
+      if native.r_output <> "" then
+        Printf.printf "program output: %s\n" (String.trim native.r_output)
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ workload_arg $ tool_arg $ no_static_arg)
+
+(* ---- disasm ---- *)
+
+let disasm_cmd =
+  let doc = "Print an objdump-style listing of a workload module." in
+  let module_arg =
+    Arg.(value & opt (some string) None & info [ "module" ] ~docv:"NAME"
+           ~doc:"Module to list (default: the main executable)")
+  in
+  let run name module_name =
+    match find_workload name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok w ->
+      let target = Option.value ~default:name module_name in
+      (match
+         List.find_opt
+           (fun (m : Jt_obj.Objfile.t) -> String.equal m.name target)
+           w.w_registry
+       with
+      | None ->
+        Printf.eprintf "no module %S in this workload's registry\n" target;
+        exit 1
+      | Some m ->
+        let d = Jt_disasm.Disasm.run m in
+        Format.printf "%a@." Jt_disasm.Disasm.pp_listing d)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ workload_arg $ module_arg)
+
+(* ---- analyze: offline rule generation ---- *)
+
+let analyze_cmd =
+  let doc =
+    "Run a tool's static pass offline and persist per-module rewrite-rule \
+     files (.jtr), the artifact a deployment ships next to each binary."
+  in
+  let out_arg =
+    Arg.(value & opt string "_rules" & info [ "o"; "out" ] ~docv:"DIR")
+  in
+  let run name tool out =
+    match find_workload name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok w ->
+      let tool_v =
+        match tool with
+        | `Jasan -> fst (Jt_jasan.Jasan.create ())
+        | `Jcfi -> fst (Jt_jcfi.Jcfi.create ())
+        | `Taint -> fst (Jt_taint.Taint.create ())
+        | `Valgrind | `Null ->
+          prerr_endline "analyze needs a framework tool (jasan|jcfi|taint)";
+          exit 1
+      in
+      let closure =
+        Janitizer.Driver.static_closure ~registry:w.w_registry ~main:name
+      in
+      let files = Janitizer.Driver.analyze_all ~tool:tool_v closure in
+      Janitizer.Driver.save_rules ~dir:out files;
+      List.iter
+        (fun (n, (f : Jt_rules.Rules.file)) ->
+          Printf.printf "%-20s %5d rules -> %s/%s.jtr\n" n
+            (List.length f.rf_rules) out n)
+        files
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ workload_arg $ tool_arg $ out_arg)
+
+(* ---- juliet ---- *)
+
+let juliet_cmd =
+  let doc = "Run the Juliet-style CWE-122 suite under a detector." in
+  let det_conv =
+    Arg.enum
+      [ ("jasan", Juliet.Jasan_hybrid); ("jasan-dyn", Juliet.Jasan_dyn);
+        ("valgrind", Juliet.Valgrind) ]
+  in
+  let det_arg =
+    Arg.(value & opt det_conv Juliet.Jasan_hybrid & info [ "detector" ] ~docv:"DET")
+  in
+  let limit_arg =
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Only the first N cases")
+  in
+  let run det limit =
+    let t = Juliet.evaluate ?limit det in
+    Printf.printf "TP=%d FN=%d TN=%d FP=%d\n" t.t_true_pos t.t_false_neg
+      t.t_true_neg t.t_false_pos
+  in
+  Cmd.v (Cmd.info "juliet" ~doc) Term.(const run $ det_arg $ limit_arg)
+
+let () =
+  let doc = "Janitizer: hybrid static-dynamic binary security (simulated reproduction)" in
+  let info = Cmd.info "janitizer_cli" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; inspect_cmd; disasm_cmd; analyze_cmd; run_cmd; juliet_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_tool.ml: Array Format Insn Janitizer Jt_analysis Jt_cfg Jt_dbt Jt_disasm Jt_isa Jt_obj Jt_rules Jt_vm Jt_workloads List

@@ -1,0 +1,1 @@
+examples/jit_sandbox.ml: Char Encode Format Insn Janitizer Jt_asm Jt_baselines Jt_isa Jt_jasan Jt_obj Jt_vm Jt_workloads List Reg String Sysno Word

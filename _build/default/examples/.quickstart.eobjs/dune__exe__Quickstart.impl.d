@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Insn Janitizer Jt_asm Jt_isa Jt_jasan Jt_obj Jt_vm Jt_workloads List Reg Sysno Word

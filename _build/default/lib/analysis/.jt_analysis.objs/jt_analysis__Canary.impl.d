@@ -1,0 +1,1 @@
+lib/analysis/canary.ml: Array Cfg Hashtbl Insn Jt_cfg Jt_disasm Jt_isa List Reg Word

@@ -1,0 +1,1 @@
+lib/analysis/canary.mli: Hashtbl Jt_cfg

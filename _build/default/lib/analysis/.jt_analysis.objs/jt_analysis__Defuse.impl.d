@@ -1,0 +1,1 @@
+lib/analysis/defuse.ml: Array Cfg Hashtbl Insn Int Jt_cfg Jt_disasm Jt_isa List Map Reg

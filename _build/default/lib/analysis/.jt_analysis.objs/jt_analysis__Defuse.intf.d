@@ -1,0 +1,1 @@
+lib/analysis/defuse.mli: Insn Jt_cfg Jt_isa Reg

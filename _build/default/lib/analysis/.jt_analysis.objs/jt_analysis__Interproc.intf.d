@@ -1,0 +1,1 @@
+lib/analysis/interproc.mli: Hashtbl Jt_cfg

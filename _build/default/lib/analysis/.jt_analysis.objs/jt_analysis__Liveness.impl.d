@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Cfg Flags Hashtbl Insn Jt_cfg Jt_disasm Jt_isa List Option Reg

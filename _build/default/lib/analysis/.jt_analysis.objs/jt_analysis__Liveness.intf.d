@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Flags Jt_cfg Jt_isa Reg

@@ -1,0 +1,1 @@
+lib/analysis/scev.mli: Hashtbl Insn Jt_cfg Jt_isa Reg

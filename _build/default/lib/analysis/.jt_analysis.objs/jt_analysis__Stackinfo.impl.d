@@ -1,0 +1,1 @@
+lib/analysis/stackinfo.ml: Array Cfg Hashtbl Insn Jt_cfg Jt_disasm Jt_isa Reg

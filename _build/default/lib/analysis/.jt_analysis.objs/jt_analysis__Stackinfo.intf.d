@@ -1,0 +1,1 @@
+lib/analysis/stackinfo.mli: Jt_cfg

@@ -1,0 +1,25 @@
+(** Canary analysis (section 3.3.3, Figure 6).
+
+    Recognizes the stack-protector idiom: a [ldcanary r] followed by a
+    store of [r] into a frame slot (the canary store), and later loads of
+    that slot feeding the epilogue comparison (the canary checks).
+    Security tools use the sites to (a) poison/unpoison the canary slot
+    for frame-granularity overflow detection and (b) exempt the canary
+    accesses themselves from memory checks. *)
+
+type site = {
+  c_fn : int;  (** function entry *)
+  c_store_addr : int;  (** address of the store placing the canary *)
+  c_after_store : int;  (** next instruction: where poisoning happens *)
+  c_slot_disp : int;  (** fp-relative displacement of the canary slot *)
+  c_check_loads : int list;
+      (** addresses of loads of the slot (epilogue checks); unpoisoning is
+          inserted before each *)
+}
+
+val analyze : Jt_cfg.Cfg.fn -> site list
+(** One site per distinct canary slot written in the function. *)
+
+val exempt_addrs : site list -> (int, unit) Hashtbl.t
+(** All instruction addresses that touch canary slots and must not be
+    instrumented as ordinary memory accesses. *)

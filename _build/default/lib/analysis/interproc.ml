@@ -1,0 +1,53 @@
+open Jt_isa
+open Jt_cfg
+open Jt_disasm.Disasm
+
+type summary = { ip_clobbers : int; ip_reads : int }
+
+let all_regs_mask = Liveness.reg_mask Reg.all
+let everything = { ip_clobbers = all_regs_mask; ip_reads = all_regs_mask }
+
+let join a b =
+  { ip_clobbers = a.ip_clobbers lor b.ip_clobbers; ip_reads = a.ip_reads lor b.ip_reads }
+
+let summaries (cfg : Cfg.t) =
+  let fns = Cfg.functions cfg in
+  let summary = Hashtbl.create 32 in
+  List.iter
+    (fun fn -> Hashtbl.replace summary fn.Cfg.f_entry { ip_clobbers = 0; ip_reads = 0 })
+    fns;
+  let lookup t =
+    match Hashtbl.find_opt summary t with Some s -> s | None -> everything
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun fn ->
+        let acc = ref (Hashtbl.find summary fn.Cfg.f_entry) in
+        Hashtbl.iter
+          (fun _ (b : Cfg.block) ->
+            Array.iter
+              (fun info ->
+                match info.d_insn with
+                | Insn.Call t -> acc := join !acc (lookup t)
+                | Insn.Call_ind _ | Insn.Syscall _ -> acc := everything
+                | Insn.Jmp t when not (Hashtbl.mem fn.Cfg.f_blocks t) ->
+                  (* tail call *)
+                  acc := join !acc (lookup t)
+                | i ->
+                  acc :=
+                    join !acc
+                      {
+                        ip_clobbers = Liveness.reg_mask (Insn.defs i);
+                        ip_reads = Liveness.reg_mask (Insn.uses i);
+                      })
+              b.b_insns)
+          fn.Cfg.f_blocks;
+        if !acc <> Hashtbl.find summary fn.Cfg.f_entry then begin
+          Hashtbl.replace summary fn.Cfg.f_entry !acc;
+          changed := true
+        end)
+      fns
+  done;
+  summary

@@ -1,0 +1,21 @@
+(** Inter-procedural register summaries (section 4.1.2).
+
+    Calling-convention-based liveness is unsound when compilers (ipa-ra)
+    or hand-written assembly break the convention — the callee may use
+    caller-saved registers it "shouldn't", or fail to restore
+    callee-saved ones.  For such modules the paper extends the analysis
+    inter-procedurally; here that takes the form of per-function
+    summaries: the registers a call may {e modify} and the registers it
+    may {e read}, computed as a fixpoint over the direct call graph.
+    Indirect calls, syscalls and calls leaving the module are summarized
+    as touching everything. *)
+
+type summary = {
+  ip_clobbers : int;  (** registers possibly written, as a bit mask *)
+  ip_reads : int;  (** registers possibly read *)
+}
+
+val summaries : Jt_cfg.Cfg.t -> (int, summary) Hashtbl.t
+(** Function entry -> summary. *)
+
+val all_regs_mask : int

@@ -1,0 +1,50 @@
+(** Intra-procedural register and arithmetic-flag liveness.
+
+    This is the analysis behind the paper's main rewrite-rule optimization
+    (sections 3.3.2 and 4.1): instrumentation inserted before an
+    instruction only needs to save and restore the registers and flags
+    that are live there.
+
+    Conservatism follows the paper: at indirect branches with unknown
+    targets everything is assumed live; calls are assumed to clobber
+    caller-saved registers and flags and to read the argument registers;
+    returns and tail calls keep the return value, stack registers and
+    callee-saved registers live.  For modules that break the calling
+    convention (the ipa-ra / hand-written-assembly cases of section
+    4.1.2), use {!conservative} results instead. *)
+
+open Jt_isa
+
+type t
+(** Liveness facts for one function. *)
+
+val analyze :
+  ?call_summary:(int -> (int * int) option) ->
+  ?exit_all_live:bool ->
+  Jt_cfg.Cfg.fn ->
+  t
+(** [call_summary entry] may supply an inter-procedural
+    [(clobbered-mask, read-mask)] for a direct callee (see
+    {!Interproc}); used instead of the calling convention when the
+    module is known to break it.  [exit_all_live] additionally treats
+    every register and flag as live at returns and tail calls, for
+    callees whose callers may rely on non-standard state. *)
+
+val live_before : t -> int -> int * Flags.set
+(** [live_before t addr] = (register bit mask, flag set) live immediately
+    before the instruction at [addr].  Unknown addresses report everything
+    live. *)
+
+val dead_regs_before : t -> int -> Reg.t list
+(** Registers (excluding [sp] and [fp], which instrumentation never
+    borrows) provably dead before the instruction. *)
+
+val flags_dead_before : t -> int -> bool
+(** Are all four arithmetic flags dead before the instruction? *)
+
+val conservative : Jt_cfg.Cfg.fn -> t
+(** Everything live everywhere: the fallback for convention-breaking
+    modules and the "JASan-hybrid (base)" configuration of Figure 8. *)
+
+val reg_mask : Reg.t list -> int
+val mask_regs : int -> Reg.t list

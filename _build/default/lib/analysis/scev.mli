@@ -1,0 +1,53 @@
+(** Scalar-evolution-style loop-bound analysis (section 3.3.2).
+
+    Recognizes counted loops of the canonical rotated shape
+
+    {v
+      head:  cmp i, BOUND ; jcc {ge,gt,uge,ugt} exit
+      body:  ... [base + i*scale + disp] ...  ; add i, 1 ; jmp head
+    v}
+
+    and summarizes, for every memory access whose address is affine in the
+    induction register (with an unchanging base register), the address
+    range the whole loop will touch.  A sanitizer can then hoist one
+    range check into the loop preheader and skip the per-iteration checks
+    — the paper's loop-bound optimization.  Accesses whose operands are
+    loop-invariant are reported separately (one check suffices).
+
+    The analysis is deliberately conservative: any deviation (step other
+    than 1, extra definitions of the induction register, unrecognized exit
+    condition, missing unique preheader) makes it bail for that loop. *)
+
+open Jt_isa
+
+type bound = Bimm of int | Breg of Reg.t
+
+type access = {
+  a_addr : int;  (** instruction address *)
+  a_mem : Insn.mem;
+  a_width : int;
+  a_is_store : bool;
+}
+
+type summary = {
+  ls_head : int;
+  ls_preheader : int;  (** block whose terminator gets the hoisted check *)
+  ls_check_at : int;  (** instruction address for the hoisted range check *)
+  ls_ivar : Reg.t;
+  ls_init : int;
+      (** the induction variable's initial value, proven by a
+          [mov ivar, imm] being the preheader's last definition of it
+          (the check runs before that instruction executes, so it cannot
+          read the register) *)
+  ls_bound : bound;
+  ls_bound_incl : bool;
+      (** if true the induction variable reaches the bound value itself
+          (exit on [>]); otherwise bound - 1 *)
+  ls_affine : access list;
+  ls_invariant : access list;
+}
+
+val analyze : Jt_cfg.Cfg.fn -> summary list
+
+val covered_addrs : summary list -> (int, unit) Hashtbl.t
+(** Addresses of accesses subsumed by hoisted checks. *)

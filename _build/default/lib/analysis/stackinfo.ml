@@ -1,0 +1,36 @@
+open Jt_isa
+open Jt_cfg
+open Jt_disasm.Disasm
+
+type info = {
+  s_entry : int;
+  s_frame_size : int option;
+  s_has_canary_pattern : bool;
+  s_push_bytes : int;
+}
+
+let analyze (fn : Cfg.fn) =
+  match Hashtbl.find_opt fn.Cfg.f_blocks fn.Cfg.f_entry with
+  | None ->
+    { s_entry = fn.Cfg.f_entry; s_frame_size = None; s_has_canary_pattern = false;
+      s_push_bytes = 0 }
+  | Some b ->
+    let frame = ref None in
+    let canary = ref false in
+    let pushes = ref 0 in
+    Array.iter
+      (fun i ->
+        match i.d_insn with
+        | Insn.Binop (Insn.Sub, r, Insn.Imm n)
+          when Reg.equal r Reg.sp && !frame = None ->
+          frame := Some n
+        | Insn.Push _ -> pushes := !pushes + 4
+        | Insn.Load_canary _ -> canary := true
+        | _ -> ())
+      b.Cfg.b_insns;
+    {
+      s_entry = fn.Cfg.f_entry;
+      s_frame_size = !frame;
+      s_has_canary_pattern = !canary;
+      s_push_bytes = !pushes;
+    }

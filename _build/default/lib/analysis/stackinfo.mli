@@ -1,0 +1,16 @@
+(** Stack-frame size analysis.
+
+    Reports the static frame reservation of a function (the immediate of
+    the [sub sp, N] in its prologue) and whether the function follows the
+    standard frame discipline.  Used by stack-protection policies and by
+    the DESIGN.md-documented ablation benches. *)
+
+type info = {
+  s_entry : int;
+  s_frame_size : int option;  (** [None] when no standard prologue found *)
+  s_has_canary_pattern : bool;
+      (** a [ldcanary] appears in the entry block *)
+  s_push_bytes : int;  (** bytes pushed by prologue pushes in entry block *)
+}
+
+val analyze : Jt_cfg.Cfg.fn -> info

@@ -1,0 +1,1 @@
+lib/asm/builder.ml: Buffer Bytes Char Encode Format Fun Hashtbl Insn Jt_isa Jt_obj List Objfile Printf Reg Reloc Section Sinsn String Symbol

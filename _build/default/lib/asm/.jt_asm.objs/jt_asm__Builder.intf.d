@@ -1,0 +1,1 @@
+lib/asm/builder.mli: Insn Jt_isa Jt_obj Reg Sinsn

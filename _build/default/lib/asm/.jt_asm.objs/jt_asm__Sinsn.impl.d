@@ -1,0 +1,1 @@
+lib/asm/sinsn.ml: Encode Insn Jt_isa Reg Word

@@ -1,0 +1,1 @@
+lib/asm/sinsn.mli: Insn Jt_isa Reg

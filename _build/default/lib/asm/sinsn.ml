@@ -1,0 +1,145 @@
+open Jt_isa
+
+type ref_ =
+  | Rlabel of string
+  | Rfunc of string
+  | Rdata of string
+  | Rimport of string
+  | Raddr of int
+
+type sdisp = Dconst of int | Daddr of ref_ | Dgot of string
+
+type sbase = SBreg of Reg.t | SBpc
+
+type smem = {
+  sbase : sbase option;
+  sindex : Reg.t option;
+  sscale : int;
+  sdisp : sdisp;
+}
+
+type soperand = Sreg of Reg.t | Simm of int | Saddr of ref_
+
+type t =
+  | Snop
+  | Shalt
+  | Sret
+  | Ssyscall of int
+  | Sload_canary of Reg.t
+  | Smov of Reg.t * soperand
+  | Slea of Reg.t * smem
+  | Sload of Insn.width * Reg.t * smem
+  | Sstore of Insn.width * smem * soperand
+  | Sbinop of Insn.binop * Reg.t * soperand
+  | Sneg of Reg.t
+  | Snot of Reg.t
+  | Scmp of Reg.t * soperand
+  | Stest of Reg.t * soperand
+  | Spush of soperand
+  | Spop of Reg.t
+  | Sjmp of ref_
+  | Sjcc of Insn.cond * ref_
+  | Sjmp_ind_r of Reg.t
+  | Sjmp_ind_m of smem
+  | Scall of ref_
+  | Scall_ind_r of Reg.t
+  | Scall_ind_m of smem
+
+(* Build a concrete skeleton with dummy addresses: symbolic fields always
+   occupy a full 32-bit slot, so the skeleton's length is the final
+   length. *)
+let skeleton_mem (m : smem) : Insn.mem =
+  {
+    base =
+      (match m.sbase with
+      | Some (SBreg r) -> Some (Insn.Breg r)
+      | Some SBpc -> Some Insn.Bpc
+      | None -> None);
+    index = m.sindex;
+    scale = m.sscale;
+    disp = 0;
+  }
+
+let skeleton_operand = function
+  | Sreg r -> Insn.Reg r
+  | Simm _ | Saddr _ -> Insn.Imm 0
+
+let skeleton : t -> Insn.t = function
+  | Snop -> Nop
+  | Shalt -> Halt
+  | Sret -> Ret
+  | Ssyscall n -> Syscall n
+  | Sload_canary r -> Load_canary r
+  | Smov (rd, s) -> Mov (rd, skeleton_operand s)
+  | Slea (rd, m) -> Lea (rd, skeleton_mem m)
+  | Sload (w, rd, m) -> Load (w, rd, skeleton_mem m)
+  | Sstore (w, m, s) -> Store (w, skeleton_mem m, skeleton_operand s)
+  | Sbinop (op, rd, s) -> Binop (op, rd, skeleton_operand s)
+  | Sneg r -> Neg r
+  | Snot r -> Not r
+  | Scmp (r, s) -> Cmp (r, skeleton_operand s)
+  | Stest (r, s) -> Test (r, skeleton_operand s)
+  | Spush s -> Push (skeleton_operand s)
+  | Spop r -> Pop r
+  | Sjmp _ -> Jmp 0
+  | Sjcc (c, _) -> Jcc (c, 0)
+  | Sjmp_ind_r r -> Insn.jmp_ind_reg r
+  | Sjmp_ind_m m -> Insn.jmp_ind_mem (skeleton_mem m)
+  | Scall _ -> Call 0
+  | Scall_ind_r r -> Insn.call_ind_reg r
+  | Scall_ind_m m -> Insn.call_ind_mem (skeleton_mem m)
+
+let length i = Encode.length (skeleton i)
+
+type env = { resolve : ref_ -> int; got_slot : string -> int }
+
+let concretize env ~at i =
+  let len = length i in
+  let operand = function
+    | Sreg r -> Insn.Reg r
+    | Simm v -> Insn.Imm (Word.of_int v)
+    | Saddr r -> Insn.Imm (Word.of_int (env.resolve r))
+  in
+  let mem (m : smem) : Insn.mem =
+    let abs =
+      match m.sdisp with
+      | Dconst v -> Word.of_int v
+      | Daddr r -> Word.of_int (env.resolve r)
+      | Dgot s -> Word.of_int (env.got_slot s)
+    in
+    let base, disp =
+      match m.sbase with
+      | Some SBpc ->
+        (* PC-relative: the stored displacement is relative to the end of
+           the instruction. *)
+        (Some Insn.Bpc, Word.sub abs (Word.of_int (at + len)))
+      | Some (SBreg r) -> (Some (Insn.Breg r), abs)
+      | None -> (None, abs)
+    in
+    { base; index = m.sindex; scale = m.sscale; disp }
+  in
+  let target r = Word.of_int (env.resolve r) in
+  match i with
+  | Snop -> Insn.Nop
+  | Shalt -> Halt
+  | Sret -> Ret
+  | Ssyscall n -> Syscall n
+  | Sload_canary r -> Load_canary r
+  | Smov (rd, s) -> Mov (rd, operand s)
+  | Slea (rd, m) -> Lea (rd, mem m)
+  | Sload (w, rd, m) -> Load (w, rd, mem m)
+  | Sstore (w, m, s) -> Store (w, mem m, operand s)
+  | Sbinop (op, rd, s) -> Binop (op, rd, operand s)
+  | Sneg r -> Neg r
+  | Snot r -> Not r
+  | Scmp (r, s) -> Cmp (r, operand s)
+  | Stest (r, s) -> Test (r, operand s)
+  | Spush s -> Push (operand s)
+  | Spop r -> Pop r
+  | Sjmp r -> Jmp (target r)
+  | Sjcc (c, r) -> Jcc (c, target r)
+  | Sjmp_ind_r r -> Insn.jmp_ind_reg r
+  | Sjmp_ind_m m -> Insn.jmp_ind_mem (mem m)
+  | Scall r -> Call (target r)
+  | Scall_ind_r r -> Insn.call_ind_reg r
+  | Scall_ind_m m -> Insn.call_ind_mem (mem m)

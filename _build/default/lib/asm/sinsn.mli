@@ -1,0 +1,74 @@
+(** Symbolic (pre-layout) instructions.
+
+    [Sinsn.t] mirrors {!Jt_isa.Insn.t} but lets 32-bit fields refer to
+    symbols whose addresses are only known after section layout.  Every
+    symbolic instruction has the same encoded length as its concrete
+    counterpart, so layout can proceed before resolution. *)
+
+open Jt_isa
+
+(** A symbolic reference. *)
+type ref_ =
+  | Rlabel of string  (** label in the current function *)
+  | Rfunc of string  (** function defined in the current module *)
+  | Rdata of string  (** data object defined in the current module *)
+  | Rimport of string  (** imported symbol (via PLT for transfers) *)
+  | Raddr of int  (** already-absolute address *)
+
+type sdisp =
+  | Dconst of int
+  | Daddr of ref_  (** absolute address of the referent; if the base is
+                       [SBpc] the encoder converts it to a PC-relative
+                       displacement *)
+  | Dgot of string  (** address of the GOT slot of an imported symbol *)
+
+type sbase = SBreg of Reg.t | SBpc
+
+type smem = {
+  sbase : sbase option;
+  sindex : Reg.t option;
+  sscale : int;
+  sdisp : sdisp;
+}
+
+type soperand = Sreg of Reg.t | Simm of int | Saddr of ref_
+
+type t =
+  | Snop
+  | Shalt
+  | Sret
+  | Ssyscall of int
+  | Sload_canary of Reg.t
+  | Smov of Reg.t * soperand
+  | Slea of Reg.t * smem
+  | Sload of Insn.width * Reg.t * smem
+  | Sstore of Insn.width * smem * soperand
+  | Sbinop of Insn.binop * Reg.t * soperand
+  | Sneg of Reg.t
+  | Snot of Reg.t
+  | Scmp of Reg.t * soperand
+  | Stest of Reg.t * soperand
+  | Spush of soperand
+  | Spop of Reg.t
+  | Sjmp of ref_
+  | Sjcc of Insn.cond * ref_
+  | Sjmp_ind_r of Reg.t
+  | Sjmp_ind_m of smem
+  | Scall of ref_
+  | Scall_ind_r of Reg.t
+  | Scall_ind_m of smem
+
+val length : t -> int
+(** Encoded length (same as the concrete instruction's). *)
+
+type env = {
+  resolve : ref_ -> int;
+      (** Absolute link-time address of a referent.  For [Rimport] used in
+          a control transfer this is the PLT stub address. *)
+  got_slot : string -> int;  (** link-time address of an import's GOT slot *)
+}
+
+val concretize : env -> at:int -> t -> Insn.t
+(** Resolve all symbolic fields, producing the concrete instruction to be
+    encoded at address [at].
+    @raise Failure on unresolvable references or PIC-illegal forms. *)

@@ -1,0 +1,1 @@
+lib/baselines/bincfi.ml: Hashtbl Insn Jt_disasm Jt_isa Jt_jcfi Jt_loader Jt_mem Jt_obj Jt_vm List Reg Retrowrite_like String

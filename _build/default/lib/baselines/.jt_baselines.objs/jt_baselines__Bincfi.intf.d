@@ -1,0 +1,1 @@
+lib/baselines/bincfi.mli: Jt_obj Jt_vm

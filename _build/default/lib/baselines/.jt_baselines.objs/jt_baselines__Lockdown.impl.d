@@ -1,0 +1,1 @@
+lib/baselines/lockdown.ml: Array Hashtbl Insn Jt_dbt Jt_isa Jt_jcfi Jt_loader Jt_mem Jt_obj Jt_vm List Option Reg String

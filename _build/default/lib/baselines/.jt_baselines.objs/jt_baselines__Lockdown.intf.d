@@ -1,0 +1,1 @@
+lib/baselines/lockdown.mli: Jt_obj Jt_vm

@@ -1,0 +1,1 @@
+lib/baselines/retrowrite_like.ml: Array Hashtbl Insn Janitizer Jt_analysis Jt_cfg Jt_disasm Jt_isa Jt_jasan Jt_loader Jt_obj Jt_vm List Option

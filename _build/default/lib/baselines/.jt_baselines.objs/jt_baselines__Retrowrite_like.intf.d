@@ -1,0 +1,1 @@
+lib/baselines/retrowrite_like.mli: Jt_obj Jt_vm

@@ -1,0 +1,1 @@
+lib/baselines/valgrind_like.ml: Insn Jt_isa Jt_jasan Jt_vm

@@ -1,0 +1,1 @@
+lib/baselines/valgrind_like.mli: Jt_obj Jt_vm

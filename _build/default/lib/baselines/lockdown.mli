@@ -1,0 +1,34 @@
+(** A Lockdown-class baseline: dynamic-only CFI in a lightweight
+    translator (section 5 / Figures 9 and 12).
+
+    Policies follow the paper's description:
+
+    - {b Strong}: inter-module indirect calls must target a symbol both
+      imported by the source module and exported by the destination;
+      callbacks that bypass import tables are only allowed when a
+      heuristic finds the target in a scanned data section — the
+      qsort-via-stack pattern defeats it, producing the false positives
+      of section 6.2.2.
+    - {b Weak}: inter-module calls may target any known function entry;
+      no false positives, weaker AIR.
+
+    Indirect jumps may target any byte of the same function (nearest
+    symbol), returns use a precise shadow stack.  All analysis happens at
+    run time from symbols and loaded memory; there is no static pass. *)
+
+type policy = Strong | Weak
+
+type outcome = {
+  lk_result : Jt_vm.Vm.result;
+  lk_dynamic_air : float;
+  lk_false_positive : bool;
+      (** a violation was reported on a run the caller knows is clean *)
+}
+
+val run :
+  ?fuel:int ->
+  ?policy:policy ->
+  registry:Jt_obj.Objfile.t list ->
+  main:string ->
+  unit ->
+  outcome

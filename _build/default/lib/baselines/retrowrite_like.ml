@@ -1,0 +1,163 @@
+open Jt_isa
+
+type verdict =
+  | Applicable
+  | Needs_pic of string
+  | Unsupported_feature of string * string
+
+(* Transitive dependency closure over the registry (the "ldd" view). *)
+let closure ~registry ~main =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (m : Jt_obj.Objfile.t) -> Hashtbl.replace by_name m.name m)
+    registry;
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec go name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      (match Hashtbl.find_opt by_name name with
+      | Some m ->
+        List.iter go m.deps;
+        order := m :: !order
+      | None -> ())
+    end
+  in
+  go main;
+  List.rev !order
+
+let applicability ~registry ~main =
+  let mods = closure ~registry ~main in
+  let rec check = function
+    | [] -> Applicable
+    | (m : Jt_obj.Objfile.t) :: rest ->
+      if Jt_obj.Objfile.has_feature m Jt_obj.Objfile.Cxx_exceptions then
+        Unsupported_feature (m.name, "C++ exception tables")
+      else if Jt_obj.Objfile.has_feature m Jt_obj.Objfile.Fortran_runtime then
+        Unsupported_feature (m.name, "Fortran runtime")
+      else if m.kind = Jt_obj.Objfile.Exec_nonpic then Needs_pic m.name
+      else check rest
+  in
+  check mods
+
+type meta = { cost : int; action : Jt_vm.Vm.t -> unit }
+
+let check_cost ~dead ~flags_dead =
+  Jt_vm.Cost.asan_check
+  + (Jt_vm.Cost.spill_reg * max 0 (2 - dead))
+  + if flags_dead then 0 else Jt_vm.Cost.save_restore_flags
+
+(* Build the per-instruction instrumentation of one rewritten module
+   (link-time addresses). *)
+let instrument_module rt (m : Jt_obj.Objfile.t) =
+  let sa = Janitizer.Static_analyzer.analyze m in
+  let map = Hashtbl.create 256 in
+  let add addr meta =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt map addr) in
+    Hashtbl.replace map addr (prev @ [ meta ])
+  in
+  List.iter
+    (fun (fa : Janitizer.Static_analyzer.fn_analysis) ->
+      let exempt = Jt_analysis.Canary.exempt_addrs fa.fa_canaries in
+      List.iter
+        (fun (b : Jt_cfg.Cfg.block) ->
+          Array.iter
+            (fun (info : Jt_disasm.Disasm.insn_info) ->
+              match info.d_insn with
+              | (Insn.Load (w, _, m') | Insn.Store (w, m', _))
+                when (not (Hashtbl.mem exempt info.d_addr))
+                     && (not (Jt_jasan.Jasan.is_frame_access m'))
+                     && not (Jt_jasan.Jasan.is_pcrel m') ->
+                let dead =
+                  List.length
+                    (Jt_analysis.Liveness.dead_regs_before fa.fa_liveness
+                       info.d_addr)
+                in
+                let flags_dead =
+                  Jt_analysis.Liveness.flags_dead_before fa.fa_liveness
+                    info.d_addr
+                in
+                let len = Insn.width_bytes w in
+                let next = info.d_addr + info.d_len in
+                let is_store =
+                  match info.d_insn with Insn.Store _ -> true | _ -> false
+                in
+                add info.d_addr
+                  {
+                    cost = check_cost ~dead:(min 2 dead) ~flags_dead;
+                    action =
+                      (fun vm ->
+                        (* link-time == run-time only for non-PIC; the
+                           caller rebases the whole map per module. *)
+                        let a = Jt_vm.Vm.eval_mem vm ~next_pc:next m' in
+                        Jt_jasan.Jasan.Rt.check rt vm ~addr:a ~len ~is_store);
+                  }
+              | _ -> ())
+            b.b_insns)
+        (Jt_cfg.Cfg.fn_blocks fa.fa_fn);
+      List.iter
+        (fun (site : Jt_analysis.Canary.site) ->
+          add site.c_after_store
+            {
+              cost = Jt_vm.Cost.asan_canary_op;
+              action =
+                (fun vm ->
+                  Jt_jasan.Jasan.Rt.poison_canary rt vm
+                    ~slot_disp:site.c_slot_disp);
+            };
+          List.iter
+            (fun load_addr ->
+              add load_addr
+                {
+                  cost = Jt_vm.Cost.asan_canary_op;
+                  action =
+                    (fun vm ->
+                      Jt_jasan.Jasan.Rt.unpoison_canary rt vm
+                        ~slot_disp:site.c_slot_disp);
+                })
+            site.c_check_loads)
+        fa.fa_canaries)
+    sa.sa_fns;
+  map
+
+let run ?(fuel = 200_000_000) ~registry ~main () =
+  match applicability ~registry ~main with
+  | (Needs_pic _ | Unsupported_feature _) as v -> Error v
+  | Applicable ->
+    let rt = Jt_jasan.Jasan.Rt.create () in
+    let static_mods = closure ~registry ~main in
+    let link_maps =
+      List.map (fun m -> (m.Jt_obj.Objfile.name, instrument_module rt m)) static_mods
+    in
+    (* Run-time map, rebased per module at load. *)
+    let rt_map : (int, meta list) Hashtbl.t = Hashtbl.create 4096 in
+    let vm = Jt_vm.Vm.make ~registry in
+    Jt_loader.Loader.on_load vm.loader (fun l ->
+        match List.assoc_opt l.lmod.Jt_obj.Objfile.name link_maps with
+        | None -> ()  (* dlopen'd module unknown at rewrite time: uncovered *)
+        | Some map ->
+          Hashtbl.iter
+            (fun a metas ->
+              Hashtbl.replace rt_map (Jt_loader.Loader.runtime_addr l a) metas)
+            map);
+    Jt_jasan.Jasan.Rt.attach rt vm;
+    Jt_vm.Vm.boot vm ~main;
+    while vm.status = Jt_vm.Vm.Running do
+      if vm.icount >= fuel then vm.status <- Jt_vm.Vm.Fault Jt_vm.Vm.Out_of_fuel
+      else if vm.pc = Jt_vm.Vm.sentinel then Jt_vm.Vm.advance_phase vm
+      else
+        match Jt_vm.Vm.fetch vm vm.pc with
+        | None -> vm.status <- Jt_vm.Vm.Fault (Jt_vm.Vm.Decode_fault vm.pc)
+        | Some (i, len) ->
+          let at = vm.pc in
+          (match Hashtbl.find_opt rt_map at with
+          | Some metas ->
+            List.iter
+              (fun m ->
+                Jt_vm.Vm.charge vm m.cost;
+                m.action vm)
+              metas
+          | None -> ());
+          Jt_vm.Vm.step_decoded vm ~at i len
+    done;
+    Ok (Jt_vm.Vm.result vm)

@@ -1,0 +1,58 @@
+open Jt_isa
+
+type t = { shadow : Jt_jasan.Shadow.t }
+
+let create () = { shadow = Jt_jasan.Shadow.create () }
+
+let align8 x = (x + 7) land lnot 7
+
+let attach t (vm : Jt_vm.Vm.t) =
+  Jt_vm.Alloc.set_redzone vm.alloc Jt_jasan.Jasan.redzone_bytes;
+  Jt_vm.Alloc.subscribe vm.alloc (fun ev ->
+      match ev with
+      | Jt_vm.Alloc.Ev_alloc { addr; size; redzone } ->
+        Jt_jasan.Shadow.poison t.shadow (addr - redzone) ~len:redzone
+          Jt_jasan.Shadow.Heap_redzone;
+        Jt_jasan.Shadow.unpoison t.shadow addr ~len:size;
+        (* Coarser than JASan: the right redzone starts at the 8-byte
+           boundary, leaving the alignment slack addressable. *)
+        Jt_jasan.Shadow.poison t.shadow (align8 (addr + size)) ~len:redzone
+          Jt_jasan.Shadow.Heap_redzone
+      | Jt_vm.Alloc.Ev_free { addr; size } ->
+        Jt_jasan.Shadow.poison t.shadow addr ~len:(max size 1)
+          Jt_jasan.Shadow.Heap_freed
+      | Jt_vm.Alloc.Ev_bad_free { addr } ->
+        Jt_vm.Vm.report_violation vm ~kind:"bad-free" ~addr)
+
+let check t (vm : Jt_vm.Vm.t) ~addr ~len =
+  match Jt_jasan.Shadow.first_poisoned t.shadow addr ~len with
+  | Some (a, Jt_jasan.Shadow.Heap_freed) ->
+    Jt_vm.Vm.report_violation vm ~kind:"heap-use-after-free" ~addr:a
+  | Some (a, _) -> Jt_vm.Vm.report_violation vm ~kind:"heap-buffer-overflow" ~addr:a
+  | None -> ()
+
+let run ?(fuel = 200_000_000) ~registry ~main () =
+  let t = create () in
+  let vm = Jt_vm.Vm.make ~registry in
+  attach t vm;
+  Jt_vm.Vm.boot vm ~main;
+  let budget = fuel in
+  while vm.status = Jt_vm.Vm.Running do
+    if vm.icount >= budget then vm.status <- Jt_vm.Vm.Fault Jt_vm.Vm.Out_of_fuel
+    else if vm.pc = Jt_vm.Vm.sentinel then Jt_vm.Vm.advance_phase vm
+    else
+      match Jt_vm.Vm.fetch vm vm.pc with
+      | None -> vm.status <- Jt_vm.Vm.Fault (Jt_vm.Vm.Decode_fault vm.pc)
+      | Some (i, len) ->
+        let at = vm.pc in
+        (* Interpretation overhead on every instruction. *)
+        Jt_vm.Vm.charge vm Jt_vm.Cost.valgrind_per_insn;
+        (match i with
+        | Insn.Load (w, _, m) | Insn.Store (w, m, _) ->
+          Jt_vm.Vm.charge vm Jt_vm.Cost.valgrind_mem_check;
+          let a = Jt_vm.Vm.eval_mem vm ~next_pc:(at + len) m in
+          check t vm ~addr:a ~len:(Insn.width_bytes w)
+        | _ -> ());
+        Jt_vm.Vm.step_decoded vm ~at i len
+  done;
+  Jt_vm.Vm.result vm

@@ -1,0 +1,22 @@
+(** A Valgrind/Memcheck-class baseline: dynamic-only, interpretive,
+    full-coverage memory checking.
+
+    Differences from JASan that the evaluation exposes:
+
+    - every instruction pays interpretation/IR overhead and every memory
+      access pays a heavyweight check, giving the ~10x slowdown class;
+    - redzones are placed at the allocator's 8-byte granularity, so
+      overflows that stay within the alignment slack of a block go
+      unnoticed (the "fewer-than-actual" false negatives of Figure 10);
+    - stack canaries are not modelled, so heap-to-stack overflows that
+      never cross a heap redzone are invisible;
+    - coverage is complete by construction (it sees every executed
+      instruction, including JIT and dlopen'd code). *)
+
+type t
+
+val create : unit -> t
+
+val run :
+  ?fuel:int -> registry:Jt_obj.Objfile.t list -> main:string -> unit ->
+  Jt_vm.Vm.result

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Disasm Hashtbl Insn Int Jt_disasm Jt_isa Jt_obj List Queue Set

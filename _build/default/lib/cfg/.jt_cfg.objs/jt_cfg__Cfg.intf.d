@@ -1,0 +1,1 @@
+lib/cfg/cfg.mli: Hashtbl Jt_disasm Set

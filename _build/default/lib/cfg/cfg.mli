@@ -1,0 +1,63 @@
+(** Control-flow graphs over disassembled modules.
+
+    Unlike Janus — which skips [.init]/[.fini]/[.plt] and functions
+    without loops — Janitizer builds basic blocks and control flow for
+    every executable section and every discovered function, because
+    security instrumentation must reach all of them (section 3.3.1). *)
+
+module Iset : Set.S with type elt = int
+
+type term =
+  | Tjmp of int
+  | Tjcc of int * int  (** taken, fallthrough *)
+  | Tjmp_ind of int list  (** recovered jump-table targets (may be empty) *)
+  | Tcall of int * int  (** callee, return site *)
+  | Tcall_ind of int  (** return site *)
+  | Tret
+  | Thalt
+  | Tfall of int  (** block split by a leader: unconditional fallthrough *)
+
+type block = {
+  b_addr : int;
+  b_insns : Jt_disasm.Disasm.insn_info array;
+  b_term : term;
+  mutable b_succs : int list;  (** intra-procedural successor block addrs *)
+  mutable b_preds : int list;
+}
+
+type loop = {
+  l_head : int;
+  l_body : Iset.t;  (** block addresses, head included *)
+}
+
+type fn = {
+  f_entry : int;
+  f_name : string option;
+  f_blocks : (int, block) Hashtbl.t;
+  f_loops : loop list;
+}
+
+type t = {
+  c_disasm : Jt_disasm.Disasm.t;
+  c_blocks : (int, block) Hashtbl.t;  (** all blocks, by leader address *)
+  c_fns : (int, fn) Hashtbl.t;  (** by entry address *)
+}
+
+val build : Jt_disasm.Disasm.t -> t
+
+val block_at : t -> int -> block option
+val fn_at : t -> int -> fn option
+val functions : t -> fn list
+(** Sorted by entry address. *)
+
+val fn_blocks : fn -> block list
+(** Sorted by address. *)
+
+val fn_containing : t -> int -> fn option
+(** The function whose region contains this instruction address. *)
+
+val dominators : fn -> (int, Iset.t) Hashtbl.t
+(** Per-block dominator sets (classic iterative dataflow). *)
+
+val block_count : t -> int
+val insn_count : t -> int

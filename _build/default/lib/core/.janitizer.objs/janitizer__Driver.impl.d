@@ -1,0 +1,1 @@
+lib/core/driver.ml: Filename Hashtbl Jt_dbt Jt_loader Jt_obj Jt_rules Jt_vm List Static_analyzer String Sys Tool

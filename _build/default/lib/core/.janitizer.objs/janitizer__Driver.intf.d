@@ -1,0 +1,1 @@
+lib/core/driver.mli: Jt_dbt Jt_obj Jt_rules Jt_vm Tool

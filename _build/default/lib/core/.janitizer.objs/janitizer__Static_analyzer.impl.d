@@ -1,0 +1,1 @@
+lib/core/static_analyzer.ml: Array Hashtbl Jt_analysis Jt_cfg Jt_disasm Jt_obj List Option

@@ -1,0 +1,1 @@
+lib/core/static_analyzer.mli: Jt_analysis Jt_cfg Jt_disasm Jt_obj

@@ -1,0 +1,1 @@
+lib/core/tool.ml: Hashtbl Jt_dbt Jt_loader Jt_rules Jt_vm List Static_analyzer

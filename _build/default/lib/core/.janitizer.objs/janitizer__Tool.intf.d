@@ -1,0 +1,1 @@
+lib/core/tool.mli: Jt_dbt Jt_loader Jt_rules Jt_vm Static_analyzer

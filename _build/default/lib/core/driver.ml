@@ -1,0 +1,118 @@
+type outcome = {
+  o_result : Jt_vm.Vm.result;
+  o_dbt : Jt_dbt.Dbt.stats option;
+  o_dynamic_fraction : float;
+  o_rule_count : int;
+}
+
+let analyze_all ~tool registry =
+  List.map
+    (fun (m : Jt_obj.Objfile.t) ->
+      let sa = Static_analyzer.analyze m in
+      (m.name, tool.Tool.t_static sa))
+    registry
+
+let rules_path ~dir name = Filename.concat dir (name ^ ".jtr")
+
+let save_rules ~dir files =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, f) ->
+      let oc = open_out_bin (rules_path ~dir name) in
+      output_string oc (Jt_rules.Rules.encode_file f);
+      close_out oc)
+    files
+
+let load_rules ~dir name =
+  let path = rules_path ~dir name in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Jt_rules.Rules.decode_file s with
+    | f -> Some f
+    | exception Failure _ -> None
+  end
+  else None
+
+let static_closure ~registry ~main =
+  let registry =
+    if
+      List.exists
+        (fun (m : Jt_obj.Objfile.t) -> String.equal m.name "ld.so")
+        registry
+    then registry
+    else registry @ [ Jt_loader.Loader.ld_so ]
+  in
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (m : Jt_obj.Objfile.t) -> Hashtbl.replace by_name m.name m)
+    registry;
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec go name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      match Hashtbl.find_opt by_name name with
+      | Some m ->
+        List.iter go m.deps;
+        order := m :: !order
+      | None -> ()
+    end
+  in
+  go "ld.so";
+  go main;
+  List.rev !order
+
+let run ?fuel ?(hybrid = true) ?profile ?(precomputed = []) ~tool ~registry
+    ~main () =
+  let rule_files =
+    if hybrid then
+      let todo =
+        List.filter
+          (fun (m : Jt_obj.Objfile.t) -> not (List.mem_assoc m.name precomputed))
+          (static_closure ~registry ~main)
+      in
+      precomputed @ analyze_all ~tool todo
+    else []
+  in
+  let rule_count =
+    List.fold_left
+      (fun acc (_, (f : Jt_rules.Rules.file)) -> acc + List.length f.rf_rules)
+      0 rule_files
+  in
+  let vm = Jt_vm.Vm.make ~registry in
+  let engine =
+    Jt_dbt.Dbt.create ~vm ?profile ~client:tool.Tool.t_client
+      ~rules_for:(fun name -> List.assoc_opt name rule_files)
+      ()
+  in
+  Jt_loader.Loader.on_load vm.Jt_vm.Vm.loader (fun l ->
+      tool.Tool.t_on_load vm l
+        (List.assoc_opt l.Jt_loader.Loader.lmod.Jt_obj.Objfile.name rule_files));
+  tool.Tool.t_setup vm;
+  Jt_vm.Vm.boot vm ~main;
+  if vm.Jt_vm.Vm.status = Jt_vm.Vm.Running then Jt_dbt.Dbt.run ?fuel engine;
+  {
+    o_result = Jt_vm.Vm.result vm;
+    o_dbt = Some (Jt_dbt.Dbt.stats engine);
+    o_dynamic_fraction = Jt_dbt.Dbt.dynamic_block_fraction engine;
+    o_rule_count = rule_count;
+  }
+
+let run_null ?fuel ?profile ~registry ~main () =
+  let vm = Jt_vm.Vm.make ~registry in
+  let engine = Jt_dbt.Dbt.create ~vm ?profile () in
+  Jt_vm.Vm.boot vm ~main;
+  if vm.Jt_vm.Vm.status = Jt_vm.Vm.Running then Jt_dbt.Dbt.run ?fuel engine;
+  {
+    o_result = Jt_vm.Vm.result vm;
+    o_dbt = Some (Jt_dbt.Dbt.stats engine);
+    o_dynamic_fraction = Jt_dbt.Dbt.dynamic_block_fraction engine;
+    o_rule_count = 0;
+  }
+
+let run_native ?fuel ~registry ~main () =
+  let r = Jt_vm.Vm.run_native ?fuel ~registry ~main () in
+  { o_result = r; o_dbt = None; o_dynamic_fraction = 0.0; o_rule_count = 0 }

@@ -1,0 +1,75 @@
+type fn_analysis = {
+  fa_fn : Jt_cfg.Cfg.fn;
+  fa_liveness : Jt_analysis.Liveness.t;
+  fa_canaries : Jt_analysis.Canary.site list;
+  fa_scev : Jt_analysis.Scev.summary list;
+  fa_stack : Jt_analysis.Stackinfo.info;
+}
+
+type t = {
+  sa_mod : Jt_obj.Objfile.t;
+  sa_disasm : Jt_disasm.Disasm.t;
+  sa_cfg : Jt_cfg.Cfg.t;
+  sa_fns : fn_analysis list;
+  sa_reliable_conventions : bool;
+}
+
+let analyze (m : Jt_obj.Objfile.t) =
+  let disasm = Jt_disasm.Disasm.run m in
+  let cfg = Jt_cfg.Cfg.build disasm in
+  let reliable =
+    not (Jt_obj.Objfile.has_feature m Jt_obj.Objfile.Breaks_calling_convention)
+  in
+  (* Convention-breaking modules (ipa-ra, hand-written assembly) get the
+     section 4.1.2 treatment: calls are summarized by an inter-procedural
+     clobber/read analysis instead of the untrustworthy convention. *)
+  let interproc_summary =
+    if reliable then fun _ -> None
+    else
+      let summaries = Jt_analysis.Interproc.summaries cfg in
+      fun entry ->
+        Option.map
+          (fun (s : Jt_analysis.Interproc.summary) -> (s.ip_clobbers, s.ip_reads))
+          (Hashtbl.find_opt summaries entry)
+  in
+  let fns =
+    List.map
+      (fun fn ->
+        {
+          fa_fn = fn;
+          fa_liveness =
+            (if reliable then Jt_analysis.Liveness.analyze fn
+             else
+               Jt_analysis.Liveness.analyze ~call_summary:interproc_summary
+                 ~exit_all_live:true fn);
+          fa_canaries = Jt_analysis.Canary.analyze fn;
+          fa_scev = Jt_analysis.Scev.analyze fn;
+          fa_stack = Jt_analysis.Stackinfo.analyze fn;
+        })
+      (Jt_cfg.Cfg.functions cfg)
+  in
+  { sa_mod = m; sa_disasm = disasm; sa_cfg = cfg; sa_fns = fns;
+    sa_reliable_conventions = reliable }
+
+let fn_of_addr t addr =
+  List.find_opt
+    (fun fa ->
+      Hashtbl.fold
+        (fun _ (b : Jt_cfg.Cfg.block) found ->
+          found
+          || Array.exists
+               (fun (i : Jt_disasm.Disasm.insn_info) -> i.d_addr = addr)
+               b.b_insns)
+        fa.fa_fn.Jt_cfg.Cfg.f_blocks false)
+    t.sa_fns
+
+let all_block_addrs t =
+  List.sort compare
+    (Hashtbl.fold (fun a _ acc -> a :: acc) t.sa_cfg.Jt_cfg.Cfg.c_blocks [])
+
+let code_pointer_scan t =
+  List.filter
+    (fun v -> Jt_disasm.Disasm.is_insn_boundary t.sa_disasm v)
+    (Jt_disasm.Disasm.scan_code_pointers t.sa_mod)
+
+let function_entries t = t.sa_disasm.Jt_disasm.Disasm.func_entries

@@ -1,0 +1,42 @@
+(** Janitizer's static analyzer (Figure 2a).
+
+    For each statically available module this runs the core-layer
+    pipeline — disassembly and control-flow recovery over *all* executable
+    sections, then the generic helper analyses (liveness, canary
+    detection, SCEV loop bounds, stack info, def-use chains) — and hands
+    the bundle to a security tool's static pass, which turns it into
+    rewrite rules. *)
+
+type fn_analysis = {
+  fa_fn : Jt_cfg.Cfg.fn;
+  fa_liveness : Jt_analysis.Liveness.t;
+  fa_canaries : Jt_analysis.Canary.site list;
+  fa_scev : Jt_analysis.Scev.summary list;
+  fa_stack : Jt_analysis.Stackinfo.info;
+}
+
+type t = {
+  sa_mod : Jt_obj.Objfile.t;
+  sa_disasm : Jt_disasm.Disasm.t;
+  sa_cfg : Jt_cfg.Cfg.t;
+  sa_fns : fn_analysis list;
+  sa_reliable_conventions : bool;
+      (** false when the module breaks the calling convention
+          (section 4.1.2): liveness results are replaced by the
+          conservative all-live fallback *)
+}
+
+val analyze : Jt_obj.Objfile.t -> t
+
+val fn_of_addr : t -> int -> fn_analysis option
+(** The analyzed function whose CFG contains the instruction address. *)
+
+val all_block_addrs : t -> int list
+
+val code_pointer_scan : t -> int list
+(** Sliding-window constants that fall on *instruction boundaries* of the
+    recovered disassembly (the BinCFI refinement step). *)
+
+val function_entries : t -> int list
+(** Discovered function entries (symbols, direct-call targets, entry
+    point). *)

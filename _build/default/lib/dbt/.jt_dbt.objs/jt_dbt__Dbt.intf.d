@@ -1,0 +1,1 @@
+lib/dbt/dbt.mli: Insn Jt_isa Jt_rules Jt_vm

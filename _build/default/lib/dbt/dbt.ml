@@ -1,0 +1,236 @@
+open Jt_isa
+
+type block = { bb_addr : int; insns : (int * Insn.t * int) array }
+
+type meta = { m_cost : int; m_action : (Jt_vm.Vm.t -> unit) option }
+
+type plan = meta list array
+
+let no_plan b = Array.make (Array.length b.insns) []
+
+type provenance = Static_rules | Dynamic_only
+
+type client = {
+  cl_name : string;
+  cl_on_block :
+    Jt_vm.Vm.t -> block -> provenance -> rules_at:(int -> Jt_rules.Rules.t list) -> plan;
+}
+
+type profile = {
+  p_name : string;
+  p_translate_block : int;
+  p_translate_insn : int;
+  p_indirect : int;
+  p_per_block : int;
+}
+
+let dynamorio =
+  {
+    p_name = "dynamorio";
+    p_translate_block = Jt_vm.Cost.dbt_translate_block;
+    p_translate_insn = Jt_vm.Cost.dbt_translate_insn;
+    p_indirect = Jt_vm.Cost.dbt_indirect_lookup;
+    p_per_block = 0;
+  }
+
+let lightweight =
+  {
+    p_name = "lightweight";
+    p_translate_block = 30;
+    p_translate_insn = 6;
+    p_indirect = Jt_vm.Cost.lockdown_indirect;
+    p_per_block = Jt_vm.Cost.lockdown_per_block;
+  }
+
+type stats = {
+  mutable st_blocks_static : int;
+  mutable st_blocks_dynamic : int;
+  mutable st_block_execs : int;
+  mutable st_indirects : int;
+  mutable st_rules_applied : int;
+}
+
+type cached = {
+  cb : block;
+  cb_plan : plan;
+  cb_indirect_end : bool;
+}
+
+type t = {
+  vm : Jt_vm.Vm.t;
+  profile : profile;
+  client : client option;
+  cache : (int, cached) Hashtbl.t;
+  (* Per-module rewrite-rule hash tables (Figure 5), consulted through an
+     address-range module lookup. *)
+  mutable tables : (Jt_loader.Loader.loaded * Jt_rules.Rules.Table.t) list;
+  stats : stats;
+}
+
+let max_block_insns = 256
+
+let create ~vm ?(profile = dynamorio) ?client
+    ?(rules_for = fun _ -> None) () =
+  let t =
+    {
+      vm;
+      profile;
+      client;
+      cache = Hashtbl.create 4096;
+      tables = [];
+      stats =
+        {
+          st_blocks_static = 0;
+          st_blocks_dynamic = 0;
+          st_block_execs = 0;
+          st_indirects = 0;
+          st_rules_applied = 0;
+        };
+    }
+  in
+  (* (1) in Figure 4: when a module is loaded, read its rewrite rules into
+     a fresh hash table, adjusting addresses by the load base for PIC. *)
+  Jt_loader.Loader.on_load vm.Jt_vm.Vm.loader (fun l ->
+      match rules_for l.Jt_loader.Loader.lmod.Jt_obj.Objfile.name with
+      | None -> ()
+      | Some file ->
+        let table =
+          Jt_rules.Rules.Table.load file ~base:l.Jt_loader.Loader.base
+            ~pic:(Jt_obj.Objfile.is_pic l.Jt_loader.Loader.lmod)
+        in
+        t.tables <- (l, table) :: t.tables);
+  (* Cache-flush syscalls (JIT regeneration) invalidate affected blocks. *)
+  Jt_vm.Vm.on_cache_flush vm (fun start len ->
+      let doomed =
+        Hashtbl.fold
+          (fun a (c : cached) acc ->
+            let last =
+              if Array.length c.cb.insns = 0 then a
+              else
+                let la, _, ll = c.cb.insns.(Array.length c.cb.insns - 1) in
+                la + ll
+            in
+            if last > start && a < start + len then a :: acc else acc)
+          t.cache []
+      in
+      List.iter (Hashtbl.remove t.cache) doomed);
+  t
+
+let table_for t addr =
+  List.find_opt (fun (l, _) -> Jt_loader.Loader.contains l addr) t.tables
+  |> Option.map snd
+
+let is_indirect_end (b : block) =
+  if Array.length b.insns = 0 then false
+  else
+    let _, i, _ = b.insns.(Array.length b.insns - 1) in
+    match Insn.cti_kind i with
+    | Some (Insn.Cti_jmp_ind | Insn.Cti_call_ind | Insn.Cti_ret) -> true
+    | Some (Insn.Cti_jmp _ | Insn.Cti_jcc _ | Insn.Cti_call _ | Insn.Cti_halt | Insn.Cti_syscall)
+    | None ->
+      false
+
+(* Build the dynamic basic block starting at [addr]: decode until a
+   control-transfer instruction (step (2) in Figure 4). *)
+let build_block t addr =
+  let insns = ref [] in
+  let n = ref 0 in
+  let pc = ref addr in
+  let stop = ref false in
+  while not !stop do
+    match Jt_vm.Vm.fetch t.vm !pc with
+    | None -> stop := true
+    | Some (i, len) ->
+      insns := (!pc, i, len) :: !insns;
+      incr n;
+      pc := !pc + len;
+      if Insn.ends_block i || !n >= max_block_insns then stop := true
+  done;
+  { bb_addr = addr; insns = Array.of_list (List.rev !insns) }
+
+(* Translate: classify the block against the rule tables ((3a)/(3b) in
+   Figure 4) and let the client build its instrumentation plan. *)
+let translate t addr =
+  let b = build_block t addr in
+  t.vm.Jt_vm.Vm.cycles <-
+    t.vm.Jt_vm.Vm.cycles + t.profile.p_translate_block
+    + (t.profile.p_translate_insn * Array.length b.insns);
+  let table = table_for t addr in
+  let static_hit =
+    match table with
+    | Some tbl -> Jt_rules.Rules.Table.bb_seen tbl addr
+    | None -> false
+  in
+  if static_hit then t.stats.st_blocks_static <- t.stats.st_blocks_static + 1
+  else t.stats.st_blocks_dynamic <- t.stats.st_blocks_dynamic + 1;
+  let plan =
+    match t.client with
+    | None -> no_plan b
+    | Some cl ->
+      let rules_at =
+        match (static_hit, table) with
+        | true, Some tbl ->
+          fun a ->
+            let rs = Jt_rules.Rules.Table.at_insn tbl a in
+            t.stats.st_rules_applied <- t.stats.st_rules_applied + List.length rs;
+            rs
+        | _ -> fun _ -> []
+      in
+      cl.cl_on_block t.vm b
+        (if static_hit then Static_rules else Dynamic_only)
+        ~rules_at
+  in
+  let cached = { cb = b; cb_plan = plan; cb_indirect_end = is_indirect_end b } in
+  Hashtbl.replace t.cache addr cached;
+  cached
+
+let exec_block t (c : cached) =
+  let vm = t.vm in
+  t.stats.st_block_execs <- t.stats.st_block_execs + 1;
+  if t.profile.p_per_block > 0 then Jt_vm.Vm.charge vm t.profile.p_per_block;
+  let n = Array.length c.cb.insns in
+  let k = ref 0 in
+  while !k < n && vm.Jt_vm.Vm.status = Jt_vm.Vm.Running do
+    let at, i, len = c.cb.insns.(!k) in
+    List.iter
+      (fun m ->
+        Jt_vm.Vm.charge vm m.m_cost;
+        match m.m_action with Some f -> f vm | None -> ())
+      c.cb_plan.(!k);
+    Jt_vm.Vm.step_decoded vm ~at i len;
+    incr k
+  done;
+  if c.cb_indirect_end && vm.Jt_vm.Vm.status = Jt_vm.Vm.Running then begin
+    Jt_vm.Vm.charge vm t.profile.p_indirect;
+    t.stats.st_indirects <- t.stats.st_indirects + 1
+  end
+
+let run ?(fuel = 200_000_000) t =
+  let vm = t.vm in
+  let budget = vm.Jt_vm.Vm.icount + fuel in
+  (try
+     while vm.Jt_vm.Vm.status = Jt_vm.Vm.Running do
+       if vm.Jt_vm.Vm.icount >= budget then
+         vm.Jt_vm.Vm.status <- Jt_vm.Vm.Fault Jt_vm.Vm.Out_of_fuel
+       else if vm.Jt_vm.Vm.pc = Jt_vm.Vm.sentinel then Jt_vm.Vm.advance_phase vm
+       else begin
+         let pc = vm.Jt_vm.Vm.pc in
+         let cached =
+           match Hashtbl.find_opt t.cache pc with
+           | Some c -> c
+           | None -> translate t pc
+         in
+         if Array.length cached.cb.insns = 0 then
+           vm.Jt_vm.Vm.status <- Jt_vm.Vm.Fault (Jt_vm.Vm.Decode_fault pc)
+         else exec_block t cached
+       end
+     done
+   with Jt_vm.Vm.Security_abort why -> vm.Jt_vm.Vm.status <- Jt_vm.Vm.Aborted why)
+
+let stats t = t.stats
+
+let dynamic_block_fraction t =
+  let s = t.stats in
+  let total = s.st_blocks_static + s.st_blocks_dynamic in
+  if total = 0 then 0.0
+  else float_of_int s.st_blocks_dynamic /. float_of_int total

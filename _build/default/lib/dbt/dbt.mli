@@ -1,0 +1,88 @@
+(** The dynamic binary modifier engine (the DynamoRIO analog).
+
+    Drives a VM the way a dynamic binary translator drives a process:
+    basic blocks are discovered at their first execution, handed to the
+    instrumentation client, and placed in a code cache; direct branches
+    between cached blocks are linked for free, while indirect transfers
+    pay a target lookup on every execution.
+
+    The engine implements the Janitizer-specific machinery of sections
+    3.4.1–3.4.2: per-module rewrite-rule hash tables populated at module
+    load time (with load-base adjustment for PIC modules), block
+    classification into statically-seen versus dynamically-discovered
+    code, and dispatch of each block to the client with its applicable
+    rules. *)
+
+open Jt_isa
+
+type block = {
+  bb_addr : int;  (** run-time address *)
+  insns : (int * Insn.t * int) array;  (** (address, instruction, length) *)
+}
+
+(** One piece of inserted instrumentation, executed immediately before
+    its anchor instruction.  [m_cost] is the full cycle price including
+    whatever save/restore traffic the tool decided it needs. *)
+type meta = { m_cost : int; m_action : (Jt_vm.Vm.t -> unit) option }
+
+type plan = meta list array
+(** Per-instruction instrumentation, indexed like [block.insns].  Use
+    {!no_plan} for "translate as-is". *)
+
+val no_plan : block -> plan
+
+(** How the block reached the client (section 3.4.1): via rewrite rules
+    from the static analyzer, or discovered dynamically with no static
+    information (dynamically generated / dlopen'd without rules / missed
+    by static control-flow recovery). *)
+type provenance = Static_rules | Dynamic_only
+
+type client = {
+  cl_name : string;
+  cl_on_block :
+    Jt_vm.Vm.t -> block -> provenance -> rules_at:(int -> Jt_rules.Rules.t list) -> plan;
+}
+
+(** Engine cost profile, so baseline translators (Lockdown's lightweight
+    libdetox) can share the machinery with different constants. *)
+type profile = {
+  p_name : string;
+  p_translate_block : int;
+  p_translate_insn : int;
+  p_indirect : int;  (** per executed indirect transfer (incl. returns) *)
+  p_per_block : int;  (** per block execution *)
+}
+
+val dynamorio : profile
+val lightweight : profile
+
+type stats = {
+  mutable st_blocks_static : int;  (** unique blocks found in rule tables *)
+  mutable st_blocks_dynamic : int;  (** unique blocks that missed *)
+  mutable st_block_execs : int;
+  mutable st_indirects : int;
+  mutable st_rules_applied : int;
+}
+
+type t
+
+val create :
+  vm:Jt_vm.Vm.t ->
+  ?profile:profile ->
+  ?client:client ->
+  ?rules_for:(string -> Jt_rules.Rules.file option) ->
+  unit ->
+  t
+(** Create an engine bound to [vm].  Must be called before [Vm.boot] so
+    that the engine observes startup module loads (it subscribes to the
+    loader and to cache-flush events).  [rules_for] supplies each module's
+    statically generated rule file, if one exists. *)
+
+val run : ?fuel:int -> t -> unit
+(** Execute the booted program to completion under the engine. *)
+
+val stats : t -> stats
+
+val dynamic_block_fraction : t -> float
+(** Fraction of executed unique blocks that were only discovered
+    dynamically (Figure 14). *)

@@ -1,0 +1,1 @@
+lib/disasm/disasm.ml: Char Decode Format Hashtbl Insn Jt_isa Jt_obj List Objfile Printf Queue Reg Reloc Section String Symbol Word

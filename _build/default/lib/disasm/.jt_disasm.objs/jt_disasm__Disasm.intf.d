@@ -1,0 +1,1 @@
+lib/disasm/disasm.mli: Format Hashtbl Insn Jt_isa Jt_obj

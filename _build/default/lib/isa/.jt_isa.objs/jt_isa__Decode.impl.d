@@ -1,0 +1,1 @@
+lib/isa/decode.ml: Char Insn Reg String Word

@@ -1,0 +1,20 @@
+(** Instruction decoding.
+
+    Decoding is the ground truth used by the interpreter and the dynamic
+    modifier, and also by the static disassembler — where, exactly as in
+    real binary analysis, a byte sequence that happens to look like a valid
+    instruction will decode successfully even if it is actually data. *)
+
+exception Bad_read of int
+(** Raised by the [read] callback to signal an unreadable address. *)
+
+val instr : read:(int -> int) -> at:int -> (Insn.t * int) option
+(** [instr ~read ~at] decodes one instruction at virtual address [at]
+    using [read] to fetch bytes (each call returns a byte value 0–255, or
+    raises {!Bad_read}).  Returns the instruction and its encoded length,
+    or [None] if the bytes do not form a valid instruction or the read
+    fails. *)
+
+val from_string : string -> pos:int -> at:int -> (Insn.t * int) option
+(** Decode from a byte string at offset [pos], as if loaded at virtual
+    address [at]. *)

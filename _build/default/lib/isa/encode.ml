@@ -1,0 +1,174 @@
+open Insn
+
+let opcode_binop_rr op =
+  0x10
+  + match op with
+    | Add -> 0 | Sub -> 1 | And -> 2 | Or -> 3 | Xor -> 4
+    | Shl -> 5 | Shr -> 6 | Sar -> 7 | Mul -> 8
+
+let opcode_binop_ri op = opcode_binop_rr op + 0x10
+
+let opcode_jcc c =
+  0x41
+  + match c with
+    | Eq -> 0 | Ne -> 1 | Lt -> 2 | Le -> 3 | Gt -> 4 | Ge -> 5
+    | Ult -> 6 | Ule -> 7 | Ugt -> 8 | Uge -> 9
+
+let mem_length (m : mem) =
+  1 (* flag byte *)
+  + (match m.base with Some (Breg _) -> 1 | Some Bpc | None -> 0)
+  + (match m.index with Some _ -> 1 | None -> 0)
+  + 4 (* disp32 *)
+
+let length = function
+  | Nop | Halt | Ret -> 1
+  | Syscall _ -> 2
+  | Load_canary _ | Neg _ | Not _ | Pop _ -> 2
+  | Mov (_, Reg _) -> 3
+  | Mov (_, Imm _) -> 6
+  | Lea (_, m) -> 2 + mem_length m
+  | Load (_, _, m) -> 3 + mem_length m
+  | Store (_, m, Reg _) -> 3 + mem_length m
+  | Store (_, m, Imm _) -> 6 + mem_length m
+  | Binop (_, _, Reg _) -> 3
+  | Binop (_, _, Imm _) -> 6
+  | Cmp (_, Reg _) | Test (_, Reg _) -> 3
+  | Cmp (_, Imm _) | Test (_, Imm _) -> 6
+  | Push (Reg _) -> 2
+  | Push (Imm _) -> 5
+  | Jmp _ | Jcc _ | Call _ -> 5
+  | Jmp_ind (Some _, _) | Call_ind (Some _, _) -> 2
+  | Jmp_ind (None, Some m) | Call_ind (None, Some m) -> 1 + mem_length m
+  | Jmp_ind (None, None) | Call_ind (None, None) ->
+    invalid_arg "Encode.length: invalid indirect transfer"
+
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let u32 b v =
+  u8 b v;
+  u8 b (v lsr 8);
+  u8 b (v lsr 16);
+  u8 b (v lsr 24)
+
+let scale_log2 = function
+  | 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3
+  | _ -> invalid_arg "Encode: bad scale"
+
+let emit_mem b (m : mem) =
+  let flag =
+    (match m.base with Some (Breg _) -> 1 | Some Bpc | None -> 0)
+    lor (match m.base with Some Bpc -> 2 | Some (Breg _) | None -> 0)
+    lor (match m.index with Some _ -> 4 | None -> 0)
+    lor (scale_log2 m.scale lsl 3)
+  in
+  u8 b flag;
+  (match m.base with Some (Breg r) -> u8 b (Reg.index r) | Some Bpc | None -> ());
+  (match m.index with Some r -> u8 b (Reg.index r) | None -> ());
+  u32 b m.disp
+
+let to_buffer b ~at i =
+  let rel32 target = Word.sub target (Word.of_int (at + length i)) in
+  match i with
+  | Nop -> u8 b 0x01
+  | Halt -> u8 b 0x02
+  | Ret -> u8 b 0x03
+  | Syscall n ->
+    u8 b 0x04;
+    u8 b n
+  | Load_canary r ->
+    u8 b 0x05;
+    u8 b (Reg.index r)
+  | Mov (rd, Reg rs) ->
+    u8 b 0x06;
+    u8 b (Reg.index rd);
+    u8 b (Reg.index rs)
+  | Mov (rd, Imm v) ->
+    u8 b 0x07;
+    u8 b (Reg.index rd);
+    u32 b v
+  | Lea (rd, m) ->
+    u8 b 0x08;
+    u8 b (Reg.index rd);
+    emit_mem b m
+  | Load (w, rd, m) ->
+    u8 b 0x09;
+    u8 b (width_bytes w);
+    u8 b (Reg.index rd);
+    emit_mem b m
+  | Store (w, m, Reg rs) ->
+    u8 b 0x0A;
+    u8 b (width_bytes w);
+    u8 b (Reg.index rs);
+    emit_mem b m
+  | Store (w, m, Imm v) ->
+    u8 b 0x0B;
+    u8 b (width_bytes w);
+    u32 b v;
+    emit_mem b m
+  | Binop (op, rd, Reg rs) ->
+    u8 b (opcode_binop_rr op);
+    u8 b (Reg.index rd);
+    u8 b (Reg.index rs)
+  | Binop (op, rd, Imm v) ->
+    u8 b (opcode_binop_ri op);
+    u8 b (Reg.index rd);
+    u32 b v
+  | Neg r ->
+    u8 b 0x29;
+    u8 b (Reg.index r)
+  | Not r ->
+    u8 b 0x2A;
+    u8 b (Reg.index r)
+  | Cmp (ra, Reg rb) ->
+    u8 b 0x30;
+    u8 b (Reg.index ra);
+    u8 b (Reg.index rb)
+  | Cmp (ra, Imm v) ->
+    u8 b 0x31;
+    u8 b (Reg.index ra);
+    u32 b v
+  | Test (ra, Reg rb) ->
+    u8 b 0x32;
+    u8 b (Reg.index ra);
+    u8 b (Reg.index rb)
+  | Test (ra, Imm v) ->
+    u8 b 0x33;
+    u8 b (Reg.index ra);
+    u32 b v
+  | Push (Reg r) ->
+    u8 b 0x34;
+    u8 b (Reg.index r)
+  | Push (Imm v) ->
+    u8 b 0x35;
+    u32 b v
+  | Pop rd ->
+    u8 b 0x36;
+    u8 b (Reg.index rd)
+  | Jmp t ->
+    u8 b 0x40;
+    u32 b (rel32 t)
+  | Jcc (c, t) ->
+    u8 b (opcode_jcc c);
+    u32 b (rel32 t)
+  | Jmp_ind (Some r, _) ->
+    u8 b 0x4B;
+    u8 b (Reg.index r)
+  | Jmp_ind (None, Some m) ->
+    u8 b 0x4C;
+    emit_mem b m
+  | Call t ->
+    u8 b 0x4D;
+    u32 b (rel32 t)
+  | Call_ind (Some r, _) ->
+    u8 b 0x4E;
+    u8 b (Reg.index r)
+  | Call_ind (None, Some m) ->
+    u8 b 0x4F;
+    emit_mem b m
+  | Jmp_ind (None, None) | Call_ind (None, None) ->
+    invalid_arg "Encode.to_buffer: invalid indirect transfer"
+
+let encode ~at i =
+  let b = Buffer.create 12 in
+  to_buffer b ~at i;
+  Buffer.contents b

@@ -1,0 +1,40 @@
+type t = int
+
+let count = 16
+
+let of_index i =
+  if i < 0 || i >= count then invalid_arg "Reg.of_index" else i
+
+let index r = r
+
+let r0 = 0
+let r1 = 1
+let r2 = 2
+let r3 = 3
+let r4 = 4
+let r5 = 5
+let r6 = 6
+let r7 = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+let r12 = 12
+let r13 = 13
+let fp = 14
+let sp = 15
+
+let equal = Int.equal
+let compare = Int.compare
+
+let caller_saved = [ r0; r1; r2; r3; r4; r5 ]
+let callee_saved = [ r6; r7; r8; r9; r10; r11; r12; r13; fp ]
+let all = List.init count (fun i -> i)
+
+let name r =
+  match r with
+  | 14 -> "fp"
+  | 15 -> "sp"
+  | i -> "r" ^ string_of_int i
+
+let pp ppf r = Format.pp_print_string ppf (name r)

@@ -1,0 +1,61 @@
+(** Syscall numbers — the ABI between programs and the simulated kernel.
+
+    Arguments are passed in [r0]–[r2]; the result, if any, is returned in
+    [r0] (except {!resolve}, which communicates through the stack — see
+    below). *)
+
+val exit_ : int
+(** [r0] = status.  Terminates the program. *)
+
+val write_int : int
+(** [r0] = value: append the decimal rendering of [r0] and a newline to
+    the program's output stream. *)
+
+val write_ch : int
+(** [r0] = byte: append one character to the output stream. *)
+
+val malloc : int
+(** [r0] = size; returns the address of a fresh heap block. *)
+
+val free : int
+(** [r0] = address of a live heap block. *)
+
+val dlopen : int
+(** [r0] = address of a NUL-terminated module name; loads the module (and
+    its dependency closure) at run time and returns a handle. *)
+
+val dlsym : int
+(** [r0] = handle, [r1] = address of a NUL-terminated symbol name;
+    returns the run-time address of the exported symbol. *)
+
+val mmap_code : int
+(** [r0] = size; returns the base of a fresh writable+executable region
+    for dynamically generated code. *)
+
+val resolve : int
+(** Lazy PLT binding, used only by [ld.so]'s [__dl_resolve] routine.  On
+    entry the word at [sp] holds the PLT import index pushed by the lazy
+    stub; the kernel resolves the import of the *calling* module, patches
+    its GOT slot, and overwrites the word at [sp] with the target address
+    so that the following [ret] transfers there.  All registers are
+    preserved. *)
+
+val cache_flush : int
+(** [r0] = start, [r1] = length: declare that code bytes in the range
+    changed, invalidating decoded-instruction and code caches. *)
+
+val dlclose : int
+(** [r0] = handle from {!dlopen}: unload the module.  Returns 1 on
+    success, 0 if the module is pinned or still needed. *)
+
+val calloc : int
+(** [r0] = size; returns a zero-filled heap block. *)
+
+val realloc : int
+(** [r0] = old address (or 0), [r1] = new size; returns a block with the
+    old contents copied over.  The old block is freed. *)
+
+val read_int : int
+(** Pop the next value from the process's input stream (0 when
+    exhausted).  The stream is external, untrusted data — the taint
+    tool's source. *)

@@ -1,0 +1,36 @@
+type t = int
+
+let mask = 0xFFFF_FFFF
+let of_int x = x land mask
+
+let to_signed w =
+  if w land 0x8000_0000 <> 0 then w - 0x1_0000_0000 else w
+
+let add a b = (a + b) land mask
+let sub a b = (a - b) land mask
+let mul a b = (a * b) land mask
+let logand a b = a land b
+let logor a b = a lor b
+let logxor a b = a lxor b
+let lognot a = lnot a land mask
+let neg a = (0 - a) land mask
+
+let shl a n = (a lsl (n land 31)) land mask
+let shr a n = (a land mask) lsr (n land 31)
+let sar a n = (to_signed a asr (n land 31)) land mask
+
+let truncate nbytes w =
+  match nbytes with
+  | 1 -> w land 0xFF
+  | 2 -> w land 0xFFFF
+  | 4 -> w land mask
+  | _ -> invalid_arg "Word.truncate"
+
+let sign_extend nbytes w =
+  match nbytes with
+  | 1 -> if w land 0x80 <> 0 then (w lor 0xFFFF_FF00) land mask else w land 0xFF
+  | 2 -> if w land 0x8000 <> 0 then (w lor 0xFFFF_0000) land mask else w land 0xFFFF
+  | 4 -> w land mask
+  | _ -> invalid_arg "Word.sign_extend"
+
+let pp ppf w = Format.fprintf ppf "0x%08x" w

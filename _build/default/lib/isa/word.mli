@@ -1,0 +1,46 @@
+(** 32-bit machine words stored in OCaml [int]s.
+
+    The simulated machine is a 32-bit architecture (matching the x86-32
+    setting of the paper's CFI evaluation).  All register and memory values
+    are 32-bit words; arithmetic wraps modulo 2^32.  Words are kept in
+    canonical unsigned form, i.e. in the range [0, 2^32). *)
+
+type t = int
+
+val mask : t
+(** [0xFFFF_FFFF]. *)
+
+val of_int : int -> t
+(** Truncate an OCaml int to a canonical 32-bit word. *)
+
+val to_signed : t -> int
+(** Interpret a word as a signed 32-bit value in [-2^31, 2^31). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+val neg : t -> t
+
+val shl : t -> int -> t
+(** Logical shift left; shift amount is taken modulo 32. *)
+
+val shr : t -> int -> t
+(** Logical (unsigned) shift right; shift amount is taken modulo 32. *)
+
+val sar : t -> int -> t
+(** Arithmetic (signed) shift right; shift amount is taken modulo 32. *)
+
+val truncate : int -> t -> t
+(** [truncate nbytes w] keeps the low [nbytes] bytes of [w]
+    (zero-extending).  [nbytes] must be 1, 2 or 4. *)
+
+val sign_extend : int -> t -> t
+(** [sign_extend nbytes w] sign-extends the low [nbytes] bytes of [w] to a
+    full word.  [nbytes] must be 1, 2 or 4. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal rendering, e.g. [0x00400800]. *)

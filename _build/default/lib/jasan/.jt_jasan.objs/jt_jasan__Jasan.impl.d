@@ -1,0 +1,1 @@
+lib/jasan/jasan.ml: Array Hashtbl Insn Janitizer Jt_analysis Jt_cfg Jt_dbt Jt_disasm Jt_isa Jt_obj Jt_rules Jt_vm List Option Reg Shadow Word

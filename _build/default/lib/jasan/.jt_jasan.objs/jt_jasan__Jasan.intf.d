@@ -1,0 +1,1 @@
+lib/jasan/jasan.mli: Janitizer Jt_isa Jt_vm Shadow

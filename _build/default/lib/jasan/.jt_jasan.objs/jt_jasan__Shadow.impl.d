@@ -1,0 +1,1 @@
+lib/jasan/shadow.ml: Bytes Char Hashtbl Jt_isa

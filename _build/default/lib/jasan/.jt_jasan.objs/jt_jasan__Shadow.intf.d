@@ -1,0 +1,1 @@
+lib/jasan/shadow.mli:

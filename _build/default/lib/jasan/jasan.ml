@@ -1,0 +1,432 @@
+open Jt_isa
+
+type liveness_mode = Live_full | Live_none
+
+let redzone_bytes = 16
+
+module Ids = struct
+  let mem_check = 0x101
+  let poison_canary = 0x102
+  let unpoison_canary = 0x103
+  let range_check = 0x104
+  let invariant_check = 0x105
+end
+
+module Rt = struct
+  type t = { shadow : Shadow.t }
+
+  let create () = { shadow = Shadow.create () }
+  let shadow t = t.shadow
+
+  let attach t (vm : Jt_vm.Vm.t) =
+    Jt_vm.Alloc.set_redzone vm.alloc redzone_bytes;
+    Jt_vm.Alloc.subscribe vm.alloc (fun ev ->
+        match ev with
+        | Jt_vm.Alloc.Ev_alloc { addr; size; redzone } ->
+          Shadow.poison t.shadow (addr - redzone) ~len:redzone Shadow.Heap_redzone;
+          Shadow.unpoison t.shadow addr ~len:size;
+          (* Right redzone additionally covers the alignment slack. *)
+          let right = (addr + size + 7) land lnot 7 in
+          Shadow.poison t.shadow (addr + size)
+            ~len:(right - (addr + size) + redzone)
+            Shadow.Heap_redzone
+        | Jt_vm.Alloc.Ev_free { addr; size } ->
+          Shadow.poison t.shadow addr ~len:(max size 1) Shadow.Heap_freed
+        | Jt_vm.Alloc.Ev_bad_free { addr } ->
+          Jt_vm.Vm.report_violation vm ~kind:"bad-free" ~addr)
+
+  let kind_of st is_store =
+    match (st, is_store) with
+    | Shadow.Heap_redzone, _ -> "heap-buffer-overflow"
+    | Shadow.Heap_freed, _ -> "heap-use-after-free"
+    | Shadow.Stack_canary, _ -> "stack-buffer-overflow"
+    | Shadow.Addressable, _ -> "bad-access"
+
+  let check t vm ~addr ~len ~is_store =
+    match Shadow.first_poisoned t.shadow addr ~len with
+    | Some (a, st) -> Jt_vm.Vm.report_violation vm ~kind:(kind_of st is_store) ~addr:a
+    | None -> ()
+
+  let poison_canary t (vm : Jt_vm.Vm.t) ~slot_disp =
+    let fp = Jt_vm.Vm.get vm Reg.fp in
+    Shadow.poison t.shadow (Word.add fp slot_disp) ~len:4 Shadow.Stack_canary
+
+  let unpoison_canary t (vm : Jt_vm.Vm.t) ~slot_disp =
+    let fp = Jt_vm.Vm.get vm Reg.fp in
+    Shadow.unpoison t.shadow (Word.add fp slot_disp) ~len:4
+end
+
+(* ---- static pass ---- *)
+
+let is_frame_access (m : Insn.mem) =
+  match (m.base, m.index) with
+  | Some (Insn.Breg b), None -> Reg.equal b Reg.sp || Reg.equal b Reg.fp
+  | _ -> false
+
+let is_pcrel (m : Insn.mem) =
+  match m.base with Some Insn.Bpc -> true | _ -> false
+
+let scale_log2 = function 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> 0
+
+let width_of = function Insn.W1 -> 1 | Insn.W2 -> 2 | Insn.W4 -> 4
+
+(* Pack the hoisted range-check parameters into rule data words. *)
+let pack_range (s : Jt_analysis.Scev.summary) (a : Jt_analysis.Scev.access) =
+  let base_reg =
+    match a.a_mem.Insn.base with
+    | Some (Insn.Breg r) -> Reg.index r
+    | _ -> 0
+  in
+  let bound_is_reg, bound_reg, bound_imm =
+    match s.ls_bound with
+    | Jt_analysis.Scev.Breg r -> (1, Reg.index r, 0)
+    | Jt_analysis.Scev.Bimm v -> (0, 0, v)
+  in
+  let d1 =
+    base_reg
+    lor (Reg.index s.ls_ivar lsl 4)
+    lor (scale_log2 a.a_mem.Insn.scale lsl 8)
+    lor ((if s.ls_bound_incl then 1 else 0) lsl 10)
+    lor (bound_is_reg lsl 11)
+    lor (bound_reg lsl 12)
+    lor (a.a_width lsl 16)
+  in
+  [ d1; a.a_mem.Insn.disp; bound_imm; s.ls_init land Word.mask ]
+
+let pack_invariant (a : Jt_analysis.Scev.access) =
+  let base_reg, has_idx, idx_reg =
+    match (a.a_mem.Insn.base, a.a_mem.Insn.index) with
+    | Some (Insn.Breg r), Some i -> (Reg.index r, 1, Reg.index i)
+    | Some (Insn.Breg r), None -> (Reg.index r, 0, 0)
+    | _ -> (0, 0, 0)
+  in
+  let d1 =
+    base_reg
+    lor (has_idx lsl 4)
+    lor (idx_reg lsl 5)
+    lor (scale_log2 a.a_mem.Insn.scale lsl 9)
+    lor (a.a_width lsl 16)
+  in
+  [ d1; a.a_mem.Insn.disp ]
+
+let static_pass ~liveness ~hoist_scev ~skip_frame ~exempt_canary
+    (sa : Janitizer.Static_analyzer.t) =
+  let rules = ref [] in
+  let emit r = rules := r :: !rules in
+  (* Map instruction address -> enclosing block address, for rule bb
+     fields. *)
+  let bb_of = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun a (b : Jt_cfg.Cfg.block) ->
+      Array.iter
+        (fun (i : Jt_disasm.Disasm.insn_info) -> Hashtbl.replace bb_of i.d_addr a)
+        b.b_insns)
+    sa.sa_cfg.Jt_cfg.Cfg.c_blocks;
+  let bb_addr insn_addr =
+    Option.value ~default:insn_addr (Hashtbl.find_opt bb_of insn_addr)
+  in
+  List.iter
+    (fun (fa : Janitizer.Static_analyzer.fn_analysis) ->
+      let exempt =
+        if exempt_canary then Jt_analysis.Canary.exempt_addrs fa.fa_canaries
+        else Hashtbl.create 1
+      in
+      let covered =
+        if hoist_scev then Jt_analysis.Scev.covered_addrs fa.fa_scev
+        else Hashtbl.create 1
+      in
+      (* Memory-access checks. *)
+      List.iter
+        (fun (b : Jt_cfg.Cfg.block) ->
+          Array.iter
+            (fun (info : Jt_disasm.Disasm.insn_info) ->
+              let mem =
+                match info.d_insn with
+                | Insn.Load (w, _, m) -> Some (w, m)
+                | Insn.Store (w, m, _) -> Some (w, m)
+                | _ -> None
+              in
+              match mem with
+              | Some (_, m)
+                when Hashtbl.mem exempt info.d_addr
+                     || Hashtbl.mem covered info.d_addr
+                     || (skip_frame && is_frame_access m)
+                     || is_pcrel m ->
+                ()
+              | Some (_, _) ->
+                let dead_scratch, flags_dead =
+                  match liveness with
+                  | Live_none -> (0, 0)
+                  | Live_full ->
+                    let dead =
+                      Jt_analysis.Liveness.dead_regs_before fa.fa_liveness
+                        info.d_addr
+                    in
+                    ( min 2 (List.length dead),
+                      if
+                        Jt_analysis.Liveness.flags_dead_before fa.fa_liveness
+                          info.d_addr
+                      then 1
+                      else 0 )
+                in
+                emit
+                  (Jt_rules.Rules.make ~id:Ids.mem_check ~bb:b.b_addr
+                     ~insn:info.d_addr
+                     ~data:[ dead_scratch; flags_dead ]
+                     ())
+              | None -> ())
+            b.b_insns)
+        (Jt_cfg.Cfg.fn_blocks fa.fa_fn);
+      (* Canary poisoning: after the canary store (Figure 6), and
+         unpoisoning before each check load. *)
+      List.iter
+        (fun (site : Jt_analysis.Canary.site) ->
+          let disp = site.c_slot_disp land Word.mask in
+          emit
+            (Jt_rules.Rules.make ~id:Ids.poison_canary
+               ~bb:(bb_addr site.c_after_store) ~insn:site.c_after_store
+               ~data:[ disp ] ());
+          List.iter
+            (fun load_addr ->
+              emit
+                (Jt_rules.Rules.make ~id:Ids.unpoison_canary ~bb:(bb_addr load_addr)
+                   ~insn:load_addr ~data:[ disp ] ()))
+            site.c_check_loads)
+        fa.fa_canaries;
+      (* Hoisted SCEV checks at loop preheaders. *)
+      if hoist_scev then
+      List.iter
+        (fun (s : Jt_analysis.Scev.summary) ->
+          List.iter
+            (fun a ->
+              emit
+                (Jt_rules.Rules.make ~id:Ids.range_check ~bb:s.ls_preheader
+                   ~insn:s.ls_check_at ~data:(pack_range s a) ()))
+            s.ls_affine;
+          List.iter
+            (fun a ->
+              emit
+                (Jt_rules.Rules.make ~id:Ids.invariant_check ~bb:s.ls_preheader
+                   ~insn:s.ls_check_at ~data:(pack_invariant a) ()))
+            s.ls_invariant)
+        fa.fa_scev)
+    sa.sa_fns;
+  let rules = Janitizer.Tool.noop_marks sa (List.rev !rules) in
+  { Jt_rules.Rules.rf_module = sa.sa_mod.Jt_obj.Objfile.name; rf_rules = rules }
+
+(* ---- instrumentation (dynamic modifier side) ---- *)
+
+let mem_operand (i : Insn.t) =
+  match i with
+  | Insn.Load (w, _, m) -> Some (width_of w, m, false)
+  | Insn.Store (w, m, _) -> Some (width_of w, m, true)
+  | _ -> None
+
+let check_meta rt ~cost ~len ~is_store (m : Insn.mem) ~next_pc =
+  {
+    Jt_dbt.Dbt.m_cost = cost;
+    m_action =
+      Some
+        (fun vm ->
+          let addr = Jt_vm.Vm.eval_mem vm ~next_pc m in
+          Rt.check rt vm ~addr ~len ~is_store);
+  }
+
+let hybrid_check_cost ~dead_scratch ~flags_dead =
+  Jt_vm.Cost.asan_check
+  + (Jt_vm.Cost.spill_reg * max 0 (2 - dead_scratch))
+  + if flags_dead = 1 then 0 else Jt_vm.Cost.save_restore_flags
+
+let conservative_check_cost =
+  Jt_vm.Cost.asan_check + (2 * Jt_vm.Cost.spill_reg) + Jt_vm.Cost.save_restore_flags
+
+let unpack_signed v = Word.to_signed v
+
+let range_meta rt (r : Jt_rules.Rules.t) =
+  let d1 = r.data.(0) and disp = r.data.(1) and bound_imm = r.data.(2) in
+  let init = unpack_signed r.data.(3) in
+  let base = Reg.of_index (d1 land 0xF) in
+  let scale = 1 lsl ((d1 lsr 8) land 3) in
+  let incl = (d1 lsr 10) land 1 = 1 in
+  let bound_is_reg = (d1 lsr 11) land 1 = 1 in
+  let bound_reg = Reg.of_index ((d1 lsr 12) land 0xF) in
+  let width = (d1 lsr 16) land 7 in
+  {
+    Jt_dbt.Dbt.m_cost =
+      (2 * Jt_vm.Cost.asan_check) + (2 * Jt_vm.Cost.spill_reg)
+      + Jt_vm.Cost.save_restore_flags;
+    m_action =
+      Some
+        (fun vm ->
+          (* The check runs in the preheader, before the induction
+             register is initialized: the initial index comes from the
+             rule, not the register file. *)
+          let lo_i = init in
+          let bound =
+            if bound_is_reg then unpack_signed (Jt_vm.Vm.get vm bound_reg)
+            else unpack_signed bound_imm
+          in
+          let hi_i = if incl then bound else bound - 1 in
+          if hi_i >= lo_i then begin
+            let b = Jt_vm.Vm.get vm base in
+            let lo = Word.of_int (b + (lo_i * scale) + unpack_signed disp) in
+            let hi = Word.of_int (b + (hi_i * scale) + unpack_signed disp) in
+            Rt.check rt vm ~addr:lo ~len:width ~is_store:false;
+            Rt.check rt vm ~addr:hi ~len:width ~is_store:false
+          end);
+  }
+
+let invariant_meta rt (r : Jt_rules.Rules.t) =
+  let d1 = r.data.(0) and disp = r.data.(1) in
+  let base = Reg.of_index (d1 land 0xF) in
+  let has_idx = (d1 lsr 4) land 1 = 1 in
+  let idx = Reg.of_index ((d1 lsr 5) land 0xF) in
+  let scale = 1 lsl ((d1 lsr 9) land 3) in
+  let width = (d1 lsr 16) land 7 in
+  {
+    Jt_dbt.Dbt.m_cost = hybrid_check_cost ~dead_scratch:2 ~flags_dead:1;
+    m_action =
+      Some
+        (fun vm ->
+          let b = Jt_vm.Vm.get vm base in
+          let i = if has_idx then Jt_vm.Vm.get vm idx * scale else 0 in
+          let addr = Word.of_int (b + i + unpack_signed disp) in
+          Rt.check rt vm ~addr ~len:width ~is_store:false);
+  }
+
+let canary_meta rt ~unpoison disp =
+  let slot_disp = unpack_signed disp in
+  {
+    Jt_dbt.Dbt.m_cost = Jt_vm.Cost.asan_canary_op;
+    m_action =
+      Some
+        (fun vm ->
+          if unpoison then Rt.unpoison_canary rt vm ~slot_disp
+          else Rt.poison_canary rt vm ~slot_disp);
+  }
+
+(* Static-rules path: interpret each rule into a meta op. *)
+let plan_static rt (b : Jt_dbt.Dbt.block) ~rules_at =
+  let plan = Jt_dbt.Dbt.no_plan b in
+  Array.iteri
+    (fun k (at, insn, len) ->
+      let metas =
+        List.filter_map
+          (fun (r : Jt_rules.Rules.t) ->
+            if r.rule_id = Ids.mem_check then
+              match mem_operand insn with
+              | Some (width, m, is_store) ->
+                let cost =
+                  hybrid_check_cost ~dead_scratch:r.data.(0)
+                    ~flags_dead:r.data.(1)
+                in
+                Some
+                  (check_meta rt ~cost ~len:width ~is_store m ~next_pc:(at + len))
+              | None -> None
+            else if r.rule_id = Ids.poison_canary then
+              Some (canary_meta rt ~unpoison:false r.data.(0))
+            else if r.rule_id = Ids.unpoison_canary then
+              Some (canary_meta rt ~unpoison:true r.data.(0))
+            else if r.rule_id = Ids.range_check then Some (range_meta rt r)
+            else if r.rule_id = Ids.invariant_check then Some (invariant_meta rt r)
+            else None)
+          (rules_at at)
+      in
+      plan.(k) <- metas)
+    b.insns;
+  plan
+
+(* Dynamic fallback: per-block only — check every load/store with
+   conservative save/restore; recognize the canary idiom locally. *)
+let plan_dynamic rt (b : Jt_dbt.Dbt.block) =
+  let plan = Jt_dbt.Dbt.no_plan b in
+  (* Local canary recognition: a ldcanary in the block makes fp-relative
+     4-byte stores of the canary register canary-stores, and fp-relative
+     4-byte loads canary-checks. *)
+  let canary_reg = ref None in
+  let canary_stores = Hashtbl.create 2 in
+  let canary_checks = Hashtbl.create 2 in
+  let block_has_canary =
+    Array.exists
+      (fun (_, i, _) -> match i with Insn.Load_canary _ -> true | _ -> false)
+      b.insns
+  in
+  if block_has_canary then
+    Array.iteri
+      (fun k (_, i, _) ->
+        match i with
+        | Insn.Load_canary r -> canary_reg := Some r
+        | Insn.Store (Insn.W4, m, Insn.Reg r)
+          when (match !canary_reg with
+               | Some cr -> Reg.equal cr r
+               | None -> false)
+               && is_frame_access m
+               && (match m.Insn.base with
+                  | Some (Insn.Breg br) -> Reg.equal br Reg.fp
+                  | _ -> false) ->
+          Hashtbl.replace canary_stores k (unpack_signed m.Insn.disp)
+        | Insn.Load (Insn.W4, _, m)
+          when is_frame_access m
+               && (match m.Insn.base with
+                  | Some (Insn.Breg br) -> Reg.equal br Reg.fp
+                  | _ -> false) ->
+          Hashtbl.replace canary_checks k (unpack_signed m.Insn.disp)
+        | _ -> ())
+      b.insns;
+  Array.iteri
+    (fun k (at, insn, len) ->
+      if Hashtbl.mem canary_stores k then
+        let disp = Hashtbl.find canary_stores k in
+        plan.(k) <- [ canary_meta rt ~unpoison:false (disp land Word.mask) ]
+      else if Hashtbl.mem canary_checks k then
+        let disp = Hashtbl.find canary_checks k in
+        plan.(k) <- [ canary_meta rt ~unpoison:true (disp land Word.mask) ]
+      else
+        match mem_operand insn with
+        | Some (width, m, is_store) when not (is_pcrel m) ->
+          plan.(k) <-
+            [
+              check_meta rt ~cost:conservative_check_cost ~len:width ~is_store m
+                ~next_pc:(at + len);
+            ]
+        | Some _ | None -> ())
+    b.insns;
+  plan
+
+let create ?(liveness = Live_full) ?(hoist_scev = true)
+    ?(skip_frame_accesses = true) ?(exempt_canary = true)
+    ?(clean_calls = false) () =
+  let rt = Rt.create () in
+  (* The clean-call ablation: every handler pays a full context switch
+     instead of the inlined, liveness-aware save/restore of 4.1.1. *)
+  let costing plan =
+    if not clean_calls then plan
+    else
+      Array.map
+        (List.map (fun m ->
+             { m with Jt_dbt.Dbt.m_cost = Jt_vm.Cost.dbt_clean_call + Jt_vm.Cost.asan_check }))
+        plan
+  in
+  let client =
+    {
+      Jt_dbt.Dbt.cl_name = "jasan";
+      cl_on_block =
+        (fun _vm b prov ~rules_at ->
+          match prov with
+          | Jt_dbt.Dbt.Static_rules -> costing (plan_static rt b ~rules_at)
+          | Jt_dbt.Dbt.Dynamic_only -> costing (plan_dynamic rt b));
+    }
+  in
+  ( {
+      Janitizer.Tool.t_name =
+        (match liveness with
+        | Live_full -> "jasan-hybrid"
+        | Live_none -> "jasan-hybrid-base");
+      t_setup = (fun vm -> Rt.attach rt vm);
+      t_static =
+        static_pass ~liveness ~hoist_scev ~skip_frame:skip_frame_accesses
+          ~exempt_canary;
+      t_client = client;
+      t_on_load = Janitizer.Tool.no_on_load;
+    },
+    rt )

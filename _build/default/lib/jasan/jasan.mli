@@ -1,0 +1,88 @@
+(** JASan: the hybrid binary address sanitizer (section 4.1).
+
+    Protection policy, mirroring the paper (itself inspired by
+    RetroWrite's sanitizer):
+
+    - full heap-object protection: the allocator is interposed to place
+      redzones around every block, freed blocks stay poisoned
+      (use-after-free), and every instrumented load/store checks the
+      shadow;
+    - stack protection at stack-frame granularity, by poisoning the
+      canary slots found by canary analysis;
+    - globals are not protected (no type information in binaries).
+
+    The static pass uses cross-block analysis to (a) skip accesses that
+    are provably frame-local, PC-relative or covered by a hoisted SCEV
+    range check, and (b) embed register/flag liveness into each rule so
+    the inlined check saves only what is live.  The dynamic fallback
+    instruments every load and store in a block with conservative
+    save/restore, and recognizes canary stores/checks locally. *)
+
+type liveness_mode =
+  | Live_full  (** use static liveness (JASan-hybrid full) *)
+  | Live_none  (** conservative save/restore (JASan-hybrid base) *)
+
+(** Sanitizer runtime shared with the baseline sanitizers: shadow state,
+    allocator interposition and the check primitive. *)
+module Rt : sig
+  type t
+
+  val create : unit -> t
+  val shadow : t -> Shadow.t
+
+  val attach : t -> Jt_vm.Vm.t -> unit
+  (** Interpose on the allocator (redzones + poisoning), like ASan's
+      LD_PRELOADed allocator. *)
+
+  val check : t -> Jt_vm.Vm.t -> addr:int -> len:int -> is_store:bool -> unit
+  (** Report a violation if any byte of the range is poisoned. *)
+
+  val poison_canary : t -> Jt_vm.Vm.t -> slot_disp:int -> unit
+  (** Poison the canary slot at [fp + slot_disp] (current frame). *)
+
+  val unpoison_canary : t -> Jt_vm.Vm.t -> slot_disp:int -> unit
+end
+
+val redzone_bytes : int
+
+val is_frame_access : Jt_isa.Insn.mem -> bool
+(** Constant-offset [sp]/[fp] addressing: protected at frame granularity
+    by the canary policy, so not individually checked. *)
+
+val is_pcrel : Jt_isa.Insn.mem -> bool
+(** PC-relative operands address static data and need no check. *)
+
+val create :
+  ?liveness:liveness_mode ->
+  ?hoist_scev:bool ->
+  ?skip_frame_accesses:bool ->
+  ?exempt_canary:bool ->
+  ?clean_calls:bool ->
+  unit ->
+  Janitizer.Tool.t * Rt.t
+(** A fresh JASan instance.  One instance per program run: the runtime
+    state (shadow memory) is not reusable across processes.  The returned
+    {!Rt.t} is exposed for tests and metrics.
+
+    The three flags ablate static-pass design choices (all default on):
+    [hoist_scev] replaces per-iteration checks of provably-bounded loops
+    with one preheader range check; [skip_frame_accesses] elides checks
+    on constant-offset frame slots (covered by the canary policy);
+    [exempt_canary] suppresses checks on the canary-handling accesses
+    themselves — turning it off makes the epilogue's own canary read
+    trip the poisoned slot, demonstrating why canary analysis is a
+    soundness requirement and not an optimization.
+
+    [clean_calls] (default false) routes every check through a
+    full-context-switch clean call instead of inlined meta-instructions —
+    the DynamoRIO default that section 4.1.1 explicitly engineers away
+    with hand-written inline assembly; useful as an ablation. *)
+
+(** Rule identifiers emitted by the static pass (for tests). *)
+module Ids : sig
+  val mem_check : int
+  val poison_canary : int
+  val unpoison_canary : int
+  val range_check : int
+  val invariant_check : int
+end

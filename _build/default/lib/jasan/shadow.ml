@@ -1,0 +1,66 @@
+type state = Addressable | Heap_redzone | Heap_freed | Stack_canary
+
+let to_byte = function
+  | Addressable -> 0
+  | Heap_redzone -> 1
+  | Heap_freed -> 2
+  | Stack_canary -> 3
+
+let of_byte = function
+  | 1 -> Heap_redzone
+  | 2 -> Heap_freed
+  | 3 -> Stack_canary
+  | _ -> Addressable
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+
+type t = { pages : (int, Bytes.t) Hashtbl.t; mutable poisoned : int }
+
+let create () = { pages = Hashtbl.create 64; poisoned = 0 }
+
+let page t a =
+  let key = a lsr page_bits in
+  match Hashtbl.find_opt t.pages key with
+  | Some p -> p
+  | None ->
+    let p = Bytes.make page_size '\x00' in
+    Hashtbl.add t.pages key p;
+    p
+
+let set t a v =
+  let a = a land Jt_isa.Word.mask in
+  let p = page t a in
+  let old = Bytes.get p (a land page_mask) in
+  if old <> '\x00' && v = 0 then t.poisoned <- t.poisoned - 1
+  else if old = '\x00' && v <> 0 then t.poisoned <- t.poisoned + 1;
+  Bytes.set p (a land page_mask) (Char.chr v)
+
+let get t a =
+  let a = a land Jt_isa.Word.mask in
+  match Hashtbl.find_opt t.pages (a lsr page_bits) with
+  | None -> 0
+  | Some p -> Char.code (Bytes.get p (a land page_mask))
+
+let poison t a ~len st =
+  let v = to_byte st in
+  for i = 0 to len - 1 do
+    set t (a + i) v
+  done
+
+let unpoison t a ~len =
+  for i = 0 to len - 1 do
+    set t (a + i) 0
+  done
+
+let first_poisoned t a ~len =
+  let rec go i =
+    if i >= len then None
+    else
+      let v = get t (a + i) in
+      if v <> 0 then Some (a + i, of_byte v) else go (i + 1)
+  in
+  go 0
+
+let poisoned_count t = t.poisoned

@@ -1,0 +1,25 @@
+(** Byte-granularity shadow memory for address sanitization.
+
+    Every application byte has a shadow state.  The shadow is held beside
+    the simulated memory (a real implementation would reserve an address
+    range; keeping it outside the guest address space changes nothing the
+    experiments measure and keeps the guest layout simple). *)
+
+type state =
+  | Addressable
+  | Heap_redzone
+  | Heap_freed
+  | Stack_canary
+
+type t
+
+val create : unit -> t
+
+val poison : t -> int -> len:int -> state -> unit
+val unpoison : t -> int -> len:int -> unit
+
+val first_poisoned : t -> int -> len:int -> (int * state) option
+(** First poisoned byte in [addr, addr+len), with its state. *)
+
+val poisoned_count : t -> int
+(** Number of currently poisoned bytes (for tests/metrics). *)

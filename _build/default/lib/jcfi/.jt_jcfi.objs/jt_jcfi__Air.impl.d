@@ -1,0 +1,1 @@
+lib/jcfi/air.ml: Array Hashtbl Insn Janitizer Jcfi Jt_cfg Jt_disasm Jt_isa Jt_loader Jt_obj List String Targets

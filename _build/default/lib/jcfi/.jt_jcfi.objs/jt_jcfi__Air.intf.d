@@ -1,0 +1,1 @@
+lib/jcfi/air.mli: Jcfi Jt_obj

@@ -1,0 +1,1 @@
+lib/jcfi/jcfi.ml: Array Hashtbl Insn Janitizer Jt_cfg Jt_dbt Jt_disasm Jt_isa Jt_loader Jt_mem Jt_obj Jt_rules Jt_vm List Option Reg Shadow_stack String Targets

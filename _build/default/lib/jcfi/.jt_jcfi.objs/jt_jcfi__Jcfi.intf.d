@@ -1,0 +1,1 @@
+lib/jcfi/jcfi.mli: Janitizer Jt_loader Targets

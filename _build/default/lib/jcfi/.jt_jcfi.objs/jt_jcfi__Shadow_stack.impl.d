@@ -1,0 +1,1 @@
+lib/jcfi/shadow_stack.ml: Array

@@ -1,0 +1,1 @@
+lib/jcfi/targets.ml: Hashtbl Jt_disasm Jt_loader Jt_obj List Objfile Section Symbol

@@ -1,0 +1,1 @@
+lib/jcfi/targets.mli: Hashtbl Jt_loader

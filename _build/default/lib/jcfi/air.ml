@@ -1,0 +1,201 @@
+open Jt_isa
+
+let air ~sizes ~total =
+  match sizes with
+  | [] -> 100.0
+  | _ ->
+    let n = float_of_int (List.length sizes) in
+    let mean = List.fold_left ( +. ) 0.0 sizes /. n in
+    100.0 *. (1.0 -. (mean /. total))
+
+let code_bytes_of (m : Jt_obj.Objfile.t) =
+  List.fold_left
+    (fun acc s -> acc + Jt_obj.Section.size s)
+    0
+    (Jt_obj.Objfile.code_sections m)
+
+let total_code_bytes modules =
+  float_of_int (List.fold_left (fun acc m -> acc + code_bytes_of m) 0 modules)
+
+(* ---- dynamic AIR over a finished run ---- *)
+
+let dynamic (rt : Jcfi.Rt.t) =
+  let tables = Jcfi.Rt.tables rt in
+  let total =
+    float_of_int
+      (List.fold_left (fun acc (_, t) -> acc + Targets.code_bytes t) 0 tables)
+  in
+  let inter_others self =
+    List.fold_left
+      (fun acc (l, t) ->
+        if l.Jt_loader.Loader.load_order = self then acc else acc + Targets.n_inter t)
+      0 tables
+  in
+  let table_of addr =
+    List.find_opt (fun (l, _) -> Jt_loader.Loader.contains l addr) tables
+  in
+  let site_size (site, kind) =
+    match kind with
+    | Jcfi.Rt.Sret -> 1.0
+    | Jcfi.Rt.Sicall -> (
+      match table_of site with
+      | Some (l, t) ->
+        float_of_int (Targets.n_intra_call t + inter_others l.load_order)
+      | None -> total (* JIT code: unconstrained source *))
+    | Jcfi.Rt.Sijmp fn_entry -> (
+      match table_of site with
+      | Some (l, t) ->
+        float_of_int
+          (Targets.n_jump_targets_of_fn t ~fn_entry + inter_others l.load_order)
+      | None -> total)
+    | Jcfi.Rt.Sijmp_sym range -> (
+      match table_of site with
+      | Some (l, t) ->
+        (* The fallback membership test allows function entries and
+           recorded jump targets too; the in-function component is at
+           byte rather than instruction granularity — strictly weaker
+           than the hybrid policy (footnote 15). *)
+        let intra =
+          Targets.n_jump_targets_of_fn t ~fn_entry:None
+          + match range with
+            | Some (_, sz) -> max sz 1
+            | None -> Targets.code_bytes t
+        in
+        float_of_int (intra + inter_others l.load_order)
+      | None -> total)
+  in
+  let sizes = List.map site_size (Jcfi.Rt.executed_sites rt) in
+  air ~sizes ~total
+
+let dynamic_breakdown (rt : Jcfi.Rt.t) =
+  let tables = Jcfi.Rt.tables rt in
+  let total =
+    float_of_int
+      (List.fold_left (fun acc (_, t) -> acc + Targets.code_bytes t) 0 tables)
+  in
+  let is_ret = function Jcfi.Rt.Sret -> true | _ -> false in
+  let fwd, bwd =
+    List.partition (fun (_, k) -> not (is_ret k)) (Jcfi.Rt.executed_sites rt)
+  in
+  (* Backward sites are shadow-stack checks: |T| = 1 each.  Forward sites
+     use the same per-site accounting as [dynamic]. *)
+  let inter_others self =
+    List.fold_left
+      (fun acc (l, t) ->
+        if l.Jt_loader.Loader.load_order = self then acc else acc + Targets.n_inter t)
+      0 tables
+  in
+  let table_of addr =
+    List.find_opt (fun (l, _) -> Jt_loader.Loader.contains l addr) tables
+  in
+  let fwd_size (site, kind) =
+    match kind with
+    | Jcfi.Rt.Sret -> 1.0
+    | Jcfi.Rt.Sicall -> (
+      match table_of site with
+      | Some (l, t) -> float_of_int (Targets.n_intra_call t + inter_others l.load_order)
+      | None -> total)
+    | Jcfi.Rt.Sijmp fn_entry -> (
+      match table_of site with
+      | Some (l, t) ->
+        float_of_int
+          (Targets.n_jump_targets_of_fn t ~fn_entry + inter_others l.load_order)
+      | None -> total)
+    | Jcfi.Rt.Sijmp_sym range -> (
+      match table_of site with
+      | Some (l, t) ->
+        let intra =
+          Targets.n_jump_targets_of_fn t ~fn_entry:None
+          + (match range with Some (_, sz) -> max sz 1 | None -> Targets.code_bytes t)
+        in
+        float_of_int (intra + inter_others l.load_order)
+      | None -> total)
+  in
+  ( air ~sizes:(List.map fwd_size fwd) ~total,
+    air ~sizes:(List.map (fun _ -> 1.0) bwd) ~total )
+
+(* ---- static AIR (BinCFI-style calculation) for JCFI's policy ---- *)
+
+let static_jcfi modules =
+  let total = total_code_bytes modules in
+  let analyses =
+    List.map (fun m -> (m, Janitizer.Static_analyzer.analyze m)) modules
+  in
+  (* Per-module counts. *)
+  let counts =
+    List.map
+      (fun ((m : Jt_obj.Objfile.t), sa) ->
+        let entries = List.length (Janitizer.Static_analyzer.function_entries sa) in
+        let exported =
+          List.length
+            (List.filter Jt_obj.Symbol.is_func (Jt_obj.Objfile.exported_symbols m))
+        in
+        let taken =
+          let es = Hashtbl.create 64 in
+          List.iter
+            (fun e -> Hashtbl.replace es e ())
+            (Janitizer.Static_analyzer.function_entries sa);
+          List.length
+            (List.filter (Hashtbl.mem es)
+               (Janitizer.Static_analyzer.code_pointer_scan sa))
+        in
+        (m.name, entries, exported + taken))
+      analyses
+  in
+  let inter_others name =
+    List.fold_left
+      (fun acc (n, _, inter) -> if String.equal n name then acc else acc + inter)
+      0 counts
+  in
+  let sizes = ref [] in
+  List.iter
+    (fun ((m : Jt_obj.Objfile.t), (sa : Janitizer.Static_analyzer.t)) ->
+      let _, entries, _ =
+        List.find (fun (n, _, _) -> String.equal n m.name) counts
+      in
+      let jumps =
+        List.fold_left
+          (fun acc (_, ts) -> acc + List.length ts)
+          0 sa.sa_disasm.Jt_disasm.Disasm.jump_tables
+      in
+      List.iter
+        (fun (fa : Janitizer.Static_analyzer.fn_analysis) ->
+          let fn = fa.fa_fn in
+          let extent =
+            List.fold_left
+              (fun hi (b : Jt_cfg.Cfg.block) ->
+                let last =
+                  if Array.length b.b_insns = 0 then b.b_addr
+                  else
+                    let i = b.b_insns.(Array.length b.b_insns - 1) in
+                    i.Jt_disasm.Disasm.d_addr + i.d_len
+                in
+                max hi last)
+              fn.Jt_cfg.Cfg.f_entry
+              (Jt_cfg.Cfg.fn_blocks fn)
+            - fn.Jt_cfg.Cfg.f_entry
+          in
+          List.iter
+            (fun (b : Jt_cfg.Cfg.block) ->
+              Array.iter
+                (fun (info : Jt_disasm.Disasm.insn_info) ->
+                  match Insn.cti_kind info.d_insn with
+                  | Some Insn.Cti_call_ind ->
+                    sizes :=
+                      float_of_int (entries + inter_others m.name) :: !sizes
+                  | Some Insn.Cti_jmp_ind ->
+                    sizes :=
+                      float_of_int
+                        ((extent / 5) + jumps + entries + inter_others m.name)
+                      :: !sizes
+                  | Some Insn.Cti_ret -> sizes := 1.0 :: !sizes
+                  | Some
+                      ( Insn.Cti_jmp _ | Insn.Cti_jcc _ | Insn.Cti_call _
+                      | Insn.Cti_halt | Insn.Cti_syscall )
+                  | None ->
+                    ())
+                b.b_insns)
+            (Jt_cfg.Cfg.fn_blocks fn))
+        sa.sa_fns)
+    analyses;
+  air ~sizes:!sizes ~total

@@ -1,0 +1,30 @@
+(** Average Indirect-target Reduction (AIR) metrics.
+
+    AIR = 100 * (1 - mean_i(|T_i|) / S), where T_i is the set of targets a
+    protected indirect control transfer i may still reach and S the number
+    of addressable targets with no protection (all code bytes).  Following
+    the paper, the metric is computed two ways: dynamically — over the
+    indirect CTIs actually executed by the program, measured at
+    termination, to compare like-for-like with Lockdown (Figure 12) — and
+    statically over all indirect CTIs, matching BinCFI's calculation
+    (Figure 13). *)
+
+val air : sizes:float list -> total:float -> float
+(** The AIR formula, in percent.  100.0 when there are no sites. *)
+
+val dynamic : Jcfi.Rt.t -> float
+(** Dynamic AIR of a finished JCFI run. *)
+
+val dynamic_breakdown : Jcfi.Rt.t -> float * float
+(** [(forward, backward)] AIR computed separately over the executed
+    indirect calls/jumps and the executed returns.  The backward figure
+    is essentially 100% for any shadow-stack scheme (|T| = 1), matching
+    the paper's remark that JCFI and Lockdown tie on backward edges. *)
+
+val static_jcfi : Jt_obj.Objfile.t list -> float
+(** Static AIR of JCFI's policy over every indirect CTI of the given
+    modules (no execution). *)
+
+(** Per-site target-set sizes under JCFI's policy, exposed so baseline
+    policies can be computed side by side. *)
+val total_code_bytes : Jt_obj.Objfile.t list -> float

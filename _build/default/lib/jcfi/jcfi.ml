@@ -1,0 +1,444 @@
+open Jt_isa
+
+type config = { cf_forward : bool; cf_backward : bool }
+
+let default_config = { cf_forward = true; cf_backward = true }
+
+module Ids = struct
+  let icall = 0x201
+  let ijmp = 0x202
+  let shadow_push = 0x203
+  let ret_check = 0x204
+  let resolver_ret = 0x205
+  let tgt_func = 0x210
+  let tgt_export = 0x211
+  let tgt_addr_taken = 0x212
+  let tgt_jump = 0x213
+end
+
+module Rt = struct
+  type site_kind = Sicall | Sijmp of int option | Sijmp_sym of (int * int) option | Sret
+
+  type t = {
+    mutable tbl : (Jt_loader.Loader.loaded * Targets.t) list;
+    sstack : Shadow_stack.t;
+    config : config;
+    sites : (int, site_kind) Hashtbl.t;
+  }
+
+  let create config =
+    { tbl = []; sstack = Shadow_stack.create (); config; sites = Hashtbl.create 64 }
+
+  let shadow_depth t = Shadow_stack.depth t.sstack
+
+  let executed_sites t = Hashtbl.fold (fun a k acc -> (a, k) :: acc) t.sites []
+
+  let tables t = t.tbl
+
+  let table_at t addr =
+    List.find_opt (fun (l, _) -> Jt_loader.Loader.contains l addr) t.tbl
+    |> Option.map snd
+
+  let record t site kind = Hashtbl.replace t.sites site kind
+
+  let in_jit_region a =
+    let lo, hi = Jt_vm.Vm.jit_region in
+    a >= lo && a < hi
+
+  (* Forward-edge policy for calls (and the resolver's ret-as-call). *)
+  let icall_ok t ~site target =
+    match (table_at t site, table_at t target) with
+    | Some src, Some dst ->
+      if src.Targets.tg_module.load_order = dst.Targets.tg_module.load_order then
+        Targets.intra_call_ok dst target || Targets.inter_module_ok dst target
+      else Targets.inter_module_ok dst target
+    | _, None -> in_jit_region target  (* dynamically generated code *)
+    | None, Some dst ->
+      (* call out of JIT code into a module *)
+      Targets.inter_module_ok dst target || Targets.intra_call_ok dst target
+
+  (* Nearest-symbol function range of an address, for the dynamic
+     fallback's byte-granularity jump policy (footnote 15). *)
+  let sym_range_of t addr =
+    match table_at t addr with
+    | None -> None
+    | Some tbl ->
+      Hashtbl.fold
+        (fun e sz acc ->
+          if addr >= e && addr < e + max sz 1 then Some (e, sz) else acc)
+        tbl.Targets.funcs None
+
+  let ijmp_ok t ~site ~fn_entry target =
+    match (table_at t site, table_at t target) with
+    | Some src, Some dst ->
+      if src.Targets.tg_module.load_order = dst.Targets.tg_module.load_order then
+        (match fn_entry with
+        | Some _ -> Targets.jump_ok dst ~fn_entry target
+        | None ->
+          (* Without static function boundaries the dynamic fallback can
+             only use the nearest symbol's byte extent — the weaker
+             policy behind the hybrid/dynamic AIR gap of footnote 15. *)
+          Targets.jump_ok dst ~fn_entry target
+          ||
+          (match sym_range_of t site with
+          | Some (e, sz) -> target >= e && target < e + max sz 1
+          | None -> Jt_loader.Loader.in_code dst.Targets.tg_module target))
+      else Targets.inter_module_ok dst target
+    | _, None -> in_jit_region target
+    | None, Some dst -> Targets.inter_module_ok dst target
+
+  (* The phase sentinel is the process-startup return path (the analog of
+     returning into the C runtime's startup frames): always permitted. *)
+  let check_icall t vm ~site target =
+    record t site Sicall;
+    if target <> Jt_vm.Vm.sentinel && not (icall_ok t ~site target) then
+      Jt_vm.Vm.report_violation vm ~kind:"cfi-icall" ~addr:target
+
+  let check_ijmp t vm ~site ~fn_entry target =
+    (match fn_entry with
+    | Some _ -> record t site (Sijmp fn_entry)
+    | None -> record t site (Sijmp_sym (sym_range_of t site)));
+    if target <> Jt_vm.Vm.sentinel && not (ijmp_ok t ~site ~fn_entry target) then
+      Jt_vm.Vm.report_violation vm ~kind:"cfi-ijmp" ~addr:target
+
+  let push_shadow t (vm : Jt_vm.Vm.t) ret_addr =
+    ignore vm;
+    Shadow_stack.push t.sstack ret_addr
+
+  let check_ret t (vm : Jt_vm.Vm.t) ~site =
+    record t site Sret;
+    let target = Jt_mem.Memory.read32 vm.mem (Jt_vm.Vm.get vm Reg.sp) in
+    if target <> Jt_vm.Vm.sentinel && not (Shadow_stack.check_pop t.sstack target)
+    then Jt_vm.Vm.report_violation vm ~kind:"cfi-ret" ~addr:target
+
+  (* The ld.so lazy-binding resolver returns *into* the resolved function:
+     treat as a forward transfer (section 4.2.3). *)
+  let check_resolver_ret t vm ~site =
+    let target = Jt_mem.Memory.read32 vm.Jt_vm.Vm.mem (Jt_vm.Vm.get vm Reg.sp) in
+    check_icall t vm ~site target
+end
+
+(* ---- static pass ---- *)
+
+let fn_extent (fn : Jt_cfg.Cfg.fn) =
+  List.fold_left
+    (fun hi (b : Jt_cfg.Cfg.block) ->
+      let last =
+        if Array.length b.b_insns = 0 then b.b_addr
+        else
+          let i = b.b_insns.(Array.length b.b_insns - 1) in
+          i.Jt_disasm.Disasm.d_addr + i.d_len
+      in
+      max hi last)
+    fn.Jt_cfg.Cfg.f_entry
+    (Jt_cfg.Cfg.fn_blocks fn)
+  - fn.Jt_cfg.Cfg.f_entry
+
+let static_pass ~config (sa : Janitizer.Static_analyzer.t) =
+  let rules = ref [] in
+  let emit r = rules := r :: !rules in
+  let m = sa.sa_mod in
+  let resolver_fn =
+    if String.equal m.Jt_obj.Objfile.name "ld.so" then
+      Option.map
+        (fun (s : Jt_obj.Symbol.t) -> s.vaddr)
+        (Jt_obj.Objfile.find_symbol m "__dl_resolve")
+    else None
+  in
+  (* Instrumentation points. *)
+  List.iter
+    (fun (fa : Janitizer.Static_analyzer.fn_analysis) ->
+      let fn = fa.fa_fn in
+      let entry = fn.Jt_cfg.Cfg.f_entry in
+      let size = fn_extent fn in
+      List.iter
+        (fun (b : Jt_cfg.Cfg.block) ->
+          Array.iter
+            (fun (info : Jt_disasm.Disasm.insn_info) ->
+              let bb = b.b_addr and at = info.d_addr in
+              match Insn.cti_kind info.d_insn with
+              | Some (Insn.Cti_call _) ->
+                if config.cf_backward then
+                  emit (Jt_rules.Rules.make ~id:Ids.shadow_push ~bb ~insn:at ())
+              | Some Insn.Cti_call_ind ->
+                if config.cf_forward then
+                  emit (Jt_rules.Rules.make ~id:Ids.icall ~bb ~insn:at ());
+                if config.cf_backward then
+                  emit (Jt_rules.Rules.make ~id:Ids.shadow_push ~bb ~insn:at ())
+              | Some Insn.Cti_jmp_ind ->
+                if config.cf_forward then
+                  emit
+                    (Jt_rules.Rules.make ~id:Ids.ijmp ~bb ~insn:at
+                       ~data:[ entry; size ] ())
+              | Some Insn.Cti_ret ->
+                if resolver_fn = Some entry then begin
+                  if config.cf_forward then
+                    emit (Jt_rules.Rules.make ~id:Ids.resolver_ret ~bb ~insn:at ())
+                end
+                else if config.cf_backward then
+                  emit (Jt_rules.Rules.make ~id:Ids.ret_check ~bb ~insn:at ())
+              | Some
+                  ( Insn.Cti_jmp _ | Insn.Cti_jcc _ | Insn.Cti_halt
+                  | Insn.Cti_syscall )
+              | None ->
+                ())
+            b.b_insns)
+        (Jt_cfg.Cfg.fn_blocks fn);
+      (* Valid-target hints. *)
+      emit
+        (Jt_rules.Rules.make ~id:Ids.tgt_func ~bb:entry ~insn:entry ~data:[ size ] ()))
+    sa.sa_fns;
+  List.iter
+    (fun (s : Jt_obj.Symbol.t) ->
+      if Jt_obj.Symbol.is_func s && s.exported then
+        emit (Jt_rules.Rules.make ~id:Ids.tgt_export ~bb:s.vaddr ~insn:s.vaddr ()))
+    (Jt_obj.Objfile.exported_symbols m);
+  (* Address-taken functions: scan constants refined to function entries
+     (the BinCFI refinement of 4.2.1). *)
+  let entries = Hashtbl.create 64 in
+  List.iter
+    (fun (fa : Janitizer.Static_analyzer.fn_analysis) ->
+      Hashtbl.replace entries fa.fa_fn.Jt_cfg.Cfg.f_entry ())
+    sa.sa_fns;
+  List.iter
+    (fun v ->
+      if Hashtbl.mem entries v then
+        emit (Jt_rules.Rules.make ~id:Ids.tgt_addr_taken ~bb:v ~insn:v ()))
+    (Janitizer.Static_analyzer.code_pointer_scan sa);
+  (* Allow list (section 4.2.3): scanned constants that decode plausibly
+     but were never reached by control-flow recovery — computed-goto
+     labels in data tables, abnormal callback targets in low-level
+     libraries. *)
+  List.iter
+    (fun v ->
+      if
+        (not (Jt_disasm.Disasm.is_insn_boundary sa.sa_disasm v))
+        && Jt_disasm.Disasm.speculative_insn_boundary m v
+      then emit (Jt_rules.Rules.make ~id:Ids.tgt_jump ~bb:v ~insn:v ()))
+    (Jt_disasm.Disasm.scan_code_pointers m);
+  (* Recovered jump-table targets. *)
+  List.iter
+    (fun (_, targets) ->
+      List.iter
+        (fun tgt -> emit (Jt_rules.Rules.make ~id:Ids.tgt_jump ~bb:tgt ~insn:tgt ()))
+        targets)
+    sa.sa_disasm.Jt_disasm.Disasm.jump_tables;
+  let rules = Janitizer.Tool.noop_marks sa (List.rev !rules) in
+  { Jt_rules.Rules.rf_module = m.Jt_obj.Objfile.name; rf_rules = rules }
+
+(* ---- runtime table construction from static hints ---- *)
+
+let targets_of_rules (l : Jt_loader.Loader.loaded) (f : Jt_rules.Rules.file) =
+  let pic = Jt_obj.Objfile.is_pic l.lmod in
+  let adj a = if pic then a + l.base else a in
+  let funcs = Hashtbl.create 64 in
+  let exports = Hashtbl.create 32 in
+  let addr_taken = Hashtbl.create 32 in
+  let jump_targets = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Jt_rules.Rules.t) ->
+      if r.rule_id = Ids.tgt_func then
+        Hashtbl.replace funcs (adj r.insn)
+          (if Array.length r.data > 0 then r.data.(0) else 0)
+      else if r.rule_id = Ids.tgt_export then Hashtbl.replace exports (adj r.insn) ()
+      else if r.rule_id = Ids.tgt_addr_taken then
+        Hashtbl.replace addr_taken (adj r.insn) ()
+      else if r.rule_id = Ids.tgt_jump then
+        Hashtbl.replace jump_targets (adj r.insn) ())
+    f.rf_rules;
+  { Targets.tg_module = l; funcs; exports; addr_taken; jump_targets; precise = true }
+
+(* ---- instrumentation plans ---- *)
+
+let hybrid_fwd_cost = Jt_vm.Cost.cfi_forward_check
+
+(* Without liveness, the fallback saves every register the check
+   sequence touches plus the flags. *)
+let dyn_fwd_cost =
+  Jt_vm.Cost.cfi_forward_check + (4 * Jt_vm.Cost.spill_reg)
+  + Jt_vm.Cost.save_restore_flags
+
+let target_of_call_operand (insn : Insn.t) ~at ~len vm =
+  match insn with
+  | Insn.Call_ind (Some r, _) | Insn.Jmp_ind (Some r, _) -> Jt_vm.Vm.get vm r
+  | Insn.Call_ind (None, Some m) | Insn.Jmp_ind (None, Some m) ->
+    Jt_mem.Memory.read32 vm.Jt_vm.Vm.mem (Jt_vm.Vm.eval_mem vm ~next_pc:(at + len) m)
+  | _ -> 0
+
+let plan_static rt (b : Jt_dbt.Dbt.block) ~rules_at vm0 =
+  let plan = Jt_dbt.Dbt.no_plan b in
+  let pic_base at =
+    match Jt_loader.Loader.module_at vm0.Jt_vm.Vm.loader at with
+    | Some l when Jt_obj.Objfile.is_pic l.lmod -> l.base
+    | Some _ | None -> 0
+  in
+  Array.iteri
+    (fun k (at, insn, len) ->
+      let metas =
+        List.filter_map
+          (fun (r : Jt_rules.Rules.t) ->
+            if r.rule_id = Ids.icall then
+              Some
+                {
+                  Jt_dbt.Dbt.m_cost = hybrid_fwd_cost;
+                  m_action =
+                    Some
+                      (fun vm ->
+                        let tgt = target_of_call_operand insn ~at ~len vm in
+                        Rt.check_icall rt vm ~site:at tgt);
+                }
+            else if r.rule_id = Ids.ijmp then begin
+              let entry = r.data.(0) + pic_base at in
+              Some
+                {
+                  Jt_dbt.Dbt.m_cost = hybrid_fwd_cost;
+                  m_action =
+                    Some
+                      (fun vm ->
+                        let tgt = target_of_call_operand insn ~at ~len vm in
+                        Rt.check_ijmp rt vm ~site:at ~fn_entry:(Some entry) tgt);
+                }
+            end
+            else if r.rule_id = Ids.shadow_push then
+              Some
+                {
+                  Jt_dbt.Dbt.m_cost = Jt_vm.Cost.cfi_shadow_push;
+                  m_action = Some (fun vm -> Rt.push_shadow rt vm (at + len));
+                }
+            else if r.rule_id = Ids.ret_check then
+              Some
+                {
+                  Jt_dbt.Dbt.m_cost = Jt_vm.Cost.cfi_shadow_pop;
+                  m_action = Some (fun vm -> Rt.check_ret rt vm ~site:at);
+                }
+            else if r.rule_id = Ids.resolver_ret then
+              Some
+                {
+                  Jt_dbt.Dbt.m_cost = hybrid_fwd_cost;
+                  m_action = Some (fun vm -> Rt.check_resolver_ret rt vm ~site:at);
+                }
+            else None)
+          (rules_at at)
+      in
+      plan.(k) <- metas)
+    b.insns;
+  plan
+
+let plan_dynamic rt (b : Jt_dbt.Dbt.block) vm0 =
+  let plan = Jt_dbt.Dbt.no_plan b in
+  let config = rt.Rt.config in
+  let in_ld_so at =
+    match Jt_loader.Loader.module_at vm0.Jt_vm.Vm.loader at with
+    | Some l -> String.equal l.lmod.Jt_obj.Objfile.name "ld.so"
+    | None -> false
+  in
+  Array.iteri
+    (fun k (at, insn, len) ->
+      let metas = ref [] in
+      (match Insn.cti_kind insn with
+      | Some (Insn.Cti_call _) ->
+        if config.cf_backward then
+          metas :=
+            {
+              Jt_dbt.Dbt.m_cost =
+                    Jt_vm.Cost.cfi_shadow_push + (2 * Jt_vm.Cost.spill_reg)
+                    + Jt_vm.Cost.save_restore_flags;
+              m_action = Some (fun vm -> Rt.push_shadow rt vm (at + len));
+            }
+            :: !metas
+      | Some Insn.Cti_call_ind ->
+        if config.cf_forward then
+          metas :=
+            {
+              Jt_dbt.Dbt.m_cost = dyn_fwd_cost;
+              m_action =
+                Some
+                  (fun vm ->
+                    let tgt = target_of_call_operand insn ~at ~len vm in
+                    Rt.check_icall rt vm ~site:at tgt);
+            }
+            :: !metas;
+        if config.cf_backward then
+          metas :=
+            {
+              Jt_dbt.Dbt.m_cost =
+                    Jt_vm.Cost.cfi_shadow_push + (2 * Jt_vm.Cost.spill_reg)
+                    + Jt_vm.Cost.save_restore_flags;
+              m_action = Some (fun vm -> Rt.push_shadow rt vm (at + len));
+            }
+            :: !metas
+      | Some Insn.Cti_jmp_ind ->
+        if config.cf_forward then
+          metas :=
+            {
+              Jt_dbt.Dbt.m_cost = dyn_fwd_cost;
+              m_action =
+                Some
+                  (fun vm ->
+                    let tgt = target_of_call_operand insn ~at ~len vm in
+                    (* No static function extents here: weaker policy. *)
+                    Rt.check_ijmp rt vm ~site:at ~fn_entry:None tgt);
+            }
+            :: !metas
+      | Some Insn.Cti_ret ->
+        if in_ld_so at then begin
+          if config.cf_forward then
+            metas :=
+              {
+                Jt_dbt.Dbt.m_cost = dyn_fwd_cost;
+                m_action = Some (fun vm -> Rt.check_resolver_ret rt vm ~site:at);
+              }
+              :: !metas
+        end
+        else if config.cf_backward then
+          metas :=
+            {
+              Jt_dbt.Dbt.m_cost =
+                    Jt_vm.Cost.cfi_shadow_pop + (2 * Jt_vm.Cost.spill_reg)
+                    + Jt_vm.Cost.save_restore_flags;
+              m_action = Some (fun vm -> Rt.check_ret rt vm ~site:at);
+            }
+            :: !metas
+      | Some (Insn.Cti_jmp _ | Insn.Cti_jcc _ | Insn.Cti_halt | Insn.Cti_syscall)
+      | None ->
+        ());
+      plan.(k) <- !metas)
+    b.insns;
+  plan
+
+let create ?(config = default_config) () =
+  let rt = Rt.create config in
+  let client =
+    {
+      Jt_dbt.Dbt.cl_name = "jcfi";
+      cl_on_block =
+        (fun vm b prov ~rules_at ->
+          match prov with
+          | Jt_dbt.Dbt.Static_rules -> plan_static rt b ~rules_at vm
+          | Jt_dbt.Dbt.Dynamic_only -> plan_dynamic rt b vm);
+    }
+  in
+  ( {
+      Janitizer.Tool.t_name = "jcfi";
+      t_setup =
+        (fun vm ->
+          (* per-module tables make unloading cheap: drop the table, no
+             scan for stale entries (footnote 2) *)
+          Jt_loader.Loader.on_unload vm.Jt_vm.Vm.loader (fun l ->
+              rt.Rt.tbl <-
+                List.filter
+                  (fun ((l' : Jt_loader.Loader.loaded), _) ->
+                    l'.load_order <> l.Jt_loader.Loader.load_order)
+                  rt.Rt.tbl));
+      t_static = static_pass ~config;
+      t_client = client;
+      t_on_load =
+        (fun _vm l file ->
+          let targets =
+            match file with
+            | Some f -> targets_of_rules l f
+            | None -> Targets.of_module_runtime l
+          in
+          rt.Rt.tbl <- (l, targets) :: rt.Rt.tbl);
+    },
+    rt )

@@ -1,0 +1,60 @@
+(** JCFI: hybrid control-flow integrity for binaries (section 4.2).
+
+    Forward edges are validated against per-module hash tables of valid
+    targets: indirect calls may target function entries of their own
+    module, or exported / address-taken functions of other modules;
+    indirect jumps may stay within their function, hit a recovered
+    jump-table target, or tail-call a function entry of the module.
+    Backward edges use a precise shadow stack.  The lazy-binding
+    resolver's ret-as-call in [ld.so] receives a forward check instead of
+    a backward check (section 4.2.3).
+
+    The static pass encodes both the instrumentation points and the valid
+    target sets as rewrite rules; at module-load time the runtime builds
+    its target tables from them, or — for modules without static hints —
+    from whatever is available at run time (symbols, exports, raw scan):
+    the weaker Lockdown-like fallback. *)
+
+type config = {
+  cf_forward : bool;
+  cf_backward : bool;  (** shadow stack; off for the Figure 11 ablation *)
+}
+
+val default_config : config
+
+(** Runtime state, exposed for metrics and tests. *)
+module Rt : sig
+  type t
+
+  val shadow_depth : t -> int
+
+  type site_kind =
+    | Sicall
+    | Sijmp of int option
+        (** run-time entry of the enclosing function, from static hints *)
+    | Sijmp_sym of (int * int) option
+        (** dynamic fallback: nearest-symbol [(entry, byte size)] range,
+            the weaker byte-granularity policy of footnote 15 *)
+    | Sret
+
+  val executed_sites : t -> (int * site_kind) list
+  (** Indirect CTIs executed at least once (run-time addresses), the basis
+      of the dynamic AIR metric. *)
+
+  val tables : t -> (Jt_loader.Loader.loaded * Targets.t) list
+end
+
+val create : ?config:config -> unit -> Janitizer.Tool.t * Rt.t
+(** One instance per program run. *)
+
+module Ids : sig
+  val icall : int
+  val ijmp : int
+  val shadow_push : int
+  val ret_check : int
+  val resolver_ret : int
+  val tgt_func : int
+  val tgt_export : int
+  val tgt_addr_taken : int
+  val tgt_jump : int
+end

@@ -1,0 +1,1 @@
+lib/loader/loader.mli: Jt_mem Jt_obj Objfile Symbol

@@ -1,0 +1,96 @@
+(** The run-time loader (the [ld.so] analog).
+
+    Loads a main executable and the transitive closure of its declared
+    dependencies, assigns load bases (position-dependent executables at
+    their link base, PIC modules at successive slots), copies sections
+    into memory, applies relocations, initializes GOT slots (eager imports
+    resolved immediately, lazy imports pointed at their PLT lazy stubs),
+    and supports run-time {!dlopen}.
+
+    Tools subscribe to module-load events: this is where Janitizer's
+    dynamic modifier loads a module's rewrite rules and adjusts their
+    addresses by the load base (Figure 5a of the paper). *)
+
+open Jt_obj
+
+type loaded = {
+  lmod : Objfile.t;
+  base : int;  (** load base; [0] for position-dependent modules *)
+  load_order : int;
+}
+
+val runtime_addr : loaded -> int -> int
+(** Link-time address to run-time address. *)
+
+val link_addr : loaded -> int -> int
+(** Run-time address back to link-time address. *)
+
+val contains : loaded -> int -> bool
+(** Does the run-time address fall in one of the module's sections? *)
+
+val in_code : loaded -> int -> bool
+(** Does the run-time address fall in an executable section? *)
+
+type t
+
+exception Load_error of string
+
+val create : mem:Jt_mem.Memory.t -> registry:Objfile.t list -> t
+(** [registry] is the simulated filesystem of available binaries.  A
+    synthetic [ld.so] module providing [__dl_resolve] is added
+    automatically if the registry does not define one. *)
+
+val mem : t -> Jt_mem.Memory.t
+
+val on_load : t -> (loaded -> unit) -> unit
+(** Register a module-load callback.  Callbacks registered before
+    {!load_main} fire for startup modules too. *)
+
+val load_main : t -> string -> loaded
+(** Load the main executable and its static dependency closure (the "ldd"
+    set).  @raise Load_error on unknown modules or unresolved imports. *)
+
+val dlopen : t -> string -> loaded
+(** Load a module at run time (no-op returning the existing handle if
+    already loaded). *)
+
+val on_unload : t -> (loaded -> unit) -> unit
+(** Callbacks fired by {!dlclose}: tools drop the module's rule tables —
+    efficient precisely because the tables are kept per module
+    (footnote 2 of the paper). *)
+
+val dlclose : t -> string -> bool
+(** Unload a run-time-loaded module: its address range is retired and
+    unload callbacks fire.  Returns false (and does nothing) for modules
+    of the startup closure, which stay pinned like ELF [-z nodelete].
+    The address slot is not reused, so stale pointers into the unloaded
+    module fault into unmapped space rather than aliasing new code. *)
+
+val loaded_modules : t -> loaded list
+(** In load order. *)
+
+val module_at : t -> int -> loaded option
+(** Address-range lookup: which module maps this run-time address? *)
+
+val find_loaded : t -> string -> loaded option
+
+val resolve_symbol : t -> string -> (loaded * Symbol.t) option
+(** Flat-namespace lookup of an exported symbol, in load order. *)
+
+val resolve_plt_index : t -> caller_pc:int -> index:int -> int
+(** Lazy-binding resolution: resolve the [index]-th PLT import of the
+    module containing [caller_pc], patch its GOT slot, and return the
+    run-time target address.  @raise Load_error if unresolvable. *)
+
+val entry_point : t -> int
+(** Run-time entry address of the main executable. *)
+
+val init_entries : t -> int list
+(** Run-time addresses of the [_init] functions of all startup modules,
+    in dependency-first order (to be run before the entry point). *)
+
+val ld_so : Objfile.t
+(** The synthetic [ld.so]: exports [__dl_resolve], whose body performs the
+    resolve syscall and then — exactly as the paper's section 4.2.3
+    describes of real lazy binding — transfers to the resolved function
+    with a [ret]. *)

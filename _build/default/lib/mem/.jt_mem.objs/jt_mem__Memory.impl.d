@@ -1,0 +1,1 @@
+lib/mem/memory.ml: Buffer Bytes Char Hashtbl Jt_isa List String

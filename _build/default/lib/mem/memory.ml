@@ -1,0 +1,80 @@
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable watchers : (int -> unit) list;
+  mutable watch : bool;
+}
+
+let create () = { pages = Hashtbl.create 64; watchers = []; watch = false }
+
+let page t a =
+  let key = a lsr page_bits in
+  match Hashtbl.find_opt t.pages key with
+  | Some p -> p
+  | None ->
+    let p = Bytes.make page_size '\x00' in
+    Hashtbl.add t.pages key p;
+    p
+
+let read8 t a =
+  let a = a land Jt_isa.Word.mask in
+  Char.code (Bytes.get (page t a) (a land page_mask))
+
+let write8 t a v =
+  let a = a land Jt_isa.Word.mask in
+  Bytes.set (page t a) (a land page_mask) (Char.chr (v land 0xFF));
+  if t.watch then List.iter (fun f -> f a) t.watchers
+
+let read16 t a = read8 t a lor (read8 t (a + 1) lsl 8)
+
+let read32 t a =
+  read8 t a
+  lor (read8 t (a + 1) lsl 8)
+  lor (read8 t (a + 2) lsl 16)
+  lor (read8 t (a + 3) lsl 24)
+
+let write16 t a v =
+  write8 t a v;
+  write8 t (a + 1) (v lsr 8)
+
+let write32 t a v =
+  write8 t a v;
+  write8 t (a + 1) (v lsr 8);
+  write8 t (a + 2) (v lsr 16);
+  write8 t (a + 3) (v lsr 24)
+
+let read t a ~width =
+  match width with
+  | 1 -> read8 t a
+  | 2 -> read16 t a
+  | 4 -> read32 t a
+  | _ -> invalid_arg "Memory.read"
+
+let write t a ~width v =
+  match width with
+  | 1 -> write8 t a v
+  | 2 -> write16 t a v
+  | 4 -> write32 t a v
+  | _ -> invalid_arg "Memory.write"
+
+let write_string t a s = String.iteri (fun i c -> write8 t (a + i) (Char.code c)) s
+
+let read_cstring t a =
+  let b = Buffer.create 16 in
+  let rec go i =
+    if i >= 4096 then Buffer.contents b
+    else
+      let c = read8 t (a + i) in
+      if c = 0 then Buffer.contents b
+      else begin
+        Buffer.add_char b (Char.chr c);
+        go (i + 1)
+      end
+  in
+  go 0
+
+let on_code_write t f = t.watchers <- f :: t.watchers
+let set_watch t v = t.watch <- v

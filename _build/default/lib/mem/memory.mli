@@ -1,0 +1,35 @@
+(** Sparse paged byte memory for the simulated machine.
+
+    Pages are allocated on first touch and zero-filled, so programs never
+    fault on ordinary accesses; memory-safety violations are the business
+    of the sanitizers under test, not of the paging layer.  All multi-byte
+    accesses are little-endian. *)
+
+type t
+
+val create : unit -> t
+
+val read8 : t -> int -> int
+val read16 : t -> int -> int
+val read32 : t -> int -> int
+
+val write8 : t -> int -> int -> unit
+val write16 : t -> int -> int -> unit
+val write32 : t -> int -> int -> unit
+
+val read : t -> int -> width:int -> int
+(** [width] is 1, 2 or 4 bytes. *)
+
+val write : t -> int -> width:int -> int -> unit
+
+val write_string : t -> int -> string -> unit
+val read_cstring : t -> int -> string
+(** Read a NUL-terminated string (at most 4096 bytes). *)
+
+val on_code_write : t -> (int -> unit) -> unit
+(** Register a callback invoked with the address of every byte written
+    while {!watch_writes} is enabled; used for code-cache consistency. *)
+
+val set_watch : t -> bool -> unit
+(** Enable or disable write-watch callbacks (off by default: the common
+    case pays nothing). *)

@@ -1,0 +1,1 @@
+lib/metrics/metrics.ml: List Printf String

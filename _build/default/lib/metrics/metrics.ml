@@ -1,0 +1,86 @@
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
+
+type cell = Value of float | Fail of string
+
+type table = {
+  t_title : string;
+  t_unit : string;
+  t_cols : string list;
+  t_rows : (string * cell list) list;
+}
+
+let value_exn = function Value v -> Some v | Fail _ -> None
+
+let col_values t k =
+  List.filter_map
+    (fun (_, cells) ->
+      match List.nth_opt cells k with Some (Value v) -> Some v | _ -> None)
+    t.t_rows
+
+let geomean_row t =
+  List.mapi
+    (fun k _ ->
+      match col_values t k with [] -> None | vs -> Some (geomean vs))
+    t.t_cols
+
+let all_values cells =
+  List.for_all (function Value _ -> true | Fail _ -> false) cells
+
+let geomean_x_row t =
+  let complete = List.filter (fun (_, cells) -> all_values cells) t.t_rows in
+  List.mapi
+    (fun k _ ->
+      let vs =
+        List.filter_map
+          (fun (_, cells) ->
+            match List.nth_opt cells k with Some (Value v) -> Some v | _ -> None)
+          complete
+      in
+      match vs with [] -> None | vs -> Some (geomean vs))
+    t.t_cols
+
+let print t =
+  let w_name =
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 10 t.t_rows
+  in
+  let w_col =
+    List.fold_left (fun acc c -> max acc (String.length c + 2)) 14 t.t_cols
+  in
+  Printf.printf "\n== %s ==\n(%s)\n" t.t_title t.t_unit;
+  Printf.printf "%-*s" (w_name + 2) "";
+  List.iter (fun c -> Printf.printf "%*s" w_col c) t.t_cols;
+  print_newline ();
+  List.iter
+    (fun (name, cells) ->
+      Printf.printf "%-*s" (w_name + 2) name;
+      List.iter
+        (fun c ->
+          match c with
+          | Value v -> Printf.printf "%*.2f" w_col v
+          | Fail _ -> Printf.printf "%*s" w_col "x")
+        cells;
+      print_newline ())
+    t.t_rows;
+  let print_summary label row =
+    Printf.printf "%-*s" (w_name + 2) label;
+    List.iter
+      (fun v ->
+        match v with
+        | Some v -> Printf.printf "%*.2f" w_col v
+        | None -> Printf.printf "%*s" w_col "-")
+      row;
+    print_newline ()
+  in
+  print_summary "geomean" (geomean_row t);
+  let any_fail =
+    List.exists (fun (_, cells) -> not (all_values cells)) t.t_rows
+  in
+  if any_fail then print_summary "geomean-x" (geomean_x_row t)
+
+let print_kv title kvs =
+  Printf.printf "\n== %s ==\n" title;
+  List.iter (fun (k, v) -> Printf.printf "  %-28s %s\n" k v) kvs

@@ -1,0 +1,31 @@
+(** Result aggregation and table rendering for the benchmark harness. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0 for an empty list. *)
+
+type cell =
+  | Value of float
+  | Fail of string  (** tool refused or crashed on this benchmark (✗) *)
+
+type table = {
+  t_title : string;
+  t_unit : string;  (** e.g. "slowdown vs native", "AIR %" *)
+  t_cols : string list;
+  t_rows : (string * cell list) list;  (** benchmark name, one cell per column *)
+}
+
+val value_exn : cell -> float option
+
+val geomean_row : table -> float option list
+(** Per-column geomean over the benchmarks where that column has a value. *)
+
+val geomean_x_row : table -> float option list
+(** Per-column geomean restricted to benchmarks where *every* column has
+    a value (the paper's "geomean-x"). *)
+
+val print : table -> unit
+(** Render to stdout with geomean (and geomean-x when columns differ in
+    coverage) appended. *)
+
+val print_kv : string -> (string * string) list -> unit
+(** Simple key/value block (for the Figure 10 style tables). *)

@@ -1,0 +1,1 @@
+lib/obj/jelf.ml: Buffer Char Filename List Objfile Reloc Section String Symbol Sys

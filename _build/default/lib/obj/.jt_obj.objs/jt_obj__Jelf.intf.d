@@ -1,0 +1,1 @@
+lib/obj/jelf.mli: Objfile

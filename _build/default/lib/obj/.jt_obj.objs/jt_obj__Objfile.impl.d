@@ -1,0 +1,1 @@
+lib/obj/objfile.ml: Format List Reloc Section String Symbol

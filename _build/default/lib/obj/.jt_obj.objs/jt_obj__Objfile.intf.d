@@ -1,0 +1,1 @@
+lib/obj/objfile.mli: Format Reloc Section Symbol

@@ -1,0 +1,1 @@
+lib/obj/section.ml: Char Format Jt_isa String

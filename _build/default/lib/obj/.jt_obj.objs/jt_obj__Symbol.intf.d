@@ -1,0 +1,1 @@
+lib/obj/symbol.mli: Format

@@ -1,0 +1,210 @@
+let magic = "JELF1"
+
+(* ---- writer ---- *)
+
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let u32 b v =
+  u8 b v;
+  u8 b (v lsr 8);
+  u8 b (v lsr 16);
+  u8 b (v lsr 24)
+
+let str b s =
+  u32 b (String.length s);
+  Buffer.add_string b s
+
+let list_ b xs f =
+  u32 b (List.length xs);
+  List.iter (f b) xs
+
+let kind_tag = function
+  | Objfile.Exec_nonpic -> 0
+  | Objfile.Exec_pic -> 1
+  | Objfile.Shared -> 2
+
+let symtab_tag = function
+  | Objfile.Full -> 0
+  | Objfile.Exported_only -> 1
+  | Objfile.Stripped -> 2
+
+let feature_tag = function
+  | Objfile.Cxx_exceptions -> 0
+  | Objfile.Fortran_runtime -> 1
+  | Objfile.Handwritten_asm -> 2
+  | Objfile.Breaks_calling_convention -> 3
+
+let write (m : Objfile.t) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  str b m.name;
+  u8 b (kind_tag m.kind);
+  u8 b (symtab_tag m.symtab_level);
+  list_ b m.features (fun b f -> u8 b (feature_tag f));
+  list_ b m.deps str;
+  (match m.entry with
+  | Some e ->
+    u8 b 1;
+    u32 b e
+  | None -> u8 b 0);
+  list_ b m.sections (fun b (s : Section.t) ->
+      str b s.name;
+      u32 b s.vaddr;
+      u8 b (if s.is_code then 1 else 0);
+      str b s.data;
+      list_ b s.truth_code_ranges (fun b (a, l) ->
+          u32 b a;
+          u32 b l));
+  list_ b m.symbols (fun b (s : Symbol.t) ->
+      str b s.name;
+      u32 b s.vaddr;
+      u32 b s.size;
+      u8 b (match s.kind with Symbol.Func -> 0 | Symbol.Object -> 1);
+      u8 b (if s.exported then 1 else 0));
+  list_ b m.relocs (fun b (r : Reloc.t) ->
+      u32 b r.offset;
+      match r.kind with
+      | Reloc.Rel_relative v ->
+        u8 b 0;
+        u32 b v
+      | Reloc.Rel_got n ->
+        u8 b 1;
+        str b n);
+  list_ b m.imports (fun b (i : Objfile.import) ->
+      str b i.imp_sym;
+      u32 b i.imp_got;
+      match i.imp_plt with
+      | Some p ->
+        u8 b 1;
+        u32 b p
+      | None -> u8 b 0);
+  list_ b m.exports str;
+  Buffer.contents b
+
+(* ---- reader ---- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let fail why = failwith ("Jelf.read: " ^ why)
+
+let byte c =
+  if c.pos >= String.length c.s then fail "truncated";
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r32 c =
+  let a = byte c in
+  let b = byte c in
+  let d = byte c in
+  let e = byte c in
+  a lor (b lsl 8) lor (d lsl 16) lor (e lsl 24)
+
+let rstr c =
+  let n = r32 c in
+  if c.pos + n > String.length c.s then fail "bad string";
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let rlist c f =
+  let n = r32 c in
+  if n > 1_000_000 then fail "absurd count";
+  List.init n (fun _ -> f c)
+
+let read s =
+  if String.length s < 5 || String.sub s 0 5 <> magic then fail "bad magic";
+  let c = { s; pos = 5 } in
+  let name = rstr c in
+  let kind =
+    match byte c with
+    | 0 -> Objfile.Exec_nonpic
+    | 1 -> Objfile.Exec_pic
+    | 2 -> Objfile.Shared
+    | _ -> fail "bad kind"
+  in
+  let symtab_level =
+    match byte c with
+    | 0 -> Objfile.Full
+    | 1 -> Objfile.Exported_only
+    | 2 -> Objfile.Stripped
+    | _ -> fail "bad symtab level"
+  in
+  let features =
+    rlist c (fun c ->
+        match byte c with
+        | 0 -> Objfile.Cxx_exceptions
+        | 1 -> Objfile.Fortran_runtime
+        | 2 -> Objfile.Handwritten_asm
+        | 3 -> Objfile.Breaks_calling_convention
+        | _ -> fail "bad feature")
+  in
+  let deps = rlist c rstr in
+  let entry = match byte c with 1 -> Some (r32 c) | 0 -> None | _ -> fail "bad entry" in
+  let sections =
+    rlist c (fun c ->
+        let name = rstr c in
+        let vaddr = r32 c in
+        let is_code = byte c = 1 in
+        let data = rstr c in
+        let truth =
+          rlist c (fun c ->
+              let a = r32 c in
+              let l = r32 c in
+              (a, l))
+        in
+        Section.make ~truth_code_ranges:truth ~name ~vaddr ~is_code data)
+  in
+  let symbols =
+    rlist c (fun c ->
+        let name = rstr c in
+        let vaddr = r32 c in
+        let size = r32 c in
+        let kind = match byte c with 0 -> Symbol.Func | 1 -> Symbol.Object | _ -> fail "bad sym" in
+        let exported = byte c = 1 in
+        Symbol.make ~size ~exported ~kind ~name vaddr)
+  in
+  let relocs =
+    rlist c (fun c ->
+        let offset = r32 c in
+        match byte c with
+        | 0 -> Reloc.relative ~offset (r32 c)
+        | 1 -> Reloc.got ~offset (rstr c)
+        | _ -> fail "bad reloc")
+  in
+  let imports =
+    rlist c (fun c ->
+        let imp_sym = rstr c in
+        let imp_got = r32 c in
+        let imp_plt = match byte c with 1 -> Some (r32 c) | 0 -> None | _ -> fail "bad import" in
+        { Objfile.imp_sym; imp_got; imp_plt })
+  in
+  let exports = rlist c rstr in
+  {
+    Objfile.name;
+    kind;
+    sections;
+    symbols;
+    symtab_level;
+    relocs;
+    imports;
+    exports;
+    deps;
+    entry;
+    features;
+  }
+
+let save ~dir (m : Objfile.t) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (m.name ^ ".jelf") in
+  let oc = open_out_bin path in
+  output_string oc (write m);
+  close_out oc;
+  path
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  read s

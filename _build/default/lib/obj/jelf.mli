@@ -1,0 +1,20 @@
+(** On-disk serialization of JELF modules.
+
+    A compact binary container (magic ["JELF1"]) carrying everything in
+    {!Objfile.t}: sections with their bytes, the full symbol table and its
+    visibility level, relocations, imports/exports and dependency
+    records.  This is what lets the repository behave like a real binary
+    toolchain: the assembler writes [.jelf] files, the CLI inspects and
+    runs them, and rule files produced offline refer to them by name. *)
+
+val write : Objfile.t -> string
+(** Serialize a module to its container bytes. *)
+
+val read : string -> Objfile.t
+(** @raise Failure on malformed input. *)
+
+val save : dir:string -> Objfile.t -> string
+(** Write [<dir>/<name>.jelf] (creating [dir]); returns the path. *)
+
+val load : string -> Objfile.t
+(** Read a module from a file path.  @raise Failure / [Sys_error]. *)

@@ -1,0 +1,75 @@
+type kind = Exec_nonpic | Exec_pic | Shared
+
+type symtab_level = Full | Exported_only | Stripped
+
+type feature =
+  | Cxx_exceptions
+  | Fortran_runtime
+  | Handwritten_asm
+  | Breaks_calling_convention
+
+type import = { imp_sym : string; imp_got : int; imp_plt : int option }
+
+type t = {
+  name : string;
+  kind : kind;
+  sections : Section.t list;
+  symbols : Symbol.t list;
+  symtab_level : symtab_level;
+  relocs : Reloc.t list;
+  imports : import list;
+  exports : string list;
+  deps : string list;
+  entry : int option;
+  features : feature list;
+}
+
+let is_pic m = match m.kind with Exec_nonpic -> false | Exec_pic | Shared -> true
+
+let exported_symbols m = List.filter (fun (s : Symbol.t) -> s.exported) m.symbols
+
+let visible_symbols m =
+  match m.symtab_level with
+  | Full -> m.symbols
+  | Exported_only -> exported_symbols m
+  | Stripped -> []
+
+let find_symbol m name =
+  List.find_opt (fun (s : Symbol.t) -> String.equal s.name name) m.symbols
+
+let find_export m name =
+  List.find_opt (fun (s : Symbol.t) -> String.equal s.name name)
+    (exported_symbols m)
+
+let section_at m a = List.find_opt (fun s -> Section.contains s a) m.sections
+
+let find_section m name =
+  List.find_opt (fun (s : Section.t) -> String.equal s.name name) m.sections
+
+let code_sections m = List.filter (fun (s : Section.t) -> s.is_code) m.sections
+
+let byte_at m a =
+  match section_at m a with
+  | Some s -> Some (Section.byte s a)
+  | None -> None
+
+let code_bounds m =
+  match code_sections m with
+  | [] -> None
+  | secs ->
+    let lo = List.fold_left (fun acc s -> min acc s.Section.vaddr) max_int secs in
+    let hi = List.fold_left (fun acc s -> max acc (Section.end_vaddr s)) 0 secs in
+    Some (lo, hi)
+
+let has_feature m f = List.mem f m.features
+
+let pp ppf m =
+  let kind_s =
+    match m.kind with
+    | Exec_nonpic -> "EXEC"
+    | Exec_pic -> "PIE"
+    | Shared -> "DYN"
+  in
+  Format.fprintf ppf "@[<v>module %s (%s)@,%a@]" m.name kind_s
+    (Format.pp_print_list Section.pp)
+    m.sections

@@ -1,0 +1,12 @@
+type kind = Rel_relative of int | Rel_got of string
+
+type t = { offset : int; kind : kind }
+
+let relative ~offset value = { offset; kind = Rel_relative value }
+let got ~offset name = { offset; kind = Rel_got name }
+
+let pp ppf r =
+  match r.kind with
+  | Rel_relative v ->
+    Format.fprintf ppf "%a RELATIVE %a" Jt_isa.Word.pp r.offset Jt_isa.Word.pp v
+  | Rel_got n -> Format.fprintf ppf "%a GOT %s" Jt_isa.Word.pp r.offset n

@@ -1,0 +1,26 @@
+(** Load-time relocations.
+
+    Position-independent modules reference code and data through
+    PC-relative addressing where possible; the residual cases — absolute
+    pointers stored in data or embedded jump tables, and references to
+    symbols from other modules — are expressed as relocations resolved by
+    the loader.  Position-dependent executables bake absolute addresses in
+    and carry no relocations, which is precisely why RetroWrite-style
+    symbolization cannot handle them. *)
+
+type kind =
+  | Rel_relative of int
+      (** Slot := load base + [value] (the referent's link-time address);
+          the ELF [R_*_RELATIVE] analog, used for local pointers in PIC
+          data and jump tables. *)
+  | Rel_got of string
+      (** Slot := run-time address of imported symbol [name], resolved by
+          the loader through the module dependency chain (eager
+          binding). *)
+
+type t = { offset : int; kind : kind }
+(** [offset] is the link-time virtual address of the 32-bit slot. *)
+
+val relative : offset:int -> int -> t
+val got : offset:int -> string -> t
+val pp : Format.formatter -> t -> unit

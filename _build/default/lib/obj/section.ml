@@ -1,0 +1,23 @@
+type t = {
+  name : string;
+  vaddr : int;
+  data : string;
+  is_code : bool;
+  truth_code_ranges : (int * int) list;
+}
+
+let make ?(truth_code_ranges = []) ~name ~vaddr ~is_code data =
+  { name; vaddr; data; is_code; truth_code_ranges }
+
+let size s = String.length s.data
+let contains s a = a >= s.vaddr && a < s.vaddr + size s
+let end_vaddr s = s.vaddr + size s
+
+let byte s a =
+  if not (contains s a) then invalid_arg "Section.byte"
+  else Char.code s.data.[a - s.vaddr]
+
+let pp ppf s =
+  Format.fprintf ppf "%-8s %a..%a %s" s.name Jt_isa.Word.pp s.vaddr
+    Jt_isa.Word.pp (end_vaddr s)
+    (if s.is_code then "CODE" else "DATA")

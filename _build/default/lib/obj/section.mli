@@ -1,0 +1,37 @@
+(** Sections of a JELF module.
+
+    Section [vaddr]s are link-time virtual addresses: absolute for
+    position-dependent executables, module-relative (based at 0) for PIC
+    modules and shared objects. *)
+
+type t = {
+  name : string;  (** e.g. [".text"], [".plt"], [".data"], [".got"] *)
+  vaddr : int;
+  data : string;
+  is_code : bool;  (** executable section *)
+  truth_code_ranges : (int * int) list;
+      (** Ground truth for evaluation only: [(vaddr, size)] ranges that
+          really contain instructions.  Code sections may embed data
+          (jump tables, constants); analyzers must never consult this
+          field — it exists so tests and metrics can score them. *)
+}
+
+val make :
+  ?truth_code_ranges:(int * int) list ->
+  name:string ->
+  vaddr:int ->
+  is_code:bool ->
+  string ->
+  t
+
+val size : t -> int
+val contains : t -> int -> bool
+(** [contains s vaddr] *)
+
+val end_vaddr : t -> int
+
+val byte : t -> int -> int
+(** [byte s vaddr]: byte at link-time address [vaddr].
+    @raise Invalid_argument if out of range. *)
+
+val pp : Format.formatter -> t -> unit

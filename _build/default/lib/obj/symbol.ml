@@ -1,0 +1,20 @@
+type kind = Func | Object
+
+type t = {
+  name : string;
+  vaddr : int;
+  size : int;
+  kind : kind;
+  exported : bool;
+}
+
+let make ?(size = 0) ?(exported = false) ~kind ~name vaddr =
+  { name; vaddr; size; kind; exported }
+
+let is_func s = s.kind = Func
+
+let pp ppf s =
+  Format.fprintf ppf "%a %c%c %s" Jt_isa.Word.pp s.vaddr
+    (match s.kind with Func -> 'F' | Object -> 'O')
+    (if s.exported then 'E' else '-')
+    s.name

@@ -1,0 +1,17 @@
+(** Symbols of a JELF module. *)
+
+type kind = Func | Object
+
+type t = {
+  name : string;
+  vaddr : int;  (** link-time address *)
+  size : int;
+  kind : kind;
+  exported : bool;
+      (** Exported (dynamic) symbols remain visible even in binaries whose
+          full symbol table has been stripped. *)
+}
+
+val make : ?size:int -> ?exported:bool -> kind:kind -> name:string -> int -> t
+val is_func : t -> bool
+val pp : Format.formatter -> t -> unit

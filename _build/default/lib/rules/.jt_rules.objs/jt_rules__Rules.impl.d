@@ -1,0 +1,1 @@
+lib/rules/rules.ml: Array Buffer Char Hashtbl List Option String

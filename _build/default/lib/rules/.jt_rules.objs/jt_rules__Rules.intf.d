@@ -1,0 +1,1 @@
+lib/rules/rules.mli:

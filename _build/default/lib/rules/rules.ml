@@ -1,0 +1,101 @@
+type t = { rule_id : int; bb : int; insn : int; data : int array }
+
+let no_op = 0
+
+let make ~id ~bb ~insn ?(data = []) () =
+  if List.length data > 4 then invalid_arg "Rules.make: at most 4 data words";
+  { rule_id = id; bb; insn; data = Array.of_list data }
+
+type file = { rf_module : string; rf_rules : t list }
+
+let magic = "JTRR"
+
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let u16 b v =
+  u8 b v;
+  u8 b (v lsr 8)
+
+let u32 b v =
+  u16 b v;
+  u16 b (v lsr 16)
+
+let encode_file f =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b magic;
+  u16 b (String.length f.rf_module);
+  Buffer.add_string b f.rf_module;
+  u32 b (List.length f.rf_rules);
+  List.iter
+    (fun r ->
+      u16 b r.rule_id;
+      u32 b r.bb;
+      u32 b r.insn;
+      u8 b (Array.length r.data);
+      Array.iter (fun d -> u32 b d) r.data)
+    f.rf_rules;
+  Buffer.contents b
+
+let decode_file s =
+  let pos = ref 0 in
+  let fail why = failwith ("Rules.decode_file: " ^ why) in
+  let byte () =
+    if !pos >= String.length s then fail "truncated";
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let r16 () =
+    let a = byte () in
+    a lor (byte () lsl 8)
+  in
+  let r32 () =
+    let a = r16 () in
+    a lor (r16 () lsl 16)
+  in
+  if String.length s < 4 || String.sub s 0 4 <> magic then fail "bad magic";
+  pos := 4;
+  let nlen = r16 () in
+  if !pos + nlen > String.length s then fail "bad name";
+  let name = String.sub s !pos nlen in
+  pos := !pos + nlen;
+  let count = r32 () in
+  let rules = ref [] in
+  for _ = 1 to count do
+    let id = r16 () in
+    let bb = r32 () in
+    let insn = r32 () in
+    let nd = byte () in
+    if nd > 4 then fail "too many data words";
+    let data = Array.init nd (fun _ -> r32 ()) in
+    rules := { rule_id = id; bb; insn; data } :: !rules
+  done;
+  { rf_module = name; rf_rules = List.rev !rules }
+
+module Table = struct
+  type rule = t
+
+  type nonrec t = {
+    bbs : (int, unit) Hashtbl.t;
+    by_insn : (int, rule list) Hashtbl.t;
+    count : int;
+  }
+
+  let load f ~base ~pic =
+    let adj a = if pic then a + base else a in
+    let bbs = Hashtbl.create 256 in
+    let by_insn = Hashtbl.create 256 in
+    List.iter
+      (fun r ->
+        let r = { r with bb = adj r.bb; insn = adj r.insn } in
+        Hashtbl.replace bbs r.bb ();
+        if r.rule_id <> no_op then
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_insn r.insn) in
+          Hashtbl.replace by_insn r.insn (prev @ [ r ]))
+      f.rf_rules;
+    { bbs; by_insn; count = List.length f.rf_rules }
+
+  let bb_seen t a = Hashtbl.mem t.bbs a
+  let at_insn t a = Option.value ~default:[] (Hashtbl.find_opt t.by_insn a)
+  let size t = t.count
+end

@@ -1,0 +1,55 @@
+(** Rewrite rules — the interface between the static analyzer and the
+    dynamic modifier (Figure 3 of the paper).
+
+    Each rule names a handler routine in the dynamic modifier ([rule_id]),
+    the basic block and instruction it applies to (link-time addresses),
+    and up to four optional data words (liveness masks, displacement
+    values, target-set identifiers...).  Rules are serialized into a
+    per-module rule file that the dynamic modifier loads — and address
+    adjusts, for PIC modules — when the module is loaded (Figure 5a).
+
+    Rule identifiers are allocated by tools; the core reserves {!no_op}:
+    the mark placed on every statically inspected block that needs no
+    transformation, so the dynamic modifier can distinguish "statically
+    proven fine" from "never statically seen" (section 3.3.4). *)
+
+type t = {
+  rule_id : int;
+  bb : int;  (** basic-block address *)
+  insn : int;  (** instruction address the handler anchors to *)
+  data : int array;  (** up to four 32-bit data words *)
+}
+
+val no_op : int
+(** Rule id 0: statically inspected, no modification needed. *)
+
+val make : id:int -> bb:int -> insn:int -> ?data:int list -> unit -> t
+
+type file = { rf_module : string; rf_rules : t list }
+
+val encode_file : file -> string
+val decode_file : string -> file
+(** @raise Failure on malformed input. *)
+
+(** Run-time rule table for one loaded module: addresses adjusted by the
+    load base (for PIC modules) and hashed for block- and
+    instruction-level lookup. *)
+module Table : sig
+  type rule = t
+
+  type t
+
+  val load : file -> base:int -> pic:bool -> t
+
+  val bb_seen : t -> int -> bool
+  (** Was this (run-time) address a basic-block the static analyzer
+      inspected?  True for blocks with transformation rules *and* for
+      blocks carrying only a no-op mark. *)
+
+  val at_insn : t -> int -> rule list
+  (** All rules anchored at this (run-time) instruction address, with
+      their [bb]/[insn] fields already adjusted.  No-op marks are
+      filtered out. *)
+
+  val size : t -> int
+end

@@ -1,0 +1,1 @@
+lib/taint/taint.ml: Array Hashtbl Insn Janitizer Jt_cfg Jt_dbt Jt_disasm Jt_isa Jt_mem Jt_obj Jt_rules Jt_vm List Reg Sysno Word

@@ -1,0 +1,1 @@
+lib/taint/taint.mli: Janitizer Jt_isa

@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Alloc Array Buffer Char Cost Decode Flags Format Hashtbl Insn Jt_isa Jt_loader Jt_mem Jt_obj List Reg Sysno Word

@@ -1,0 +1,1 @@
+lib/vm/vm.mli: Alloc Buffer Flags Format Hashtbl Insn Jt_isa Jt_loader Jt_mem Jt_obj Reg

@@ -1,0 +1,56 @@
+type event =
+  | Ev_alloc of { addr : int; size : int; redzone : int }
+  | Ev_free of { addr : int; size : int }
+  | Ev_bad_free of { addr : int }
+
+type block = { b_addr : int; b_size : int; mutable b_live : bool }
+
+type t = {
+  mutable brk : int;
+  blocks : (int, block) Hashtbl.t;
+  mutable order : block list;
+  mutable redzone : int;
+  mutable listeners : (event -> unit) list;
+}
+
+let default_base = 0x5000_0000
+
+let create ?(base = default_base) () =
+  { brk = base; blocks = Hashtbl.create 64; order = []; redzone = 0; listeners = [] }
+
+let set_redzone t n = t.redzone <- n
+let subscribe t f = t.listeners <- f :: t.listeners
+let fire t ev = List.iter (fun f -> f ev) t.listeners
+
+let align8 x = (x + 7) land lnot 7
+
+let malloc t size =
+  let size = max size 0 in
+  let addr = t.brk + t.redzone in
+  t.brk <- align8 (addr + size + t.redzone);
+  let b = { b_addr = addr; b_size = size; b_live = true } in
+  Hashtbl.replace t.blocks addr b;
+  t.order <- b :: t.order;
+  fire t (Ev_alloc { addr; size; redzone = t.redzone });
+  addr
+
+let free t addr =
+  match Hashtbl.find_opt t.blocks addr with
+  | Some b when b.b_live ->
+    b.b_live <- false;
+    fire t (Ev_free { addr; size = b.b_size })
+  | Some _ | None -> fire t (Ev_bad_free { addr })
+
+let block_of t addr =
+  let found = ref None in
+  Hashtbl.iter
+    (fun _ b ->
+      if addr >= b.b_addr && addr < b.b_addr + max b.b_size 1 then
+        found := Some (b.b_addr, b.b_size, b.b_live))
+    t.blocks;
+  !found
+
+let live_blocks t =
+  List.filter_map
+    (fun b -> if b.b_live then Some (b.b_addr, b.b_size) else None)
+    t.order

@@ -1,0 +1,35 @@
+(** The heap allocator behind the [malloc]/[free] syscalls.
+
+    A bump allocator that never reuses freed blocks (simplifying
+    use-after-free reasoning for the sanitizers).  Sanitizers interpose on
+    it the way LLVM ASan's runtime replaces the allocator via LD_PRELOAD:
+    by configuring redzone padding and subscribing to allocation
+    events. *)
+
+type event =
+  | Ev_alloc of { addr : int; size : int; redzone : int }
+  | Ev_free of { addr : int; size : int }
+  | Ev_bad_free of { addr : int }
+      (** [free] of a pointer that is not a live block. *)
+
+type t
+
+val create : ?base:int -> unit -> t
+(** [base] defaults to the conventional heap start, [0x5000_0000]. *)
+
+val set_redzone : t -> int -> unit
+(** Padding placed before and after every subsequent block. *)
+
+val subscribe : t -> (event -> unit) -> unit
+
+val malloc : t -> int -> int
+(** Returns the user address of a fresh block ([size] >= 0). *)
+
+val free : t -> int -> unit
+
+val block_of : t -> int -> (int * int * bool) option
+(** [block_of t addr]: the [(base, size, live)] of the block whose user
+    range contains [addr], if any (redzones excluded). *)
+
+val live_blocks : t -> (int * int) list
+(** [(addr, size)] of blocks not yet freed. *)

@@ -1,0 +1,130 @@
+(** The simulated machine.
+
+    A VM owns the memory, registers, flags, allocator and loader of one
+    process, plus the cycle and instruction counters every experiment is
+    measured with.  It can execute a program directly (the "native"
+    baseline: {!run}) or serve as the substrate for a dynamic binary
+    modifier, which drives execution itself through {!fetch},
+    {!step_decoded} and {!advance_phase}. *)
+
+open Jt_isa
+
+type fault =
+  | Decode_fault of int  (** undecodable bytes reached by the PC *)
+  | Halted of int  (** a [halt] instruction (abnormal stop) at this PC *)
+  | Out_of_fuel
+  | Load_fault of string  (** loader/dlopen failure during execution *)
+
+type status =
+  | Running
+  | Exited of int
+  | Fault of fault
+  | Aborted of string  (** stopped by a security tool's abort policy *)
+
+type violation = { v_kind : string; v_addr : int; v_pc : int }
+(** A security violation reported by an instrumentation tool.  Tools run
+    in "recover" mode: violations are recorded and execution continues,
+    like ASan's [halt_on_error=0], so that test cases with several bugs
+    report each one. *)
+
+type t = {
+  mem : Jt_mem.Memory.t;
+  loader : Jt_loader.Loader.t;
+  alloc : Alloc.t;
+  regs : int array;
+  flags : Flags.state;
+  mutable pc : int;
+  mutable cycles : int;
+  mutable icount : int;
+  mutable status : status;
+  out : Buffer.t;
+  canary : int;
+  mutable violations : violation list;  (** newest first *)
+  mutable phases : int list;
+  mutable jit_next : int;
+  decode_cache : (int, Insn.t * int) Hashtbl.t;
+  mutable flush_listeners : (int -> int -> unit) list;
+  handles : (int, Jt_loader.Loader.loaded) Hashtbl.t;
+  mutable input : int list;  (** remaining external input (read_int) *)
+}
+
+val set_input : t -> int list -> unit
+(** Provide the program's external input stream, consumed by the
+    [read_int] syscall. *)
+
+val make : registry:Jt_obj.Objfile.t list -> t
+(** Create a VM with an empty process.  Register loader callbacks (via
+    [Jt_loader.Loader.on_load (loader vm)]) before calling {!boot} to
+    observe startup modules. *)
+
+val boot : t -> main:string -> unit
+(** Load the main module and its dependency closure, set up the stack,
+    and queue the execution phases: each startup module's [_init], then
+    the entry point.  The PC is left at the phase sentinel; {!run} (or a
+    DBT driving the VM) starts from there. *)
+
+val sentinel : int
+(** The magic return address separating phases.  When the PC reaches it,
+    call {!advance_phase}. *)
+
+val jit_region : int * int
+(** [(lo, hi)] bounds of the address range handed out by [mmap_code]:
+    anything in it is dynamically generated code. *)
+
+val advance_phase : t -> unit
+(** Enter the next queued phase, or mark the program exited (with [r0])
+    when none remain. *)
+
+val get : t -> Reg.t -> int
+val set : t -> Reg.t -> int -> unit
+
+val fetch : t -> int -> (Insn.t * int) option
+(** Decode (with caching) the instruction at an address. *)
+
+val step_decoded : t -> at:int -> Insn.t -> int -> unit
+(** Execute one already-decoded instruction of length [len] located at
+    [at] (normally [at = pc]), charging its native cost and updating the
+    PC.  Raises nothing: faults set {!status}. *)
+
+val charge : t -> int -> unit
+(** Add instrumentation cycles. *)
+
+val eval_mem : t -> next_pc:int -> Insn.mem -> int
+(** Effective address of a memory operand in the current machine state
+    ([next_pc] is the address of the following instruction, the base for
+    PC-relative operands).  Used by instrumentation to reproduce the
+    address an access is about to touch. *)
+
+val report_violation : t -> kind:string -> addr:int -> unit
+
+val on_cache_flush : t -> (int -> int -> unit) -> unit
+(** Subscribe to [cache_flush] syscalls (start, length): a DBT must
+    invalidate affected code-cache blocks. *)
+
+val run : ?fuel:int -> t -> unit
+(** Interpret until exit or fault ("native" execution).  [fuel] bounds the
+    executed instruction count (default 200 million). *)
+
+val output : t -> string
+(** The program's output stream so far. *)
+
+exception Security_abort of string
+(** Tools may raise this from instrumentation actions to model
+    abort-on-violation policies; {!step_decoded} does not catch it. *)
+
+(** {1 Convenience} *)
+
+type result = {
+  r_status : status;
+  r_cycles : int;
+  r_icount : int;
+  r_output : string;
+  r_violations : violation list;  (** oldest first *)
+}
+
+val result : t -> result
+
+val run_native : ?fuel:int -> registry:Jt_obj.Objfile.t list -> main:string -> unit -> result
+(** Build a fresh VM, boot [main] and interpret it natively. *)
+
+val pp_status : Format.formatter -> status -> unit

@@ -1,0 +1,1 @@
+lib/workloads/juliet.ml: Abi Insn Janitizer Jt_asm Jt_baselines Jt_isa Jt_jasan Jt_loader Jt_obj Jt_vm Lazy List Printf Reg Stdlibs Sysno

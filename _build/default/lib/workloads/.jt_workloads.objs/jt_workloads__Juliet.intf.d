@@ -1,0 +1,1 @@
+lib/workloads/juliet.mli: Jt_obj

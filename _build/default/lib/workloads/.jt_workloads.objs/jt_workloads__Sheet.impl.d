@@ -1,0 +1,1 @@
+lib/workloads/sheet.ml: List String

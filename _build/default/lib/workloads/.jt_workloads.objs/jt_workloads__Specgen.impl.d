@@ -1,0 +1,1 @@
+lib/workloads/specgen.ml: Abi Char Hashtbl Insn Jt_asm Jt_isa Jt_obj Jt_vm List Printf Reg Sheet Stdlibs String Sysno

@@ -1,0 +1,1 @@
+lib/workloads/specgen.mli: Jt_obj Jt_vm Sheet

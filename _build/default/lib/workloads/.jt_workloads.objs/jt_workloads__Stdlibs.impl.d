@@ -1,0 +1,1 @@
+lib/workloads/stdlibs.ml: Insn Jt_asm Jt_isa Jt_obj Reg Sysno

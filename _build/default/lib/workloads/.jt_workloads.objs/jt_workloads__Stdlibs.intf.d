@@ -1,0 +1,1 @@
+lib/workloads/stdlibs.mli: Jt_obj

@@ -1,0 +1,234 @@
+open Jt_isa
+open Jt_asm.Builder
+open Jt_asm.Builder.Dsl
+
+type category =
+  | Heap_heap
+  | Heap_heap_slack
+  | Stack_heap
+  | Heap_stack_contig
+  | Heap_stack_direct
+
+type case = { c_id : int; c_cat : category; c_expected : int }
+
+let cases =
+  let mk cat n expected start =
+    List.init n (fun i -> { c_id = start + i; c_cat = cat; c_expected = expected })
+  in
+  mk Heap_heap 312 1 0
+  @ mk Heap_heap_slack 24 2 312
+  @ mk Stack_heap 144 1 336
+  @ mk Heap_stack_contig 48 1 480
+  @ mk Heap_stack_direct 96 1 528
+
+let exit0 = [ movi Reg.r0 0; syscall Sysno.exit_ ]
+
+(* Every case: main calls a victim function; the victim performs the
+   (possibly buggy) operation; the program always runs to completion
+   (sanitizers are evaluated in recover mode). *)
+let build_case (c : case) ~bad =
+  let i = c.c_id in
+  let name = Printf.sprintf "juliet_%03d_%s" i (if bad then "bad" else "good") in
+  let victim =
+    match c.c_cat with
+    | Heap_heap ->
+      (* dst and neighbour blocks; fill dst with n words; bad fills one
+         extra, landing in the redzone. *)
+      let sz = 8 * (2 + (i mod 6)) in
+      let words = (sz / 4) + if bad then 1 else 0 in
+      func "victim"
+        [
+          movi Reg.r0 sz;
+          call_import "malloc";
+          mov Reg.r6 Reg.r0;
+          movi Reg.r0 sz;
+          call_import "malloc";
+          mov Reg.r7 Reg.r0;
+          movi Reg.r1 0;
+          label "fill";
+          cmpi Reg.r1 words;
+          jcc Insn.Ge "done";
+          st (mem_bi ~scale:4 Reg.r6 Reg.r1) Reg.r1;
+          addi Reg.r1 1;
+          jmp "fill";
+          label "done";
+          ld Reg.r0 (mem_b ~disp:0 Reg.r7);
+          ret;
+        ]
+    | Heap_heap_slack ->
+      (* size ≡ 4 (mod 8): the allocator rounds up, leaving 4 slack
+         bytes.  Bad variant has two bugs: a write into the slack (only
+         byte-granular redzones see it) and a write past the rounded
+         end (everyone sees it). *)
+      let sz = 12 + (8 * (i mod 4)) in
+      func "victim"
+        ([
+           movi Reg.r0 sz;
+           call_import "malloc";
+           mov Reg.r6 Reg.r0;
+           movi Reg.r2 65;
+         ]
+        @ (if bad then
+             [
+               (* bug 1: one byte into the alignment slack *)
+               I
+                 (Jt_asm.Sinsn.Sstore
+                    (Insn.W1, mem_b ~disp:(sz + 1) Reg.r6, Jt_asm.Sinsn.Sreg Reg.r2));
+               (* bug 2: past the rounded-up end *)
+               I
+                 (Jt_asm.Sinsn.Sstore
+                    (Insn.W1, mem_b ~disp:(sz + 9) Reg.r6, Jt_asm.Sinsn.Sreg Reg.r2));
+             ]
+           else
+             [
+               I
+                 (Jt_asm.Sinsn.Sstore
+                    (Insn.W1, mem_b ~disp:(sz - 1) Reg.r6, Jt_asm.Sinsn.Sreg Reg.r2));
+             ])
+        @ [ ldb Reg.r0 (mem_b ~disp:0 Reg.r6); ret ])
+    | Stack_heap ->
+      (* copy a stack array into an undersized heap destination *)
+      let dst_words = 2 + (i mod 4) in
+      let src_words = dst_words + if bad then 2 else 0 in
+      let locals = 48 in
+      func "victim"
+        (Abi.frame_enter ~canary:true ~locals ()
+        @ [
+            movi Reg.r0 (dst_words * 4);
+            call_import "malloc";
+            mov Reg.r2 Reg.r0;
+            (* init stack source *)
+            movi Reg.r1 0;
+            label "init";
+            cmpi Reg.r1 8;
+            jcc Insn.Ge "initd";
+            lea Reg.r3 (mem_b ~disp:(-locals) Reg.fp);
+            st (mem_bi ~scale:4 Reg.r3 Reg.r1) Reg.r1;
+            addi Reg.r1 1;
+            jmp "init";
+            label "initd";
+            (* copy src_words into dst *)
+            movi Reg.r1 0;
+            label "copy";
+            cmpi Reg.r1 src_words;
+            jcc Insn.Ge "copyd";
+            lea Reg.r3 (mem_b ~disp:(-locals) Reg.fp);
+            ld Reg.r4 (mem_bi ~scale:4 Reg.r3 Reg.r1);
+            st (mem_bi ~scale:4 Reg.r2 Reg.r1) Reg.r4;
+            addi Reg.r1 1;
+            jmp "copy";
+            label "copyd";
+            ld Reg.r0 (mem_b ~disp:0 Reg.r2);
+          ]
+        @ Abi.frame_leave ~canary:true ~locals ())
+    | Heap_stack_contig ->
+      (* a heap walk that intends to reach the stack: the first
+         out-of-bounds write crosses the right redzone *)
+      let sz = 8 * (2 + (i mod 5)) in
+      let words = (sz / 4) + if bad then 2 else 0 in
+      func "victim"
+        [
+          movi Reg.r0 sz;
+          call_import "malloc";
+          mov Reg.r6 Reg.r0;
+          movi Reg.r1 0;
+          label "walk";
+          cmpi Reg.r1 words;
+          jcc Insn.Ge "done";
+          st (mem_bi ~scale:4 Reg.r6 Reg.r1) Reg.r1;
+          addi Reg.r1 1;
+          jmp "walk";
+          label "done";
+          ld Reg.r0 (mem_b ~disp:0 Reg.r6);
+          ret;
+        ]
+    | Heap_stack_direct ->
+      (* a corrupted pointer landing in the caller's frame, missing
+         both redzones and the canary: invisible to every scheme under
+         test (the shared 96 false negatives) *)
+      let off = 8 + (4 * (i mod 3)) in
+      let locals = 24 in
+      func "victim"
+        (Abi.frame_enter ~canary:true ~locals ()
+        @ [
+            movi Reg.r0 32;
+            call_import "malloc";
+            mov Reg.r2 Reg.r0;
+            sti (mem_b ~disp:0 Reg.r2) 5;
+            movi Reg.r3 0x41414141;
+          ]
+        @ (if bad then
+             [ lea Reg.r1 (mem_b ~disp:off Reg.fp); st (mem_b ~disp:0 Reg.r1) Reg.r3 ]
+           else
+             [
+               lea Reg.r1 (mem_b ~disp:(-locals) Reg.fp);
+               st (mem_b ~disp:0 Reg.r1) Reg.r3;
+             ])
+        @ [ ld Reg.r0 (mem_b ~disp:0 Reg.r2) ]
+        @ Abi.frame_leave ~canary:true ~locals ())
+  in
+  build ~name ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ] ~entry:"main"
+    [
+      victim;
+      func "main"
+        ([ call "victim"; call_import "print_int" ] @ exit0);
+    ]
+
+let registry_for m = [ m; Stdlibs.libc ]
+
+type detector = Jasan_hybrid | Jasan_dyn | Valgrind
+
+type tally = {
+  t_true_pos : int;
+  t_false_neg : int;
+  t_true_neg : int;
+  t_false_pos : int;
+}
+
+(* Distinct violation sites: several loop iterations tripping the same
+   check count once, like one ASan report per instruction. *)
+let distinct_sites (r : Jt_vm.Vm.result) =
+  List.length
+    (List.sort_uniq compare (List.map (fun v -> v.Jt_vm.Vm.v_pc) r.r_violations))
+
+(* libc.so and ld.so rules are the same for every case: analyze once. *)
+let precomputed_lib_rules =
+  lazy
+    (let tool, _ = Jt_jasan.Jasan.create () in
+     Janitizer.Driver.analyze_all ~tool [ Stdlibs.libc; Jt_loader.Loader.ld_so ])
+
+let run_detector det m =
+  let registry = registry_for m in
+  let main = m.Jt_obj.Objfile.name in
+  match det with
+  | Valgrind -> Jt_baselines.Valgrind_like.run ~registry ~main ()
+  | Jasan_hybrid | Jasan_dyn ->
+    let hybrid = det = Jasan_hybrid in
+    let precomputed = if hybrid then Lazy.force precomputed_lib_rules else [] in
+    let tool, _ = Jt_jasan.Jasan.create () in
+    (Janitizer.Driver.run ~hybrid ~precomputed ~tool ~registry ~main ()).o_result
+
+let evaluate ?limit det =
+  let selected =
+    match limit with
+    | None -> cases
+    | Some n -> List.filteri (fun k _ -> k < n) cases
+  in
+  let tally = ref { t_true_pos = 0; t_false_neg = 0; t_true_neg = 0; t_false_pos = 0 } in
+  List.iter
+    (fun c ->
+      let bad_r = run_detector det (build_case c ~bad:true) in
+      let good_r = run_detector det (build_case c ~bad:false) in
+      let t = !tally in
+      let t =
+        if distinct_sites bad_r >= c.c_expected then
+          { t with t_true_pos = t.t_true_pos + 1 }
+        else { t with t_false_neg = t.t_false_neg + 1 }
+      in
+      let t =
+        if distinct_sites good_r = 0 then { t with t_true_neg = t.t_true_neg + 1 }
+        else { t with t_false_pos = t.t_false_pos + 1 }
+      in
+      tally := t)
+    selected;
+  !tally

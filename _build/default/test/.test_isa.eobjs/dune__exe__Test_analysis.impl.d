@@ -1,0 +1,1 @@
+test/test_analysis.ml: Abi Alcotest Array Hashtbl Insn Janitizer Jt_analysis Jt_asm Jt_cfg Jt_disasm Jt_isa Jt_obj List Option Printf Reg Sysno

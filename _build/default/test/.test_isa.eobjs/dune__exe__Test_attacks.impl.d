@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Janitizer Jt_asm Jt_isa Jt_jasan Jt_jcfi Jt_obj Jt_vm List Progs Reg String Sysno

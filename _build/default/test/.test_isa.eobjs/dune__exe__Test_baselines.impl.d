@@ -1,0 +1,1 @@
+test/test_baselines.ml: Abi Alcotest Char Encode Insn Janitizer Jt_asm Jt_baselines Jt_isa Jt_jasan Jt_jcfi Jt_obj Jt_vm List Progs Reg String Sysno

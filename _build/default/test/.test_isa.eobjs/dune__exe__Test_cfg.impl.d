@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Hashtbl Insn Jt_asm Jt_cfg Jt_disasm Jt_isa Jt_obj List Option Printf Reg Sysno

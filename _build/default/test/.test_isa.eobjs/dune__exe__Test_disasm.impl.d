@@ -1,0 +1,1 @@
+test/test_disasm.ml: Alcotest Format Insn Jt_asm Jt_disasm Jt_isa Jt_obj List Option Reg String Sysno

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Insn Janitizer Jt_asm Jt_dbt Jt_isa Jt_jasan Jt_jcfi Jt_obj Jt_vm List Printf Progs QCheck2 QCheck_alcotest Reg Sysno

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Decode Encode Flags Insn Jt_isa List Option QCheck2 QCheck_alcotest Reg String Word

@@ -1,0 +1,1 @@
+test/test_jasan.ml: Alcotest Char Encode Insn Janitizer Jt_asm Jt_isa Jt_jasan Jt_obj Jt_rules Jt_vm List Progs Reg String Sysno

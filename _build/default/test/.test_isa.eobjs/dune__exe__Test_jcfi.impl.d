@@ -1,0 +1,1 @@
+test/test_jcfi.ml: Alcotest Janitizer Jt_asm Jt_isa Jt_jcfi Jt_obj Jt_vm List Progs Reg

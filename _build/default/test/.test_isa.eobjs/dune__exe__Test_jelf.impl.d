@@ -1,0 +1,1 @@
+test/test_jelf.ml: Alcotest Filename Jt_obj Jt_vm Jt_workloads List String Sys

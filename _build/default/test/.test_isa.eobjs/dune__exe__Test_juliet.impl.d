@@ -1,0 +1,1 @@
+test/test_juliet.ml: Alcotest Format Jt_obj Jt_vm Jt_workloads Juliet List

@@ -1,0 +1,1 @@
+test/test_lifecycle.ml: Alcotest Janitizer Jt_asm Jt_isa Jt_jasan Jt_jcfi Jt_loader Jt_obj Jt_vm Jt_workloads List Progs Reg Sysno

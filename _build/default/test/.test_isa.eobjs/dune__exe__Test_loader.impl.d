@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Jt_asm Jt_isa Jt_loader Jt_mem Jt_obj List Option Reg String Sysno

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Hashtbl Int32 Janitizer Jt_isa Jt_jasan Jt_jcfi Jt_vm List Progs QCheck2 QCheck_alcotest Word

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Jt_isa Jt_rules List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_stripped.ml: Alcotest Janitizer Jt_asm Jt_disasm Jt_isa Jt_jasan Jt_jcfi Jt_obj Jt_vm List Option Progs Reg

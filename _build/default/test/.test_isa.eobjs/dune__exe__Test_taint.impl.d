@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest Insn Janitizer Jt_asm Jt_cfg Jt_dbt Jt_isa Jt_obj Jt_rules Jt_taint Jt_vm List Progs Reg

@@ -1,0 +1,1 @@
+test/test_vm.ml: Abi Alcotest Char Encode Insn Jt_asm Jt_isa Jt_obj Jt_vm List Reg String Sysno

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Format Janitizer Jt_baselines Jt_jasan Jt_jcfi Jt_obj Jt_vm Jt_workloads List Sheet Specgen String

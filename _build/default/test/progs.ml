@@ -1,0 +1,218 @@
+(* A corpus of small programs shared by the test suites. *)
+
+open Jt_isa
+open Jt_asm.Builder
+open Jt_asm.Builder.Dsl
+
+let exit0 = [ movi Reg.r0 0; syscall Sysno.exit_ ]
+
+let libc =
+  build ~name:"libc.so" ~kind:Jt_obj.Objfile.Shared
+    [
+      func ~exported:true "__stack_chk_fail" [ movi Reg.r0 134; syscall Sysno.exit_ ];
+      func ~exported:true "malloc" [ syscall Sysno.malloc; ret ];
+      func ~exported:true "calloc" [ syscall Sysno.calloc; ret ];
+      func ~exported:true "realloc" [ syscall Sysno.realloc; ret ];
+      func ~exported:true "free" [ syscall Sysno.free; ret ];
+      func ~exported:true "print_int" [ syscall Sysno.write_int; ret ];
+      func ~exported:true "read_int" [ syscall Sysno.read_int; ret ];
+    ]
+
+(* Sum an array of n ints on the heap, print, exit. *)
+let sum_prog ?(name = "sum") ?(n = 50) () =
+  build ~name ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ] ~entry:"main"
+    [
+      func "main"
+        ([
+           movi Reg.r0 (n * 4);
+           call_import "malloc";
+           mov Reg.r6 Reg.r0;
+           (* fill: a[i] = i *)
+           movi Reg.r1 0;
+           label "fill";
+           cmpi Reg.r1 n;
+           jcc Insn.Ge "fill_done";
+           st (mem_bi ~scale:4 Reg.r6 Reg.r1) Reg.r1;
+           addi Reg.r1 1;
+           jmp "fill";
+           label "fill_done";
+           (* sum *)
+           movi Reg.r2 0;
+           movi Reg.r1 0;
+           label "sum";
+           cmpi Reg.r1 n;
+           jcc Insn.Ge "sum_done";
+           ld Reg.r3 (mem_bi ~scale:4 Reg.r6 Reg.r1);
+           add Reg.r2 Reg.r3;
+           addi Reg.r1 1;
+           jmp "sum";
+           label "sum_done";
+           mov Reg.r0 Reg.r2;
+           call_import "print_int";
+           mov Reg.r0 Reg.r6;
+           call_import "free";
+         ]
+        @ exit0);
+    ]
+
+let sum_expected n = string_of_int (n * (n - 1) / 2) ^ "\n"
+
+(* Heap overflow: writes one element past a buffer of [n]. *)
+let heap_overflow_prog ?(name = "heap_ov") ?(n = 8) () =
+  build ~name ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ] ~entry:"main"
+    [
+      func "main"
+        ([
+           movi Reg.r0 (n * 4);
+           call_import "malloc";
+           mov Reg.r6 Reg.r0;
+           movi Reg.r2 7;
+           st (mem_b ~disp:(n * 4) Reg.r6) Reg.r2 (* one past the end *);
+           movi Reg.r0 1;
+           call_import "print_int";
+         ]
+        @ exit0);
+    ]
+
+(* Use after free. *)
+let uaf_prog ?(name = "uaf") () =
+  build ~name ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ] ~entry:"main"
+    [
+      func "main"
+        ([
+           movi Reg.r0 32;
+           call_import "malloc";
+           mov Reg.r6 Reg.r0;
+           call_import "free";
+           ld Reg.r1 (mem_b ~disp:0 Reg.r6);
+           movi Reg.r0 2;
+           call_import "print_int";
+         ]
+        @ exit0);
+    ]
+
+(* Stack overflow from a frame array into the canary. *)
+let stack_smash_prog ?(name = "smash") ?(bad = true) () =
+  let locals = 24 in
+  (* 4 array slots + padding + canary at fp-4 *)
+  let writes = if bad then 6 else 4 in
+  build ~name ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ] ~entry:"main"
+    [
+      func "victim"
+        (Abi.frame_enter ~canary:true ~locals ()
+        @ [
+            movi Reg.r1 0;
+            label "w";
+            cmpi Reg.r1 writes;
+            jcc Insn.Ge "wdone";
+            lea Reg.r2 (mem_b ~disp:(-locals) Reg.fp);
+            st (mem_bi ~scale:4 Reg.r2 Reg.r1) Reg.r1;
+            addi Reg.r1 1;
+            jmp "w";
+            label "wdone";
+            movi Reg.r0 3;
+          ]
+        @ Abi.frame_leave ~canary:true ~locals ())
+      (* note: with 6 writes the 6th (index 5) lands on fp-4, the canary *);
+      func "main" ([ call "victim"; call_import "print_int" ] @ exit0);
+    ]
+
+(* JIT: generate "mov r0, 123; ret" at run time and call it. *)
+let jit_prog ?(name = "jitprog") ?(value = 123) () =
+  let code =
+    List.fold_left
+      (fun (acc, a) i -> (acc ^ Encode.encode ~at:a i, a + Encode.length i))
+      ("", 0)
+      [ Insn.Mov (Reg.r0, Insn.Imm value); Insn.Ret ]
+    |> fst
+  in
+  let store_code =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           [
+             movi Reg.r2 (Char.code c);
+             I (Jt_asm.Sinsn.Sstore (Insn.W1, mem_b ~disp:i Reg.r6, Jt_asm.Sinsn.Sreg Reg.r2));
+           ])
+         (List.init (String.length code) (String.get code)))
+  in
+  build ~name ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ] ~entry:"main"
+    [
+      func "main"
+        ([ movi Reg.r0 64; syscall Sysno.mmap_code; mov Reg.r6 Reg.r0 ]
+        @ store_code
+        @ [
+            mov Reg.r0 Reg.r6;
+            movi Reg.r1 64;
+            syscall Sysno.cache_flush;
+            call_reg Reg.r6;
+            call_import "print_int";
+          ]
+        @ exit0);
+    ]
+
+(* A shared library loaded via dlopen, never declared in deps. *)
+let plugin =
+  build ~name:"plugin.so" ~kind:Jt_obj.Objfile.Shared
+    [ func ~exported:true "answer" [ movi Reg.r0 777; ret ] ]
+
+let dlopen_prog ?(name = "dlo") () =
+  build ~name ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ] ~entry:"main"
+    ~datas:
+      [
+        data "modname" [ Dbytes "plugin.so\x00" ];
+        data "symname" [ Dbytes "answer\x00" ];
+      ]
+    [
+      func "main"
+        ([
+           addr_of_data ~pic:false Reg.r0 "modname";
+           syscall Sysno.dlopen;
+           addr_of_data ~pic:false Reg.r1 "symname";
+           syscall Sysno.dlsym;
+           call_reg Reg.r0;
+           call_import "print_int";
+         ]
+        @ exit0);
+    ]
+
+(* Indirect calls through a function-pointer table + a switch via an
+   inline jump table: exercises CFI-relevant control flow. *)
+let indirect_prog ?(name = "indirect") () =
+  build ~name ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ] ~entry:"main"
+    ~datas:[ data "table" [ Dfuncptr "addone"; Dfuncptr "double_" ] ]
+    [
+      func "addone" [ addi Reg.r0 1; ret ];
+      func "double_" [ add Reg.r0 Reg.r0; ret ];
+      func "main"
+        ([
+           movi Reg.r0 10;
+           addr_of_data ~pic:false Reg.r3 "table";
+           ld Reg.r4 (mem_b ~disp:0 Reg.r3);
+           call_reg Reg.r4 (* 11 *);
+           ld Reg.r4 (mem_b ~disp:4 Reg.r3);
+           call_reg Reg.r4 (* 22 *);
+           (* switch(1) via inline table, with the bounds check every
+              compiled switch carries (and jump-table recovery keys on) *)
+           movi Reg.r1 1;
+           cmpi Reg.r1 1;
+           jcc Insn.Ugt "out";
+           addr_of_label ~pic:false Reg.r2 "jt";
+           I (Jt_asm.Sinsn.Sjmp_ind_m (mem_bi ~scale:4 Reg.r2 Reg.r1));
+           label "jt";
+           Inline_table [ "c0"; "c1" ];
+           label "c0";
+           addi Reg.r0 100;
+           jmp "out";
+           label "c1";
+           addi Reg.r0 200;
+           label "out";
+           call_import "print_int";
+         ]
+        @ exit0);
+    ]
+
+let registry_for m = [ m; libc; plugin ]
+
+let run_native m =
+  Jt_vm.Vm.run_native ~registry:(registry_for m) ~main:m.Jt_obj.Objfile.name ()

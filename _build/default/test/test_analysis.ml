@@ -1,0 +1,300 @@
+(* Helper analyses: liveness, canary detection, SCEV, def-use, stack. *)
+
+open Jt_isa
+open Jt_asm.Builder
+open Jt_asm.Builder.Dsl
+
+let analyze_main funcs =
+  let m =
+    build ~name:"anl" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+      ~entry:"main" funcs
+  in
+  let sa = Janitizer.Static_analyzer.analyze m in
+  let main_addr = (Jt_obj.Objfile.find_symbol m "main" |> Option.get).vaddr in
+  ( m,
+    sa,
+    List.find
+      (fun (fa : Janitizer.Static_analyzer.fn_analysis) ->
+        fa.fa_fn.Jt_cfg.Cfg.f_entry = main_addr)
+      sa.sa_fns )
+
+(* Address of the k-th instruction of the function (by disassembly order). *)
+let insn_addrs (fa : Janitizer.Static_analyzer.fn_analysis) =
+  List.concat_map
+    (fun (b : Jt_cfg.Cfg.block) ->
+      Array.to_list (Array.map (fun i -> i.Jt_disasm.Disasm.d_addr) b.b_insns))
+    (Jt_cfg.Cfg.fn_blocks fa.fa_fn)
+  |> List.sort compare
+
+let test_liveness_dead_after_last_use () =
+  (* r1 dies after the mov r0, r1; flags die after the jcc consumer. *)
+  let _, _, fa =
+    analyze_main
+      [
+        func "main"
+          [
+            movi Reg.r1 5;
+            cmpi Reg.r1 3;
+            jcc Insn.Gt "big";
+            label "big";
+            mov Reg.r0 Reg.r1;
+            (* here r1 is dead *)
+            movi Reg.r2 0;
+            syscall Sysno.exit_;
+          ];
+      ]
+  in
+  let addrs = insn_addrs fa in
+  let live = fa.fa_liveness in
+  (* before `mov r0, r1` (4th insn): flags have no remaining reader, and
+     r3 was never live.  (r1 itself stays live: the exit syscall
+     conservatively reads the argument registers.) *)
+  let at = List.nth addrs 3 in
+  Alcotest.(check bool)
+    "r3 dead" true
+    (List.exists (Reg.equal Reg.r3) (Jt_analysis.Liveness.dead_regs_before live at));
+  Alcotest.(check bool) "flags dead" true
+    (Jt_analysis.Liveness.flags_dead_before live at);
+  (* before the jcc (3rd insn), flags are live *)
+  let at_jcc = List.nth addrs 2 in
+  Alcotest.(check bool) "flags live at jcc" false
+    (Jt_analysis.Liveness.flags_dead_before live at_jcc)
+
+let test_liveness_across_blocks () =
+  (* r6 set in entry, used after the loop: must stay live through it. *)
+  let _, _, fa =
+    analyze_main
+      [
+        func "main"
+          [
+            movi Reg.r6 42;
+            movi Reg.r1 0;
+            label "head";
+            cmpi Reg.r1 4;
+            jcc Insn.Ge "done";
+            addi Reg.r1 1;
+            jmp "head";
+            label "done";
+            mov Reg.r0 Reg.r6;
+            syscall Sysno.exit_;
+          ];
+      ]
+  in
+  let addrs = insn_addrs fa in
+  let live = fa.fa_liveness in
+  (* inside the loop (the addi, 5th insn), r6 is live *)
+  let at = List.nth addrs 4 in
+  Alcotest.(check bool)
+    "r6 live in loop" false
+    (List.exists (Reg.equal Reg.r6) (Jt_analysis.Liveness.dead_regs_before live at))
+
+let test_liveness_conservative_fallback () =
+  let _, _, fa =
+    analyze_main [ func "main" [ movi Reg.r0 0; syscall Sysno.exit_ ] ]
+  in
+  let c = Jt_analysis.Liveness.conservative fa.fa_fn in
+  let addrs = insn_addrs fa in
+  Alcotest.(check (list bool))
+    "nothing dead" []
+    (List.filter_map
+       (fun a ->
+         if Jt_analysis.Liveness.dead_regs_before c a <> [] then Some true else None)
+       addrs)
+
+let test_canary_detection () =
+  let _, _, fa =
+    analyze_main
+      [
+        func "main"
+          (Abi.frame_enter ~canary:true ~locals:16 ()
+          @ [ sti (Abi.local 16 0) 1 ]
+          @ Abi.frame_leave ~canary:true ~locals:16 ()
+          @ [ movi Reg.r0 0; syscall Sysno.exit_ ]);
+      ]
+  in
+  match fa.fa_canaries with
+  | [ site ] ->
+    Alcotest.(check int) "slot at fp-4" (-4) site.c_slot_disp;
+    Alcotest.(check int) "one check load" 1 (List.length site.c_check_loads)
+  | l -> Alcotest.failf "expected 1 canary site, got %d" (List.length l)
+
+let test_scev_hoistable_loop () =
+  let _, _, fa =
+    analyze_main
+      [
+        func "main"
+          [
+            movi Reg.r6 0x5000_0000;
+            movi Reg.r1 0;
+            label "head";
+            cmpi Reg.r1 8;
+            jcc Insn.Ge "done";
+            st (mem_bi ~scale:4 Reg.r6 Reg.r1) Reg.r1;
+            addi Reg.r1 1;
+            jmp "head";
+            label "done";
+            movi Reg.r0 0;
+            syscall Sysno.exit_;
+          ];
+      ]
+  in
+  match fa.fa_scev with
+  | [ s ] ->
+    Alcotest.(check int) "init 0" 0 s.ls_init;
+    Alcotest.(check bool) "imm bound" true (s.ls_bound = Jt_analysis.Scev.Bimm 8);
+    Alcotest.(check int) "one affine access" 1 (List.length s.ls_affine)
+  | l -> Alcotest.failf "expected 1 summary, got %d" (List.length l)
+
+let test_scev_bails () =
+  (* register bound, step 2, and jne-style loops must all bail *)
+  let bail_cases =
+    [
+      (* register bound *)
+      [
+        movi Reg.r2 8; movi Reg.r1 0; label "h"; cmp Reg.r1 Reg.r2;
+        jcc Insn.Ge "d"; st (mem_bi ~scale:4 Reg.r6 Reg.r1) Reg.r1;
+        addi Reg.r1 1; jmp "h"; label "d"; movi Reg.r0 0; syscall Sysno.exit_;
+      ];
+      (* step 2 *)
+      [
+        movi Reg.r1 0; label "h"; cmpi Reg.r1 8; jcc Insn.Ge "d";
+        st (mem_bi ~scale:4 Reg.r6 Reg.r1) Reg.r1; addi Reg.r1 2; jmp "h";
+        label "d"; movi Reg.r0 0; syscall Sysno.exit_;
+      ];
+      (* jne loop shape *)
+      [
+        movi Reg.r1 0; label "h"; cmpi Reg.r1 8; jcc Insn.Eq "d";
+        st (mem_bi ~scale:4 Reg.r6 Reg.r1) Reg.r1; addi Reg.r1 1; jmp "h";
+        label "d"; movi Reg.r0 0; syscall Sysno.exit_;
+      ];
+    ]
+  in
+  List.iteri
+    (fun i body ->
+      let _, _, fa = analyze_main [ func "main" body ] in
+      Alcotest.(check int) (Printf.sprintf "case %d bails" i) 0
+        (List.length fa.fa_scev))
+    bail_cases
+
+let test_defuse_traces_malloc () =
+  let _, _, fa =
+    analyze_main
+      [
+        func "main"
+          [
+            movi Reg.r0 32;
+            call_import "malloc";
+            mov Reg.r6 Reg.r0;
+            addi Reg.r6 8;
+            st (mem_b ~disp:0 Reg.r6) Reg.r0;
+            movi Reg.r0 0;
+            syscall Sysno.exit_;
+          ];
+      ]
+  in
+  let du = Jt_analysis.Defuse.analyze fa.fa_fn in
+  let addrs = insn_addrs fa in
+  (* at the store (5th insn), r6 derives from the call (allocation site) *)
+  let at_store = List.nth addrs 4 in
+  let from_call =
+    Jt_analysis.Defuse.traces_to du at_store Reg.r6 ~pred:(fun i ->
+        match i with Insn.Call _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "r6 from malloc" true from_call;
+  (* r1 is unrelated *)
+  let from_call_r1 =
+    Jt_analysis.Defuse.traces_to du at_store Reg.r1 ~pred:(fun i ->
+        match i with Insn.Call _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "r1 unrelated" false from_call_r1
+
+let test_interproc_summaries () =
+  (* leaf touches only r1; mid calls leaf; main calls mid.  The clobber
+     summary of mid must be exactly {r1} ∪ mid's own writes, letting
+     liveness keep r4 dead across the calls even without trusting the
+     calling convention. *)
+  let m =
+    build ~name:"ipa" ~kind:Jt_obj.Objfile.Exec_nonpic
+      ~features:[ Jt_obj.Objfile.Breaks_calling_convention ] ~entry:"main"
+      [
+        func "leaf" [ addi Reg.r1 1; ret ];
+        func "mid" [ call "leaf"; addi Reg.r2 1; ret ];
+        func "main"
+          [
+            movi Reg.r4 7;
+            call "mid";
+            mov Reg.r0 Reg.r4;
+            syscall Sysno.exit_;
+          ];
+      ]
+  in
+  let cfg = Jt_cfg.Cfg.build (Jt_disasm.Disasm.run m) in
+  let summaries = Jt_analysis.Interproc.summaries cfg in
+  let addr_of name = (Jt_obj.Objfile.find_symbol m name |> Option.get).vaddr in
+  let mid = Hashtbl.find summaries (addr_of "mid") in
+  let mask rs = Jt_analysis.Liveness.reg_mask rs in
+  Alcotest.(check bool)
+    "mid clobbers r1,r2 (+sp), not r4" true
+    (mid.ip_clobbers land mask [ Reg.r4 ] = 0
+    && mid.ip_clobbers land mask [ Reg.r1; Reg.r2 ] = mask [ Reg.r1; Reg.r2 ]);
+  (* calling something with an indirect call is summarized as everything *)
+  let sa = Janitizer.Static_analyzer.analyze m in
+  let main_fa =
+    List.find
+      (fun (fa : Janitizer.Static_analyzer.fn_analysis) ->
+        fa.fa_fn.Jt_cfg.Cfg.f_entry = addr_of "main")
+      sa.sa_fns
+  in
+  (* at `mov r0, r4` (after the call), r5 is dead; and r4 was not
+     clobbered so the value flows — check r5 deadness as the liveness
+     witness *)
+  let mov_addr =
+    let b = Jt_cfg.Cfg.fn_blocks main_fa.fa_fn in
+    List.concat_map
+      (fun (b : Jt_cfg.Cfg.block) ->
+        Array.to_list
+          (Array.map (fun i -> (i.Jt_disasm.Disasm.d_addr, i.d_insn)) b.b_insns))
+      b
+    |> List.find_map (fun (a, i) ->
+           match i with Jt_isa.Insn.Mov (_, Jt_isa.Insn.Reg _) -> Some a | _ -> None)
+    |> Option.get
+  in
+  Alcotest.(check bool)
+    "r5 dead after call in convention-breaking module" true
+    (List.exists (Reg.equal Reg.r5)
+       (Jt_analysis.Liveness.dead_regs_before main_fa.fa_liveness mov_addr))
+
+let test_stackinfo () =
+  let _, _, fa =
+    analyze_main
+      [
+        func "main"
+          (Abi.frame_enter ~canary:true ~locals:24 ()
+          @ Abi.frame_leave ~canary:true ~locals:24 ()
+          @ [ movi Reg.r0 0; syscall Sysno.exit_ ]);
+      ]
+  in
+  let info = fa.fa_stack in
+  Alcotest.(check (option int)) "frame" (Some 24) info.s_frame_size;
+  Alcotest.(check bool) "canary" true info.s_has_canary_pattern;
+  Alcotest.(check bool) "push bytes" true (info.s_push_bytes >= 4)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "liveness",
+        [
+          Alcotest.test_case "dead after use" `Quick test_liveness_dead_after_last_use;
+          Alcotest.test_case "across blocks" `Quick test_liveness_across_blocks;
+          Alcotest.test_case "conservative" `Quick test_liveness_conservative_fallback;
+        ] );
+      ("canary", [ Alcotest.test_case "detection" `Quick test_canary_detection ]);
+      ( "scev",
+        [
+          Alcotest.test_case "hoistable" `Quick test_scev_hoistable_loop;
+          Alcotest.test_case "bails" `Quick test_scev_bails;
+        ] );
+      ("defuse", [ Alcotest.test_case "malloc chain" `Quick test_defuse_traces_malloc ]);
+      ("interproc", [ Alcotest.test_case "summaries" `Quick test_interproc_summaries ]);
+      ("stack", [ Alcotest.test_case "info" `Quick test_stackinfo ]);
+    ]

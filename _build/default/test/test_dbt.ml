@@ -1,0 +1,129 @@
+(* The DBT engine must be transparent: same output and exit status as
+   native execution, with overhead showing up only in the cycle count. *)
+
+let all_progs () =
+  [
+    ("sum", Progs.sum_prog (), Some (Progs.sum_expected 50));
+    ("jit", Progs.jit_prog (), Some "123\n");
+    ("dlopen", Progs.dlopen_prog (), Some "777\n");
+    ("indirect", Progs.indirect_prog (), Some "222\n");
+    ("smash-good", Progs.stack_smash_prog ~bad:false (), Some "3\n");
+  ]
+
+let run_null m =
+  let vm = Jt_vm.Vm.make ~registry:(Progs.registry_for m) in
+  let engine = Jt_dbt.Dbt.create ~vm () in
+  Jt_vm.Vm.boot vm ~main:m.Jt_obj.Objfile.name;
+  Jt_dbt.Dbt.run engine;
+  (Jt_vm.Vm.result vm, engine)
+
+let test_transparency () =
+  List.iter
+    (fun (name, m, expected) ->
+      let native = Progs.run_native m in
+      let under_dbt, _ = run_null m in
+      Alcotest.(check string)
+        (name ^ " output") native.Jt_vm.Vm.r_output under_dbt.Jt_vm.Vm.r_output;
+      (match expected with
+      | Some e -> Alcotest.(check string) (name ^ " expected") e native.r_output
+      | None -> ());
+      Alcotest.(check bool)
+        (name ^ " exits") true
+        (match (native.r_status, under_dbt.r_status) with
+        | Jt_vm.Vm.Exited a, Jt_vm.Vm.Exited b -> a = b
+        | _ -> false);
+      Alcotest.(check bool)
+        (name ^ " dbt costs more") true
+        (under_dbt.r_cycles > native.r_cycles);
+      Alcotest.(check int)
+        (name ^ " same instruction count") native.r_icount under_dbt.r_icount)
+    (all_progs ())
+
+let test_code_cache_reuse () =
+  (* Loop-heavy program: executed blocks far exceed translated blocks. *)
+  let m = Progs.sum_prog ~n:200 () in
+  let _, engine = run_null m in
+  let s = Jt_dbt.Dbt.stats engine in
+  let translated = s.st_blocks_static + s.st_blocks_dynamic in
+  Alcotest.(check bool) "reuse" true (s.st_block_execs > 4 * translated)
+
+let test_jit_blocks_are_dynamic () =
+  let m = Progs.jit_prog () in
+  let _, engine = run_null m in
+  let s = Jt_dbt.Dbt.stats engine in
+  (* No rules registered at all, so with a null client everything is
+     "dynamic"; the point here is that JIT code translates and runs. *)
+  Alcotest.(check bool) "has dynamic blocks" true (s.st_blocks_dynamic > 0)
+
+let test_cache_flush_invalidation () =
+  (* Regenerate code at the same address with different constants; without
+     flush handling the second call would return the stale value. *)
+  let open Jt_isa in
+  let open Jt_asm.Builder in
+  let open Jt_asm.Builder.Dsl in
+  let gen value =
+    List.fold_left
+      (fun (acc, a) i -> (acc ^ Encode.encode ~at:a i, a + Encode.length i))
+      ("", 0)
+      [ Insn.Mov (Reg.r0, Insn.Imm value); Insn.Ret ]
+    |> fst
+  in
+  let store_bytes code =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           [
+             movi Reg.r2 (Char.code c);
+             I (Jt_asm.Sinsn.Sstore (Insn.W1, mem_b ~disp:i Reg.r6, Jt_asm.Sinsn.Sreg Reg.r2));
+           ])
+         (List.init (String.length code) (String.get code)))
+  in
+  let m =
+    build ~name:"regen" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+      ~entry:"main"
+      [
+        func "main"
+          ([ movi Reg.r0 64; syscall Sysno.mmap_code; mov Reg.r6 Reg.r0 ]
+          @ store_bytes (gen 1)
+          @ [
+              mov Reg.r0 Reg.r6; movi Reg.r1 64; syscall Sysno.cache_flush;
+              call_reg Reg.r6; call_import "print_int";
+            ]
+          @ store_bytes (gen 2)
+          @ [
+              mov Reg.r0 Reg.r6; movi Reg.r1 64; syscall Sysno.cache_flush;
+              call_reg Reg.r6; call_import "print_int";
+            ]
+          @ Progs.exit0);
+      ]
+  in
+  let native = Progs.run_native m in
+  Alcotest.(check string) "native sees regen" "1\n2\n" native.r_output;
+  let under_dbt, _ = run_null m in
+  Alcotest.(check string) "dbt sees regen" "1\n2\n" under_dbt.r_output
+
+let test_lightweight_profile_cheaper () =
+  let m = Progs.sum_prog ~n:100 () in
+  let run profile =
+    let vm = Jt_vm.Vm.make ~registry:(Progs.registry_for m) in
+    let engine = Jt_dbt.Dbt.create ~vm ~profile () in
+    Jt_vm.Vm.boot vm ~main:"sum";
+    Jt_dbt.Dbt.run engine;
+    (Jt_vm.Vm.result vm).r_cycles
+  in
+  Alcotest.(check bool)
+    "lightweight < dynamorio for translation-dominated runs" true
+    (run Jt_dbt.Dbt.lightweight < run Jt_dbt.Dbt.dynamorio + 10_000)
+
+let () =
+  Alcotest.run "dbt"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "transparency" `Quick test_transparency;
+          Alcotest.test_case "code-cache reuse" `Quick test_code_cache_reuse;
+          Alcotest.test_case "jit dynamic blocks" `Quick test_jit_blocks_are_dynamic;
+          Alcotest.test_case "cache flush" `Quick test_cache_flush_invalidation;
+          Alcotest.test_case "profiles" `Quick test_lightweight_profile_cheaper;
+        ] );
+    ]

@@ -1,0 +1,162 @@
+(* Static disassembly: coverage, jump tables, data-in-code, scanning. *)
+
+open Jt_isa
+open Jt_asm.Builder
+open Jt_asm.Builder.Dsl
+
+let simple_module () =
+  build ~name:"simple" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+    [
+      func "helper" [ addi Reg.r0 1; ret ];
+      func "main"
+        [
+          movi Reg.r0 5;
+          call "helper";
+          cmpi Reg.r0 3;
+          jcc Insn.Gt "big";
+          movi Reg.r1 0;
+          jmp "out";
+          label "big";
+          movi Reg.r1 1;
+          label "out";
+          syscall Sysno.exit_;
+        ];
+    ]
+
+let test_full_coverage () =
+  let m = simple_module () in
+  let d = Jt_disasm.Disasm.run m in
+  let covered, total = Jt_disasm.Disasm.code_stats d in
+  (* Everything except inter-function alignment padding decodes. *)
+  Alcotest.(check bool) "high coverage" true (covered * 100 / total > 90);
+  (* Function entries: _init, _fini, helper, main. *)
+  Alcotest.(check int) "entries" 4 (List.length d.func_entries)
+
+let test_blocks_split_at_targets () =
+  let m = simple_module () in
+  let d = Jt_disasm.Disasm.run m in
+  let main = Jt_obj.Objfile.find_symbol m "main" |> Option.get in
+  let leaders = Jt_disasm.Disasm.block_starts d in
+  (* main entry, post-call return site, taken target "big", join "out" ... *)
+  let in_main =
+    List.filter (fun a -> a >= main.vaddr && a < main.vaddr + main.size) leaders
+  in
+  Alcotest.(check bool) "several leaders in main" true (List.length in_main >= 4)
+
+let test_data_in_code_not_decoded () =
+  let blob = String.make 64 '\xF9' in
+  let m =
+    build ~name:"datty" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+      [ func "main" [ movi Reg.r0 0; syscall Sysno.exit_; label "d"; Bytes blob ] ]
+  in
+  let d = Jt_disasm.Disasm.run m in
+  let main = Jt_obj.Objfile.find_symbol m "main" |> Option.get in
+  (* the blob starts 8 bytes into main *)
+  Alcotest.(check bool)
+    "blob not decoded" false
+    (Jt_disasm.Disasm.is_insn_boundary d (main.vaddr + 8 + 1))
+
+let jump_table_module () =
+  build ~name:"jt" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+    [
+      func "main"
+        [
+          movi Reg.r1 2;
+          cmpi Reg.r1 2;
+          jcc Insn.Ugt "out";
+          addr_of_label ~pic:false Reg.r2 "table";
+          I (Jt_asm.Sinsn.Sjmp_ind_m (mem_bi ~scale:4 Reg.r2 Reg.r1));
+          label "table";
+          Inline_table [ "a"; "b"; "c" ];
+          label "a";
+          movi Reg.r0 1;
+          jmp "out";
+          label "b";
+          movi Reg.r0 2;
+          jmp "out";
+          label "c";
+          movi Reg.r0 3;
+          label "out";
+          syscall Sysno.exit_;
+        ];
+    ]
+
+let test_jump_table_recovery () =
+  let d = Jt_disasm.Disasm.run (jump_table_module ()) in
+  match d.jump_tables with
+  | [ (_, targets) ] -> Alcotest.(check int) "3 targets" 3 (List.length targets)
+  | l -> Alcotest.failf "expected 1 recovered table, got %d" (List.length l)
+
+let test_pointer_scan () =
+  (* A non-PIC module materializing &helper as an immediate: the sliding
+     window must find it. *)
+  let m =
+    build ~name:"scan" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+      [
+        func "helper" [ ret ];
+        func "main"
+          [ addr_of_func ~pic:false Reg.r1 "helper"; call_reg Reg.r1;
+            movi Reg.r0 0; syscall Sysno.exit_ ];
+      ]
+  in
+  let helper = (Jt_obj.Objfile.find_symbol m "helper" |> Option.get).vaddr in
+  let hits = Jt_disasm.Disasm.scan_code_pointers m in
+  Alcotest.(check bool) "helper found" true (List.mem helper hits)
+
+let test_speculative_boundary () =
+  let m = simple_module () in
+  let main = (Jt_obj.Objfile.find_symbol m "main" |> Option.get).vaddr in
+  Alcotest.(check bool)
+    "entry decodes" true
+    (Jt_disasm.Disasm.speculative_insn_boundary m main);
+  Alcotest.(check bool)
+    "mid-immediate does not" false
+    (* main starts with movi (6 bytes): offset 2 is inside the imm32 *)
+    (Jt_disasm.Disasm.speculative_insn_boundary m (main + 2)
+    && Jt_disasm.Disasm.speculative_insn_boundary m (main + 3))
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_listing () =
+  let m = simple_module () in
+  let d = Jt_disasm.Disasm.run m in
+  let listing = Format.asprintf "%a" Jt_disasm.Disasm.pp_listing d in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("listing mentions " ^ needle) true
+        (contains ~needle listing))
+    [ "<main>:"; "<helper>:"; "call"; "section .text" ]
+
+let test_plt_seeded () =
+  let m =
+    build ~name:"pltm" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+      ~entry:"main"
+      [ func "main" [ call_import "malloc"; movi Reg.r0 0; syscall Sysno.exit_ ] ]
+  in
+  let d = Jt_disasm.Disasm.run m in
+  let plt = Jt_obj.Objfile.find_section m ".plt" |> Option.get in
+  Alcotest.(check bool)
+    "plt stub decoded" true
+    (Jt_disasm.Disasm.is_insn_boundary d plt.vaddr)
+
+let () =
+  Alcotest.run "disasm"
+    [
+      ( "traversal",
+        [
+          Alcotest.test_case "coverage" `Quick test_full_coverage;
+          Alcotest.test_case "block splitting" `Quick test_blocks_split_at_targets;
+          Alcotest.test_case "data in code" `Quick test_data_in_code_not_decoded;
+          Alcotest.test_case "jump table" `Quick test_jump_table_recovery;
+          Alcotest.test_case "plt" `Quick test_plt_seeded;
+          Alcotest.test_case "listing" `Quick test_listing;
+        ] );
+      ( "scanning",
+        [
+          Alcotest.test_case "pointer scan" `Quick test_pointer_scan;
+          Alcotest.test_case "speculative" `Quick test_speculative_boundary;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+(* Property: for random (terminating) programs, execution under the DBT
+   engine — with and without JASan attached — is observationally
+   equivalent to native interpretation.  This is the soundness claim at
+   the heart of the paper: run-time modification must never change what
+   a working program computes. *)
+
+open Jt_isa
+open Jt_asm.Builder
+open Jt_asm.Builder.Dsl
+
+type sop =
+  | Alu of Insn.binop * int * int  (* reg idx 0-5, imm *)
+  | Movi of int * int
+  | St of int * int  (* reg, word offset *)
+  | Ld of int * int
+  | Pushpop of int
+  | Fwd of int  (* unconditional skip *)
+  | Cmpfwd of Insn.cond * int * int * int  (* cond, reg, imm, skip *)
+
+type seg = sop list
+
+let reg i = Reg.of_index (i mod 6)
+
+let gen_sop =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map3
+        (fun op r v -> Alu (op, r, v))
+        (oneofl [ Insn.Add; Insn.Sub; Insn.And; Insn.Or; Insn.Xor; Insn.Mul ])
+        (int_bound 5) (int_bound 1000);
+      map2 (fun r v -> Movi (r, v)) (int_bound 5) (int_bound 100000);
+      map2 (fun r o -> St (r, o)) (int_bound 5) (int_bound 60);
+      map2 (fun r o -> Ld (r, o)) (int_bound 5) (int_bound 60);
+      map (fun r -> Pushpop r) (int_bound 5);
+      map (fun k -> Fwd (1 + (k mod 3))) (int_bound 10);
+      (let* c = oneofl [ Insn.Eq; Insn.Ne; Insn.Lt; Insn.Ugt; Insn.Le ] in
+       let* r = int_bound 5 in
+       let* v = int_bound 50 in
+       let* k = int_bound 3 in
+       return (Cmpfwd (c, r, v, 1 + k)));
+    ]
+
+let gen_prog =
+  QCheck2.Gen.(list_size (int_range 3 15) (list_size (int_range 1 6) gen_sop))
+
+let build_prog (segs : seg list) =
+  let n = List.length segs in
+  let seg_label i = Printf.sprintf "s%d" (min i n) in
+  let items =
+    List.concat
+      (List.mapi
+         (fun i ops ->
+           label (seg_label i)
+           :: List.concat_map
+                (fun op ->
+                  match op with
+                  | Alu (o, r, v) -> [ binopi o (reg r) v ]
+                  | Movi (r, v) -> [ movi (reg r) v ]
+                  | St (r, o) -> [ st (mem_b ~disp:(4 * o) Reg.r6) (reg r) ]
+                  | Ld (r, o) -> [ ld (reg r) (mem_b ~disp:(4 * o) Reg.r6) ]
+                  | Pushpop r -> [ push (reg r); pop (reg r) ]
+                  | Fwd k -> [ jmp (seg_label (i + k)) ]
+                  | Cmpfwd (c, r, v, k) ->
+                    [ cmpi (reg r) v; jcc c (seg_label (i + k)) ])
+                ops)
+         segs)
+  in
+  let out =
+    List.concat_map
+      (fun r -> [ mov Reg.r0 (reg r); syscall Sysno.write_int ])
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  build ~name:"rand" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+    ~entry:"main"
+    ~datas:[ data "buf" [ Dspace 256 ] ]
+    [
+      func "main"
+        ([ addr_of_data ~pic:false Reg.r6 "buf" ]
+        @ items
+        @ [ label (seg_label n) ]
+        @ out
+        @ [ movi Reg.r0 0; syscall Sysno.exit_ ]);
+    ]
+
+let observe (r : Jt_vm.Vm.result) = (r.r_status, r.r_output, r.r_icount)
+
+let run_native m = observe (Progs.run_native m)
+
+let run_dbt m =
+  let vm = Jt_vm.Vm.make ~registry:(Progs.registry_for m) in
+  let engine = Jt_dbt.Dbt.create ~vm () in
+  Jt_vm.Vm.boot vm ~main:"rand";
+  Jt_dbt.Dbt.run engine;
+  observe (Jt_vm.Vm.result vm)
+
+let run_jasan m =
+  let tool, _ = Jt_jasan.Jasan.create () in
+  let o =
+    Janitizer.Driver.run ~tool ~registry:(Progs.registry_for m) ~main:"rand" ()
+  in
+  observe o.o_result
+
+let run_jcfi m =
+  let tool, _ = Jt_jcfi.Jcfi.create () in
+  let o =
+    Janitizer.Driver.run ~tool ~registry:(Progs.registry_for m) ~main:"rand" ()
+  in
+  observe o.o_result
+
+let prop_dbt_transparent =
+  QCheck2.Test.make ~name:"DBT == interpreter on random programs" ~count:120
+    gen_prog (fun segs ->
+      let m = build_prog segs in
+      run_native m = run_dbt m)
+
+let prop_jasan_transparent =
+  QCheck2.Test.make ~name:"JASan-instrumented == native (observable)"
+    ~count:60 gen_prog (fun segs ->
+      let m = build_prog segs in
+      let s, out, _ = run_native m in
+      let s', out', _ = run_jasan m in
+      s = s' && out = out')
+
+let prop_jcfi_transparent =
+  QCheck2.Test.make ~name:"JCFI-instrumented == native (observable)" ~count:60
+    gen_prog (fun segs ->
+      let m = build_prog segs in
+      let s, out, _ = run_native m in
+      let s', out', _ = run_jcfi m in
+      s = s' && out = out')
+
+let () =
+  Alcotest.run "equivalence"
+    [
+      ( "transparency",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_dbt_transparent; prop_jasan_transparent; prop_jcfi_transparent ]
+      );
+    ]

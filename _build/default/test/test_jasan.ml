@@ -1,0 +1,191 @@
+(* JASan detection and soundness tests, in hybrid and dynamic-only modes. *)
+
+let run_jasan ?(hybrid = true) ?(liveness = Jt_jasan.Jasan.Live_full) m =
+  let tool, _rt = Jt_jasan.Jasan.create ~liveness () in
+  Janitizer.Driver.run ~hybrid ~tool ~registry:(Progs.registry_for m)
+    ~main:m.Jt_obj.Objfile.name ()
+
+let kinds (o : Janitizer.Driver.outcome) =
+  List.sort_uniq compare
+    (List.map (fun v -> v.Jt_vm.Vm.v_kind) o.o_result.r_violations)
+
+let check_clean name (o : Janitizer.Driver.outcome) expected_out =
+  Alcotest.(check (list string)) (name ^ " no violations") [] (kinds o);
+  Alcotest.(check string) (name ^ " output") expected_out o.o_result.r_output
+
+let test_clean_program () =
+  let m = Progs.sum_prog () in
+  check_clean "hybrid" (run_jasan m) (Progs.sum_expected 50);
+  check_clean "dyn" (run_jasan ~hybrid:false m) (Progs.sum_expected 50)
+
+let test_heap_overflow_detected () =
+  let m = Progs.heap_overflow_prog () in
+  List.iter
+    (fun (label, hybrid) ->
+      let o = run_jasan ~hybrid m in
+      Alcotest.(check (list string))
+        (label ^ " detects")
+        [ "heap-buffer-overflow" ] (kinds o);
+      (* recover mode: the program still completes *)
+      Alcotest.(check string) (label ^ " output") "1\n" o.o_result.r_output)
+    [ ("hybrid", true); ("dyn", false) ]
+
+let test_uaf_detected () =
+  let m = Progs.uaf_prog () in
+  List.iter
+    (fun (label, hybrid) ->
+      let o = run_jasan ~hybrid m in
+      Alcotest.(check (list string))
+        (label ^ " detects")
+        [ "heap-use-after-free" ] (kinds o))
+    [ ("hybrid", true); ("dyn", false) ]
+
+let test_stack_smash_detected () =
+  let m = Progs.stack_smash_prog ~bad:true () in
+  List.iter
+    (fun (label, hybrid) ->
+      let o = run_jasan ~hybrid m in
+      Alcotest.(check bool)
+        (label ^ " detects stack overflow")
+        true
+        (List.mem "stack-buffer-overflow" (kinds o)))
+    [ ("hybrid", true); ("dyn", false) ]
+
+let test_stack_good_clean () =
+  let m = Progs.stack_smash_prog ~bad:false () in
+  List.iter
+    (fun (label, hybrid) ->
+      let o = run_jasan ~hybrid m in
+      Alcotest.(check (list string)) (label ^ " clean") [] (kinds o);
+      Alcotest.(check string) (label ^ " output") "3\n" o.o_result.r_output)
+    [ ("hybrid", true); ("dyn", false) ]
+
+let test_jit_code_covered () =
+  (* Dynamically generated code must still be sanitized: generate code
+     that stores past a heap buffer. *)
+  let open Jt_isa in
+  let open Jt_asm.Builder in
+  let open Jt_asm.Builder.Dsl in
+  (* JIT body: st4 [r6 + 32], r0 ; ret   — r6 points to a 32-byte buffer *)
+  let code =
+    List.fold_left
+      (fun (acc, a) i -> (acc ^ Encode.encode ~at:a i, a + Encode.length i))
+      ("", 0)
+      [ Insn.Store (Insn.W4, Insn.mem_base ~disp:32 Reg.r6, Insn.Reg Reg.r0); Insn.Ret ]
+    |> fst
+  in
+  let store_bytes =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           [
+             movi Reg.r2 (Char.code c);
+             I (Jt_asm.Sinsn.Sstore (Insn.W1, mem_b ~disp:i Reg.r7, Jt_asm.Sinsn.Sreg Reg.r2));
+           ])
+         (List.init (String.length code) (String.get code)))
+  in
+  let m =
+    build ~name:"jit_ov" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+      ~entry:"main"
+      [
+        func "main"
+          ([
+             movi Reg.r0 32; call_import "malloc"; mov Reg.r6 Reg.r0;
+             movi Reg.r0 64; syscall Sysno.mmap_code; mov Reg.r7 Reg.r0;
+           ]
+          @ store_bytes
+          @ [
+              mov Reg.r0 Reg.r7; movi Reg.r1 64; syscall Sysno.cache_flush;
+              call_reg Reg.r7;
+            ]
+          @ Progs.exit0);
+      ]
+  in
+  let o = run_jasan m in
+  Alcotest.(check (list string)) "jit overflow" [ "heap-buffer-overflow" ] (kinds o);
+  Alcotest.(check bool) "covered dynamically" true (o.o_dynamic_fraction > 0.0)
+
+(* A loop whose exit test (jne) defeats the SCEV pattern, so per-access
+   MEM_CHECK rules remain and liveness data matters. *)
+let churn_prog () =
+  let open Jt_isa in
+  let open Jt_asm.Builder in
+  let open Jt_asm.Builder.Dsl in
+  build ~name:"churn" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+    ~entry:"main"
+    [
+      func "main"
+        ([
+           movi Reg.r0 64;
+           call_import "malloc";
+           mov Reg.r6 Reg.r0;
+           movi Reg.r1 0;
+           label "head";
+           st (mem_b ~disp:0 Reg.r6) Reg.r1;
+           st (mem_b ~disp:4 Reg.r6) Reg.r1;
+           ld Reg.r2 (mem_b ~disp:8 Reg.r6);
+           addi Reg.r1 1;
+           cmpi Reg.r1 400;
+           jcc Insn.Ne "head";
+           mov Reg.r0 Reg.r1;
+           call_import "print_int";
+         ]
+        @ Progs.exit0);
+    ]
+
+let test_liveness_reduces_cost () =
+  let m = churn_prog () in
+  let full = run_jasan ~liveness:Jt_jasan.Jasan.Live_full m in
+  let base = run_jasan ~liveness:Jt_jasan.Jasan.Live_none m in
+  Alcotest.(check string) "full output" "400\n" full.o_result.r_output;
+  Alcotest.(check bool)
+    "full liveness cheaper" true
+    (full.o_result.r_cycles < base.o_result.r_cycles)
+
+let test_hybrid_cheaper_than_dyn () =
+  let m = Progs.sum_prog ~n:500 () in
+  let hybrid = run_jasan m in
+  let dyn = run_jasan ~hybrid:false m in
+  Alcotest.(check bool)
+    "hybrid cheaper" true
+    (hybrid.o_result.r_cycles < dyn.o_result.r_cycles)
+
+let test_static_rules_emitted () =
+  let m = Progs.sum_prog () in
+  let tool, _ = Jt_jasan.Jasan.create () in
+  let files = Janitizer.Driver.analyze_all ~tool (Progs.registry_for m) in
+  let f = List.assoc "sum" files in
+  let ids = List.map (fun r -> r.Jt_rules.Rules.rule_id) f.rf_rules in
+  Alcotest.(check bool) "has noop marks" true (List.mem Jt_rules.Rules.no_op ids);
+  Alcotest.(check bool)
+    "has checks or hoisted checks" true
+    (List.mem Jt_jasan.Jasan.Ids.mem_check ids
+    || List.mem Jt_jasan.Jasan.Ids.range_check ids);
+  (* Serialization roundtrip on real rule files. *)
+  let f' = Jt_rules.Rules.(decode_file (encode_file f)) in
+  Alcotest.(check int)
+    "roundtrip count"
+    (List.length f.rf_rules)
+    (List.length f'.rf_rules);
+  Alcotest.(check bool) "roundtrip equal" true (f = f')
+
+let () =
+  Alcotest.run "jasan"
+    [
+      ( "detection",
+        [
+          Alcotest.test_case "clean program" `Quick test_clean_program;
+          Alcotest.test_case "heap overflow" `Quick test_heap_overflow_detected;
+          Alcotest.test_case "use after free" `Quick test_uaf_detected;
+          Alcotest.test_case "stack smash" `Quick test_stack_smash_detected;
+          Alcotest.test_case "stack good" `Quick test_stack_good_clean;
+          Alcotest.test_case "jit coverage" `Quick test_jit_code_covered;
+        ] );
+      ( "performance-model",
+        [
+          Alcotest.test_case "liveness opt" `Quick test_liveness_reduces_cost;
+          Alcotest.test_case "hybrid vs dyn" `Quick test_hybrid_cheaper_than_dyn;
+        ] );
+      ( "rules",
+        [ Alcotest.test_case "static rules" `Quick test_static_rules_emitted ] );
+    ]

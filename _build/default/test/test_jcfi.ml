@@ -1,0 +1,160 @@
+(* JCFI: transparency on clean control flow, attack detection, AIR. *)
+
+open Jt_isa
+open Jt_asm.Builder
+open Jt_asm.Builder.Dsl
+
+let run_jcfi ?(hybrid = true) ?config m =
+  let tool, rt = Jt_jcfi.Jcfi.create ?config () in
+  let o =
+    Janitizer.Driver.run ~hybrid ~tool ~registry:(Progs.registry_for m)
+      ~main:m.Jt_obj.Objfile.name ()
+  in
+  (o, rt)
+
+let kinds (o : Janitizer.Driver.outcome) =
+  List.sort_uniq compare
+    (List.map (fun v -> v.Jt_vm.Vm.v_kind) o.o_result.r_violations)
+
+let test_clean_programs () =
+  List.iter
+    (fun (name, m, expected) ->
+      List.iter
+        (fun (mode, hybrid) ->
+          let o, _ = run_jcfi ~hybrid m in
+          Alcotest.(check (list string)) (name ^ "/" ^ mode ^ " clean") [] (kinds o);
+          Alcotest.(check string) (name ^ "/" ^ mode ^ " output") expected
+            o.o_result.r_output)
+        [ ("hybrid", true); ("dyn", false) ])
+    [
+      ("sum", Progs.sum_prog (), Progs.sum_expected 50);
+      ("indirect", Progs.indirect_prog (), "222\n");
+      ("dlopen", Progs.dlopen_prog (), "777\n");
+      ("jit", Progs.jit_prog (), "123\n");
+    ]
+
+(* Return-address overwrite: classic stack smash redirecting the return. *)
+let rop_prog () =
+  build ~name:"rop" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+    ~entry:"main"
+    [
+      func "gadget" [ movi Reg.r0 666; call_import "print_int"; ret ];
+      func "victim"
+        [
+          (* overwrite own return address: [sp] holds it on entry *)
+          addr_of_func ~pic:false Reg.r1 "gadget";
+          st (mem_b ~disp:0 Reg.sp) Reg.r1;
+          ret;
+        ];
+      func "main" ([ call "victim"; movi Reg.r0 1; call_import "print_int" ] @ Progs.exit0);
+    ]
+
+let test_ret_hijack_detected () =
+  let m = rop_prog () in
+  List.iter
+    (fun (mode, hybrid) ->
+      let o, _ = run_jcfi ~hybrid m in
+      Alcotest.(check bool)
+        (mode ^ " detects ret hijack")
+        true
+        (List.mem "cfi-ret" (kinds o)))
+    [ ("hybrid", true); ("dyn", false) ]
+
+(* Indirect call to a non-function address (mid-function gadget). *)
+let test_icall_to_midfunction_detected () =
+  (* Build explicitly: call target = helper entry + offset of "mid". *)
+  let m =
+    build ~name:"hijack2" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+      ~entry:"main"
+      [
+        func "helper" [ movi Reg.r0 5; addi Reg.r0 10; ret ];
+        func "main"
+          ([
+             addr_of_func ~pic:false Reg.r1 "helper";
+             addi Reg.r1 6 (* skip the 6-byte movi: lands mid-function *);
+             call_reg Reg.r1;
+             call_import "print_int";
+           ]
+          @ Progs.exit0);
+      ]
+  in
+  List.iter
+    (fun (mode, hybrid) ->
+      let o, _ = run_jcfi ~hybrid m in
+      Alcotest.(check bool)
+        (mode ^ " detects icall hijack")
+        true
+        (List.mem "cfi-icall" (kinds o)))
+    [ ("hybrid", true); ("dyn", false) ]
+
+let test_air_bounds_and_ordering () =
+  let m = Progs.indirect_prog () in
+  let o_h, rt_h = run_jcfi ~hybrid:true m in
+  let o_d, rt_d = run_jcfi ~hybrid:false m in
+  ignore o_h;
+  ignore o_d;
+  let air_h = Jt_jcfi.Air.dynamic rt_h in
+  let air_d = Jt_jcfi.Air.dynamic rt_d in
+  Alcotest.(check bool) "hybrid air in range" true (air_h > 50.0 && air_h <= 100.0);
+  Alcotest.(check bool) "dyn air in range" true (air_d > 0.0 && air_d <= 100.0);
+  Alcotest.(check bool) "hybrid >= dyn" true (air_h >= air_d)
+
+let test_static_air () =
+  let m = Progs.indirect_prog () in
+  let air = Jt_jcfi.Air.static_jcfi (Progs.registry_for m) in
+  Alcotest.(check bool) "static air sane" true (air > 90.0 && air <= 100.0)
+
+let test_forward_only_cheaper () =
+  let m = Progs.sum_prog ~n:300 () in
+  let o_fwd, _ =
+    run_jcfi ~config:{ Jt_jcfi.Jcfi.cf_forward = true; cf_backward = false } m
+  in
+  let o_full, _ = run_jcfi m in
+  Alcotest.(check bool)
+    "forward-only cheaper" true
+    (o_fwd.o_result.r_cycles < o_full.o_result.r_cycles)
+
+let test_plt_lazy_resolver_allowed () =
+  (* Calling an import twice exercises the resolver's ret-as-call path,
+     which must not trip the shadow stack (section 4.2.3). *)
+  let m =
+    build ~name:"lazy2" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+      ~entry:"main"
+      [
+        func "main"
+          ([
+             movi Reg.r0 9;
+             call_import "print_int";
+             movi Reg.r0 8;
+             call_import "print_int";
+           ]
+          @ Progs.exit0);
+      ]
+  in
+  List.iter
+    (fun (mode, hybrid) ->
+      let o, _ = run_jcfi ~hybrid m in
+      Alcotest.(check (list string)) (mode ^ " resolver clean") [] (kinds o);
+      Alcotest.(check string) (mode ^ " output") "9\n8\n" o.o_result.r_output)
+    [ ("hybrid", true); ("dyn", false) ]
+
+let () =
+  Alcotest.run "jcfi"
+    [
+      ( "soundness",
+        [
+          Alcotest.test_case "clean programs" `Quick test_clean_programs;
+          Alcotest.test_case "plt resolver" `Quick test_plt_lazy_resolver_allowed;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "ret hijack" `Quick test_ret_hijack_detected;
+          Alcotest.test_case "icall mid-function" `Quick test_icall_to_midfunction_detected;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "dynamic AIR" `Quick test_air_bounds_and_ordering;
+          Alcotest.test_case "static AIR" `Quick test_static_air;
+          Alcotest.test_case "forward only" `Quick test_forward_only_cheaper;
+        ] );
+    ]

@@ -1,0 +1,46 @@
+(* The JELF on-disk container: roundtrips, file I/O, corruption. *)
+
+let test_roundtrip_all_workloads () =
+  List.iter
+    (fun s ->
+      let w = Jt_workloads.Specgen.build s in
+      List.iter
+        (fun m ->
+          let m' = Jt_obj.Jelf.read (Jt_obj.Jelf.write m) in
+          if m <> m' then
+            Alcotest.failf "roundtrip mismatch for %s" m.Jt_obj.Objfile.name)
+        w.w_registry)
+    (List.filteri (fun i _ -> i mod 5 = 0) Jt_workloads.Sheet.all)
+
+let test_runs_identically_from_disk () =
+  let dir = Filename.temp_file "jelf" "" in
+  Sys.remove dir;
+  let w = Jt_workloads.Specgen.build (Jt_workloads.Sheet.find "mcf") in
+  let paths = List.map (Jt_obj.Jelf.save ~dir) w.w_registry in
+  let registry = List.map Jt_obj.Jelf.load paths in
+  let from_disk = Jt_vm.Vm.run_native ~registry ~main:"mcf" () in
+  let in_memory = Jt_workloads.Specgen.run_native w in
+  Alcotest.(check string) "same output" in_memory.r_output from_disk.r_output;
+  Alcotest.(check int) "same cycles" in_memory.r_cycles from_disk.r_cycles;
+  List.iter Sys.remove paths;
+  Sys.rmdir dir
+
+let test_corruption_rejected () =
+  let m = Jt_workloads.Stdlibs.libc in
+  let good = Jt_obj.Jelf.write m in
+  Alcotest.check_raises "magic" (Failure "Jelf.read: bad magic") (fun () ->
+      ignore (Jt_obj.Jelf.read ("XELF1" ^ String.sub good 5 (String.length good - 5))));
+  (match Jt_obj.Jelf.read (String.sub good 0 (String.length good - 3)) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "truncated input accepted")
+
+let () =
+  Alcotest.run "jelf"
+    [
+      ( "container",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_all_workloads;
+          Alcotest.test_case "runs from disk" `Quick test_runs_identically_from_disk;
+          Alcotest.test_case "corruption" `Quick test_corruption_rejected;
+        ] );
+    ]

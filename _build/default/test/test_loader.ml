@@ -1,0 +1,134 @@
+(* Loader: bases, relocations, GOT binding, dependency closure, dlopen. *)
+
+open Jt_isa
+open Jt_asm.Builder
+open Jt_asm.Builder.Dsl
+
+let liba =
+  build ~name:"liba.so" ~kind:Jt_obj.Objfile.Shared
+    ~datas:[ data ~exported:true "shared_val" [ Dword32 77 ] ]
+    [ func ~exported:true "afun" [ movi Reg.r0 1; ret ] ]
+
+let libb =
+  build ~name:"libb.so" ~kind:Jt_obj.Objfile.Shared ~deps:[ "liba.so" ]
+    [ func ~exported:true "bfun" [ I (Jt_asm.Sinsn.Scall (Jt_asm.Sinsn.Rimport "afun")); addi Reg.r0 10; ret ] ]
+
+let main_mod =
+  build ~name:"mainx" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libb.so" ]
+    ~entry:"main"
+    [ func "main" [ call_import "bfun"; syscall Sysno.exit_ ] ]
+
+let fresh () =
+  let mem = Jt_mem.Memory.create () in
+  let loader =
+    Jt_loader.Loader.create ~mem ~registry:[ main_mod; liba; libb ]
+  in
+  (mem, loader)
+
+let test_dependency_closure_order () =
+  let _, loader = fresh () in
+  let _ = Jt_loader.Loader.load_main loader "mainx" in
+  let names =
+    List.map
+      (fun (l : Jt_loader.Loader.loaded) -> l.lmod.Jt_obj.Objfile.name)
+      (Jt_loader.Loader.loaded_modules loader)
+  in
+  (* dependencies first: ld.so before libb (libb imports through it),
+     liba before libb, main last *)
+  let pos n =
+    let rec go i = function
+      | [] -> -1
+      | x :: tl -> if String.equal x n then i else go (i + 1) tl
+    in
+    go 0 names
+  in
+  Alcotest.(check bool) "liba before libb" true (pos "liba.so" < pos "libb.so");
+  Alcotest.(check bool) "libb before main" true (pos "libb.so" < pos "mainx");
+  Alcotest.(check bool) "ld.so loaded" true (pos "ld.so" >= 0)
+
+let test_pic_bases_distinct () =
+  let _, loader = fresh () in
+  let _ = Jt_loader.Loader.load_main loader "mainx" in
+  let bases =
+    List.filter_map
+      (fun (l : Jt_loader.Loader.loaded) ->
+        if Jt_obj.Objfile.is_pic l.lmod then Some l.base else None)
+      (Jt_loader.Loader.loaded_modules loader)
+  in
+  Alcotest.(check int) "distinct" (List.length bases)
+    (List.length (List.sort_uniq compare bases));
+  List.iter (fun b -> Alcotest.(check bool) "nonzero" true (b > 0)) bases
+
+let test_relocation_and_symbols () =
+  let mem, loader = fresh () in
+  let _ = Jt_loader.Loader.load_main loader "mainx" in
+  (* shared_val readable at its runtime address *)
+  match Jt_loader.Loader.resolve_symbol loader "shared_val" with
+  | Some (l, s) ->
+    let v = Jt_mem.Memory.read32 mem (Jt_loader.Loader.runtime_addr l s.vaddr) in
+    Alcotest.(check int) "value" 77 v
+  | None -> Alcotest.fail "shared_val not found"
+
+let test_got_initialized_lazy () =
+  let mem, loader = fresh () in
+  let _ = Jt_loader.Loader.load_main loader "mainx" in
+  let lb = Jt_loader.Loader.find_loaded loader "libb.so" |> Option.get in
+  let imp =
+    List.find
+      (fun (i : Jt_obj.Objfile.import) -> String.equal i.imp_sym "afun")
+      lb.lmod.imports
+  in
+  let slot = Jt_mem.Memory.read32 mem (Jt_loader.Loader.runtime_addr lb imp.imp_got) in
+  (* lazy: points at the plt.lazy stub inside libb itself *)
+  Alcotest.(check bool) "points into libb" true (Jt_loader.Loader.contains lb slot);
+  (* resolver slot: eagerly bound to ld.so's export *)
+  let res =
+    List.find
+      (fun (i : Jt_obj.Objfile.import) -> String.equal i.imp_sym "__dl_resolve")
+      lb.lmod.imports
+  in
+  let rslot = Jt_mem.Memory.read32 mem (Jt_loader.Loader.runtime_addr lb res.imp_got) in
+  let ld = Jt_loader.Loader.find_loaded loader "ld.so" |> Option.get in
+  Alcotest.(check bool) "resolver in ld.so" true (Jt_loader.Loader.contains ld rslot)
+
+let test_module_at () =
+  let _, loader = fresh () in
+  let l = Jt_loader.Loader.load_main loader "mainx" in
+  let entry = Jt_loader.Loader.entry_point loader in
+  (match Jt_loader.Loader.module_at loader entry with
+  | Some l' -> Alcotest.(check string) "main" "mainx" l'.lmod.name
+  | None -> Alcotest.fail "entry unmapped");
+  Alcotest.(check bool) "in_code" true (Jt_loader.Loader.in_code l entry);
+  Alcotest.(check bool) "junk unmapped" true
+    (Jt_loader.Loader.module_at loader 0x0666_0000 = None)
+
+let test_dlopen_idempotent () =
+  let _, loader = fresh () in
+  let _ = Jt_loader.Loader.load_main loader "mainx" in
+  let p1 = Jt_loader.Loader.dlopen loader "liba.so" in
+  let p2 = Jt_loader.Loader.dlopen loader "liba.so" in
+  Alcotest.(check int) "same base" p1.base p2.base;
+  Alcotest.(check int) "no duplicate"
+    (List.length (Jt_loader.Loader.loaded_modules loader))
+    4 (* ld.so, liba, libb, mainx *)
+
+let test_load_error () =
+  let _, loader = fresh () in
+  match Jt_loader.Loader.load_main loader "missing" with
+  | exception Jt_loader.Loader.Load_error _ -> ()
+  | _ -> Alcotest.fail "expected Load_error"
+
+let () =
+  Alcotest.run "loader"
+    [
+      ( "loading",
+        [
+          Alcotest.test_case "closure order" `Quick test_dependency_closure_order;
+          Alcotest.test_case "pic bases" `Quick test_pic_bases_distinct;
+          Alcotest.test_case "relocations" `Quick test_relocation_and_symbols;
+          Alcotest.test_case "got lazy" `Quick test_got_initialized_lazy;
+          Alcotest.test_case "module_at" `Quick test_module_at;
+          Alcotest.test_case "dlopen idempotent" `Quick test_dlopen_idempotent;
+          Alcotest.test_case "load error" `Quick test_load_error;
+        ] );
+    ]

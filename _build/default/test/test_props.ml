@@ -1,0 +1,134 @@
+(* Cross-cutting property tests: word arithmetic against an Int32
+   oracle, shadow-memory invariants, allocator invariants, and the AIR
+   breakdown identity. *)
+
+open Jt_isa
+
+let gen_word = QCheck2.Gen.(map Word.of_int (int_bound Word.mask))
+
+(* -- Word vs Int32 oracle -- *)
+
+let i32 w = Int32.of_int (Word.to_signed w)
+let back v = Int32.to_int v land Word.mask
+
+let prop_binop name wop iop =
+  QCheck2.Test.make ~name:("word " ^ name ^ " == Int32") ~count:2000
+    QCheck2.Gen.(pair gen_word gen_word)
+    (fun (a, b) -> wop a b = back (iop (i32 a) (i32 b)))
+
+let prop_shift name wop iop =
+  QCheck2.Test.make ~name:("word " ^ name ^ " == Int32") ~count:2000
+    QCheck2.Gen.(pair gen_word (int_bound 31))
+    (fun (a, n) -> wop a n = back (iop (i32 a) n))
+
+let word_props =
+  [
+    prop_binop "add" Word.add Int32.add;
+    prop_binop "sub" Word.sub Int32.sub;
+    prop_binop "mul" Word.mul Int32.mul;
+    prop_binop "and" Word.logand Int32.logand;
+    prop_binop "or" Word.logor Int32.logor;
+    prop_binop "xor" Word.logxor Int32.logxor;
+    prop_shift "shl" Word.shl Int32.shift_left;
+    prop_shift "shr" Word.shr Int32.shift_right_logical;
+    prop_shift "sar" Word.sar Int32.shift_right;
+    QCheck2.Test.make ~name:"word neg == Int32" ~count:2000 gen_word (fun a ->
+        Word.neg a = back (Int32.neg (i32 a)));
+    QCheck2.Test.make ~name:"signed roundtrip" ~count:2000 gen_word (fun a ->
+        Word.of_int (Word.to_signed a) = a);
+  ]
+
+(* -- shadow memory invariants -- *)
+
+type shadow_op = Poison of int * int | Unpoison of int * int
+
+let gen_ops =
+  let open QCheck2.Gen in
+  list_size (int_range 1 40)
+    (let* a = int_bound 4096 in
+     let* len = int_range 1 64 in
+     let* p = bool in
+     return (if p then Poison (a, len) else Unpoison (a, len)))
+
+let apply_model model = function
+  | Poison (a, len) ->
+    for i = a to a + len - 1 do
+      Hashtbl.replace model i ()
+    done
+  | Unpoison (a, len) ->
+    for i = a to a + len - 1 do
+      Hashtbl.remove model i
+    done
+
+let prop_shadow_matches_model =
+  QCheck2.Test.make ~name:"shadow == reference set model" ~count:300 gen_ops
+    (fun ops ->
+      let sh = Jt_jasan.Shadow.create () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun op ->
+          (match op with
+          | Poison (a, len) ->
+            Jt_jasan.Shadow.poison sh a ~len Jt_jasan.Shadow.Heap_redzone
+          | Unpoison (a, len) -> Jt_jasan.Shadow.unpoison sh a ~len);
+          apply_model model op)
+        ops;
+      (* counts agree *)
+      Jt_jasan.Shadow.poisoned_count sh = Hashtbl.length model
+      && (* membership agrees on a probe sweep *)
+      List.for_all
+        (fun a ->
+          let shadow_hit = Jt_jasan.Shadow.first_poisoned sh a ~len:1 <> None in
+          shadow_hit = Hashtbl.mem model a)
+        (List.init 128 (fun i -> i * 33)))
+
+(* -- allocator invariants -- *)
+
+let prop_alloc_disjoint =
+  QCheck2.Test.make ~name:"allocator blocks are disjoint" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 30) (int_bound 256))
+    (fun sizes ->
+      let a = Jt_vm.Alloc.create () in
+      Jt_vm.Alloc.set_redzone a 16;
+      let blocks = List.map (fun s -> (Jt_vm.Alloc.malloc a s, s)) sizes in
+      (* all user ranges (plus redzones) disjoint and 8-aligned gaps *)
+      let sorted = List.sort compare blocks in
+      let rec disjoint = function
+        | (a1, s1) :: ((a2, _) :: _ as rest) ->
+          a1 + s1 + 16 <= a2 && disjoint rest
+        | _ -> true
+      in
+      disjoint sorted)
+
+(* -- AIR identities -- *)
+
+let test_air_breakdown_identity () =
+  let m = Progs.indirect_prog () in
+  let tool, rt = Jt_jcfi.Jcfi.create () in
+  let _ =
+    Janitizer.Driver.run ~tool ~registry:(Progs.registry_for m) ~main:"indirect" ()
+  in
+  let fwd, bwd = Jt_jcfi.Air.dynamic_breakdown rt in
+  let total = Jt_jcfi.Air.dynamic rt in
+  (* |T| = 1 per ret: backward AIR = 100*(1 - 1/S); on the tiny test
+     corpus S is only a few hundred bytes *)
+  Alcotest.(check bool) "backward ~100%" true (bwd > 99.0);
+  Alcotest.(check bool) "forward below backward" true (fwd <= bwd);
+  Alcotest.(check bool) "total between parts" true (total >= fwd && total <= bwd)
+
+let test_air_empty_is_100 () =
+  Alcotest.(check (float 0.001)) "empty" 100.0 (Jt_jcfi.Air.air ~sizes:[] ~total:1000.0)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ("word", List.map QCheck_alcotest.to_alcotest word_props);
+      ( "shadow",
+        [ QCheck_alcotest.to_alcotest prop_shadow_matches_model ] );
+      ("alloc", [ QCheck_alcotest.to_alcotest prop_alloc_disjoint ]);
+      ( "air",
+        [
+          Alcotest.test_case "breakdown identity" `Quick test_air_breakdown_identity;
+          Alcotest.test_case "empty" `Quick test_air_empty_is_100;
+        ] );
+    ]

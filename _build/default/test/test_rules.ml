@@ -1,0 +1,93 @@
+(* Rewrite rules: serialization roundtrips, hash tables, PIC adjust. *)
+
+let gen_rule =
+  let open QCheck2.Gen in
+  let* id = int_range 0 0xFFFF in
+  let* bb = int_bound 0xFFFF_FFF in
+  let* insn = int_bound 0xFFFF_FFF in
+  let* nd = int_bound 4 in
+  let* data = list_repeat nd (int_bound Jt_isa.Word.mask) in
+  return (Jt_rules.Rules.make ~id ~bb ~insn ~data ())
+
+let gen_file =
+  let open QCheck2.Gen in
+  let* name = string_size ~gen:(char_range 'a' 'z') (int_range 1 20) in
+  let* rules = list_size (int_bound 200) gen_rule in
+  return { Jt_rules.Rules.rf_module = name; rf_rules = rules }
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"file encode/decode roundtrip" ~count:300 gen_file
+    (fun f -> Jt_rules.Rules.(decode_file (encode_file f)) = f)
+
+let mk ~id ~bb ~insn ?(data = []) () = Jt_rules.Rules.make ~id ~bb ~insn ~data ()
+
+let test_table_lookup () =
+  let f =
+    {
+      Jt_rules.Rules.rf_module = "m";
+      rf_rules =
+        [
+          mk ~id:Jt_rules.Rules.no_op ~bb:0x100 ~insn:0x100 ();
+          mk ~id:0x101 ~bb:0x200 ~insn:0x208 ~data:[ 2; 1 ] ();
+          mk ~id:0x102 ~bb:0x200 ~insn:0x208 ();
+          mk ~id:0x101 ~bb:0x200 ~insn:0x210 ();
+        ];
+    }
+  in
+  let t = Jt_rules.Rules.Table.load f ~base:0 ~pic:false in
+  Alcotest.(check bool) "noop bb seen" true (Jt_rules.Rules.Table.bb_seen t 0x100);
+  Alcotest.(check bool) "rule bb seen" true (Jt_rules.Rules.Table.bb_seen t 0x200);
+  Alcotest.(check bool) "unknown bb" false (Jt_rules.Rules.Table.bb_seen t 0x300);
+  Alcotest.(check int) "two rules at insn" 2
+    (List.length (Jt_rules.Rules.Table.at_insn t 0x208));
+  Alcotest.(check int) "noop filtered" 0
+    (List.length (Jt_rules.Rules.Table.at_insn t 0x100));
+  Alcotest.(check int) "size" 4 (Jt_rules.Rules.Table.size t)
+
+let test_pic_adjustment () =
+  let f =
+    { Jt_rules.Rules.rf_module = "m";
+      rf_rules = [ mk ~id:0x101 ~bb:0x40 ~insn:0x48 () ] }
+  in
+  let t = Jt_rules.Rules.Table.load f ~base:0x1000_0000 ~pic:true in
+  Alcotest.(check bool) "adjusted bb" true
+    (Jt_rules.Rules.Table.bb_seen t 0x1000_0040);
+  Alcotest.(check bool) "link addr no longer matches" false
+    (Jt_rules.Rules.Table.bb_seen t 0x40);
+  (match Jt_rules.Rules.Table.at_insn t 0x1000_0048 with
+  | [ r ] ->
+    Alcotest.(check int) "rule bb adjusted" 0x1000_0040 r.bb;
+    Alcotest.(check int) "rule insn adjusted" 0x1000_0048 r.insn
+  | _ -> Alcotest.fail "expected one rule");
+  (* non-PIC tables are not adjusted *)
+  let t' = Jt_rules.Rules.Table.load f ~base:0x1000_0000 ~pic:false in
+  Alcotest.(check bool) "non-pic unadjusted" true (Jt_rules.Rules.Table.bb_seen t' 0x40)
+
+let test_decode_failures () =
+  Alcotest.check_raises "bad magic" (Failure "Rules.decode_file: bad magic")
+    (fun () -> ignore (Jt_rules.Rules.decode_file "NOPE"));
+  let good = Jt_rules.Rules.encode_file { rf_module = "m"; rf_rules = [] } in
+  let truncated = String.sub good 0 (String.length good - 1) in
+  Alcotest.check_raises "truncated" (Failure "Rules.decode_file: truncated")
+    (fun () -> ignore (Jt_rules.Rules.decode_file truncated))
+
+let test_data_limit () =
+  match Jt_rules.Rules.make ~id:1 ~bb:0 ~insn:0 ~data:[ 1; 2; 3; 4; 5 ] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let () =
+  Alcotest.run "rules"
+    [
+      ( "format",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          Alcotest.test_case "decode failures" `Quick test_decode_failures;
+          Alcotest.test_case "data limit" `Quick test_data_limit;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "lookup" `Quick test_table_lookup;
+          Alcotest.test_case "pic adjust" `Quick test_pic_adjustment;
+        ] );
+    ]

@@ -1,0 +1,321 @@
+(* End-to-end tests of the assembler -> loader -> interpreter pipeline. *)
+
+open Jt_isa
+open Jt_asm.Builder
+open Jt_asm.Builder.Dsl
+
+let exit_ok = [ movi Reg.r0 0; syscall Sysno.exit_ ]
+
+let run ?(registry = []) main_mod =
+  Jt_vm.Vm.run_native ~registry:(main_mod :: registry) ~main:main_mod.Jt_obj.Objfile.name ()
+
+let check_exit r =
+  match r.Jt_vm.Vm.r_status with
+  | Jt_vm.Vm.Exited 0 -> ()
+  | s -> Alcotest.failf "bad status: %a (output %S)" Jt_vm.Vm.pp_status s r.r_output
+
+let test_arith () =
+  let m =
+    build ~name:"arith" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+      [
+        func "main"
+          ([
+             movi Reg.r1 21;
+             movi Reg.r2 2;
+             binop Insn.Mul Reg.r1 Reg.r2;
+             mov Reg.r0 Reg.r1;
+             syscall Sysno.write_int;
+           ]
+          @ exit_ok);
+      ]
+  in
+  let r = run m in
+  check_exit r;
+  Alcotest.(check string) "output" "42\n" r.r_output
+
+let test_loop_and_branch () =
+  (* sum 1..10 via a loop with a conditional branch *)
+  let m =
+    build ~name:"loop" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+      [
+        func "main"
+          ([
+             movi Reg.r1 0;
+             movi Reg.r2 1;
+             label "head";
+             cmpi Reg.r2 10;
+             jcc Insn.Gt "done";
+             add Reg.r1 Reg.r2;
+             addi Reg.r2 1;
+             jmp "head";
+             label "done";
+             mov Reg.r0 Reg.r1;
+             syscall Sysno.write_int;
+           ]
+          @ exit_ok);
+      ]
+  in
+  let r = run m in
+  check_exit r;
+  Alcotest.(check string) "output" "55\n" r.r_output
+
+let test_call_and_stack () =
+  let m =
+    build ~name:"calls" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+      [
+        func "double"
+          (Abi.frame_enter ~locals:8 ()
+          @ [ add Reg.r0 Reg.r0 ]
+          @ Abi.frame_leave ~locals:8 ());
+        func "main"
+          ([ movi Reg.r0 33; call "double"; syscall Sysno.write_int ] @ exit_ok);
+      ]
+  in
+  let r = run m in
+  check_exit r;
+  Alcotest.(check string) "output" "66\n" r.r_output
+
+let test_canary_frame () =
+  let m =
+    build ~name:"canary" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+      ~deps:[ "libc.so" ]
+      [
+        func "f"
+          (Abi.frame_enter ~canary:true ~locals:16 ()
+          @ [ sti (Abi.local 16 0) 7; ld Reg.r0 (Abi.local 16 0) ]
+          @ Abi.frame_leave ~canary:true ~locals:16 ());
+        func "main" ([ call "f"; syscall Sysno.write_int ] @ exit_ok);
+      ]
+  in
+  (* __stack_chk_fail is imported; provide a libc with it. *)
+  let libc =
+    build ~name:"libc.so" ~kind:Jt_obj.Objfile.Shared
+      [
+        func ~exported:true "__stack_chk_fail"
+          [ movi Reg.r0 134; syscall Sysno.exit_ ];
+      ]
+  in
+  let r = run ~registry:[ libc ] m in
+  check_exit r;
+  Alcotest.(check string) "output" "7\n" r.r_output
+
+let test_canary_smash_detected () =
+  (* Overwrite the canary slot; the epilogue check must call
+     __stack_chk_fail, which exits 134. *)
+  let m =
+    build ~name:"smash" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+      ~deps:[ "libc.so" ]
+      [
+        func "f"
+          (Abi.frame_enter ~canary:true ~locals:16 ()
+          @ [ sti (mem_b ~disp:(-4) Reg.fp) 0xDEAD ]
+          @ Abi.frame_leave ~canary:true ~locals:16 ());
+        func "main" ([ call "f" ] @ exit_ok);
+      ]
+  in
+  let libc =
+    build ~name:"libc.so" ~kind:Jt_obj.Objfile.Shared
+      [
+        func ~exported:true "__stack_chk_fail"
+          [ movi Reg.r0 134; syscall Sysno.exit_ ];
+      ]
+  in
+  let r = run ~registry:[ libc ] m in
+  match r.r_status with
+  | Jt_vm.Vm.Exited 134 -> ()
+  | s -> Alcotest.failf "expected exit 134, got %a" Jt_vm.Vm.pp_status s
+
+let test_plt_lazy_binding () =
+  (* Call an imported function twice: first call goes through the lazy
+     resolver, second through the patched GOT. *)
+  let libm =
+    build ~name:"libm.so" ~kind:Jt_obj.Objfile.Shared
+      [ func ~exported:true "triple" [ muli Reg.r0 3; ret ] ]
+  in
+  let m =
+    build ~name:"plt" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libm.so" ]
+      ~entry:"main"
+      [
+        func "main"
+          ([
+             movi Reg.r0 5;
+             call_import "triple";
+             call_import "triple";
+             syscall Sysno.write_int;
+           ]
+          @ exit_ok);
+      ]
+  in
+  let r = run ~registry:[ libm ] m in
+  check_exit r;
+  Alcotest.(check string) "output" "45\n" r.r_output
+
+let test_pic_module_data () =
+  (* A PIC main executable reading its own data via PC-relative
+     addressing, plus a function-pointer table in .data (relocated). *)
+  let m =
+    build ~name:"pie" ~kind:Jt_obj.Objfile.Exec_pic ~entry:"main"
+      ~datas:
+        [
+          data "nums" [ Dword32 11; Dword32 31 ];
+          data "table" [ Dfuncptr "inc"; Dfuncptr "dec" ];
+        ]
+      [
+        func "inc" [ addi Reg.r0 1; ret ];
+        func "dec" [ subi Reg.r0 1; ret ];
+        func "main"
+          ([
+             ld Reg.r0 (mem_pc_data "nums");
+             lea Reg.r3 (mem_pc_data "table");
+             ld Reg.r4 (mem_b ~disp:0 Reg.r3);
+             call_reg Reg.r4 (* inc: 12 *);
+             ld Reg.r4 (mem_b ~disp:4 Reg.r3);
+             call_reg Reg.r4 (* dec: 11 *);
+             syscall Sysno.write_int;
+           ]
+          @ exit_ok);
+      ]
+  in
+  let r = run m in
+  check_exit r;
+  Alcotest.(check string) "output" "11\n" r.r_output
+
+let test_jump_table () =
+  (* switch(2) via an inline jump table (data in code). *)
+  let m =
+    build ~name:"switch" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+      [
+        func "main"
+          ([
+             movi Reg.r1 2;
+             addr_of_label ~pic:false Reg.r2 "table";
+             I
+               (Jt_asm.Sinsn.Sjmp_ind_m
+                  (mem_bi ~scale:4 Reg.r2 Reg.r1));
+             label "table";
+             Inline_table [ "case0"; "case1"; "case2" ];
+             label "case0";
+             movi Reg.r0 100;
+             jmp "out";
+             label "case1";
+             movi Reg.r0 200;
+             jmp "out";
+             label "case2";
+             movi Reg.r0 300;
+             label "out";
+             syscall Sysno.write_int;
+           ]
+          @ exit_ok);
+      ]
+  in
+  let r = run m in
+  check_exit r;
+  Alcotest.(check string) "output" "300\n" r.r_output
+
+let test_dlopen_dlsym () =
+  let plugin =
+    build ~name:"plugin.so" ~kind:Jt_obj.Objfile.Shared
+      [ func ~exported:true "answer" [ movi Reg.r0 4242; ret ] ]
+  in
+  let m =
+    build ~name:"host" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+      ~datas:
+        [
+          data "modname" [ Dbytes "plugin.so\x00" ];
+          data "symname" [ Dbytes "answer\x00" ];
+        ]
+      [
+        func "main"
+          ([
+             addr_of_data ~pic:false Reg.r0 "modname";
+             syscall Sysno.dlopen;
+             addr_of_data ~pic:false Reg.r1 "symname";
+             syscall Sysno.dlsym;
+             call_reg Reg.r0;
+             syscall Sysno.write_int;
+           ]
+          @ exit_ok);
+      ]
+  in
+  let r = run ~registry:[ plugin ] m in
+  check_exit r;
+  Alcotest.(check string) "output" "4242\n" r.r_output
+
+let test_heap_malloc_free () =
+  let m =
+    build ~name:"heap" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+      [
+        func "main"
+          ([
+             movi Reg.r0 64;
+             syscall Sysno.malloc;
+             mov Reg.r6 Reg.r0;
+             sti (mem_b ~disp:16 Reg.r6) 9001;
+             ld Reg.r0 (mem_b ~disp:16 Reg.r6);
+             syscall Sysno.write_int;
+             mov Reg.r0 Reg.r6;
+             syscall Sysno.free;
+           ]
+          @ exit_ok);
+      ]
+  in
+  let r = run m in
+  check_exit r;
+  Alcotest.(check string) "output" "9001\n" r.r_output
+
+let test_jit_codegen () =
+  (* Generate a function at run time: mov r0, 77; ret — then call it. *)
+  let insns at =
+    [ Insn.Mov (Reg.r0, Insn.Imm 77); Insn.Ret ]
+    |> List.fold_left
+         (fun (acc, a) i -> (acc ^ Encode.encode ~at:a i, a + Encode.length i))
+         ("", at)
+    |> fst
+  in
+  let code = insns 0 in
+  (* position-independent bytes: no pc-relative fields, so any base works *)
+  let bytes_items = List.init (String.length code) (fun i -> Char.code code.[i]) in
+  let store_code =
+    List.concat
+      (List.mapi
+         (fun i b -> [ movi Reg.r2 b; I (Jt_asm.Sinsn.Sstore (Insn.W1, mem_b ~disp:i Reg.r6, Jt_asm.Sinsn.Sreg Reg.r2)) ])
+         bytes_items)
+  in
+  let m =
+    build ~name:"jit" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+      [
+        func "main"
+          ([ movi Reg.r0 64; syscall Sysno.mmap_code; mov Reg.r6 Reg.r0 ]
+          @ store_code
+          @ [
+              mov Reg.r0 Reg.r6;
+              movi Reg.r1 64;
+              syscall Sysno.cache_flush;
+              call_reg Reg.r6;
+              syscall Sysno.write_int;
+            ]
+          @ exit_ok);
+      ]
+  in
+  let r = run m in
+  check_exit r;
+  Alcotest.(check string) "output" "77\n" r.r_output
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "loop" `Quick test_loop_and_branch;
+          Alcotest.test_case "call-stack" `Quick test_call_and_stack;
+          Alcotest.test_case "canary-frame" `Quick test_canary_frame;
+          Alcotest.test_case "canary-smash" `Quick test_canary_smash_detected;
+          Alcotest.test_case "plt-lazy" `Quick test_plt_lazy_binding;
+          Alcotest.test_case "pic-data" `Quick test_pic_module_data;
+          Alcotest.test_case "jump-table" `Quick test_jump_table;
+          Alcotest.test_case "dlopen" `Quick test_dlopen_dlsym;
+          Alcotest.test_case "heap" `Quick test_heap_malloc_free;
+          Alcotest.test_case "jit" `Quick test_jit_codegen;
+        ] );
+    ]
