@@ -368,6 +368,100 @@ let ablation () =
      violations on gobmk without the exemption, %d with it\n"
     (run_cfg ~exempt:false) (run_cfg ~exempt:true)
 
+(* ---- dispatch microbenchmark: blocks/sec and chain-hit rate ----
+
+   Runs a loop-heavy subset under the null-client DBT twice (chaining on
+   and off), checks the runs are bit-identical, and reports host-level
+   dispatch cost: dispatcher entries, chain-hit rate and blocks/sec.
+   Emits machine-readable JSON (BENCH_dispatch.json) so future PRs can
+   track the dispatch-cost trajectory. *)
+
+type dispatch_row = {
+  d_name : string;
+  d_block_execs : int;
+  d_chain_hits : int;
+  d_entries_chained : int;
+  d_entries_unchained : int;
+  d_hit_rate : float;
+  d_blocks_per_sec : float;
+  d_bit_identical : bool;
+}
+
+let dispatch_rows () =
+  let loopy = [ "bzip2"; "hmmer"; "mcf"; "milc"; "lbm"; "sjeng" ] in
+  let run_one ~chain registry main =
+    let vm = Jt_vm.Vm.make ~registry in
+    let engine = Jt_dbt.Dbt.create ~vm ~chain () in
+    Jt_vm.Vm.boot vm ~main;
+    let t0 = Sys.time () in
+    if vm.Jt_vm.Vm.status = Jt_vm.Vm.Running then Jt_dbt.Dbt.run engine;
+    let dt = Sys.time () -. t0 in
+    (Jt_vm.Vm.result vm, Jt_dbt.Dbt.stats engine, dt)
+  in
+  List.map
+    (fun name ->
+      Printf.eprintf "  dispatch: %s...\n%!" name;
+      let w = Specgen.build (Sheet.find name) in
+      let r_on, s_on, dt_on = run_one ~chain:true w.Specgen.w_registry name in
+      let r_off, s_off, _ = run_one ~chain:false w.Specgen.w_registry name in
+      let transfers = s_on.st_chain_hits + s_on.st_dispatch_entries in
+      {
+        d_name = name;
+        d_block_execs = s_on.st_block_execs;
+        d_chain_hits = s_on.st_chain_hits;
+        d_entries_chained = s_on.st_dispatch_entries;
+        d_entries_unchained = s_off.st_dispatch_entries;
+        d_hit_rate =
+          (if transfers = 0 then 0.0
+           else float_of_int s_on.st_chain_hits /. float_of_int transfers);
+        d_blocks_per_sec =
+          float_of_int s_on.st_block_execs /. max dt_on 1e-9;
+        d_bit_identical = r_on = r_off;
+      })
+    loopy
+
+let dispatch_json rows =
+  let row_json r =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"block_execs\": %d, \"chain_hits\": %d, \
+       \"dispatcher_entries\": %d, \"dispatcher_entries_unchained\": %d, \
+       \"chain_hit_rate\": %.4f, \"blocks_per_sec\": %.0f, \
+       \"bit_identical\": %b}"
+      r.d_name r.d_block_execs r.d_chain_hits r.d_entries_chained
+      r.d_entries_unchained r.d_hit_rate r.d_blocks_per_sec r.d_bit_identical
+  in
+  Printf.sprintf "{\n  \"target\": \"dispatch\",\n  \"workloads\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map row_json rows))
+
+let dispatch () =
+  let rows = dispatch_rows () in
+  let tbl_rows =
+    List.map
+      (fun r ->
+        ( r.d_name,
+          [
+            Jt_metrics.Metrics.Value (float_of_int r.d_entries_unchained);
+            Jt_metrics.Metrics.Value (float_of_int r.d_entries_chained);
+            Jt_metrics.Metrics.Value (100.0 *. r.d_hit_rate);
+            Jt_metrics.Metrics.Value r.d_blocks_per_sec;
+          ] ))
+      rows
+  in
+  open_table "Dispatch microbenchmark: chaining vs dispatcher entries"
+    "counts / % / blocks-per-sec"
+    [ "entries(off)"; "entries(on)"; "hit-rate %"; "blocks/sec" ]
+    tbl_rows;
+  List.iter
+    (fun r ->
+      if not r.d_bit_identical then
+        Printf.printf "!! dispatch: %s diverged between chain on/off\n" r.d_name)
+    rows;
+  let json = dispatch_json rows in
+  let oc = open_out "BENCH_dispatch.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json
+
 (* ---- bechamel microbenchmarks of the framework's own primitives ---- *)
 
 let micro () =
@@ -435,6 +529,7 @@ let targets =
     ("fig13", fig13);
     ("fig14", fig14);
     ("ablation", ablation);
+    ("dispatch", dispatch);
     ("micro", micro);
   ]
 

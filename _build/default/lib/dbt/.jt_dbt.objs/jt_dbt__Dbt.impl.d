@@ -1,1 +1,1 @@
-lib/dbt/dbt.ml: Array Hashtbl Insn Jt_isa Jt_loader Jt_obj Jt_rules Jt_vm List Option
+lib/dbt/dbt.ml: Array Hashtbl Insn Jt_isa Jt_loader Jt_metrics Jt_obj Jt_rules Jt_vm List

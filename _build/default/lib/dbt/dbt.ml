@@ -48,36 +48,114 @@ type stats = {
   mutable st_block_execs : int;
   mutable st_indirects : int;
   mutable st_rules_applied : int;
+  mutable st_chain_hits : int;
+  mutable st_dispatch_entries : int;
 }
 
+(* A code-cache entry.  Blocks ending in a direct transfer record their
+   static successor address(es); once a successor is itself translated,
+   the dispatcher installs a chain link so the next execution follows the
+   pointer instead of re-probing the hash table.  [cb_valid] is the chain
+   severing mechanism: invalidation flips it and every link into a dead
+   block is dropped lazily the first time it is followed. *)
 type cached = {
   cb : block;
   cb_plan : plan;
   cb_indirect_end : bool;
+  cb_end : int;  (* exclusive end of the byte span; bb_addr+1 if empty *)
+  cb_succ_taken : int;  (* direct Jmp/Jcc/Call target, -1 if none *)
+  cb_succ_fall : int;  (* fallthrough address, -1 if none *)
+  mutable cb_link_taken : cached option;
+  mutable cb_link_fall : cached option;
+  mutable cb_valid : bool;
 }
 
 type t = {
   vm : Jt_vm.Vm.t;
   profile : profile;
   client : client option;
+  chain : bool;
   cache : (int, cached) Hashtbl.t;
-  (* Per-module rewrite-rule hash tables (Figure 5), consulted through an
-     address-range module lookup. *)
-  mutable tables : (Jt_loader.Loader.loaded * Jt_rules.Rules.Table.t) list;
+  (* 4KiB-page index over [cache]: every block is registered under each
+     page its byte span overlaps, so a range invalidation visits only the
+     affected pages instead of folding over the whole code cache. *)
+  pages : (int, cached list ref) Hashtbl.t;
+  (* Per-module rewrite-rule hash tables (Figure 5), keyed by the owning
+     module's load order and reached through the loader's interval-indexed
+     [module_at] instead of a linear scan. *)
+  tables : (int, Jt_rules.Rules.Table.t) Hashtbl.t;
   stats : stats;
 }
 
 let max_block_insns = 256
 
-let create ~vm ?(profile = dynamorio) ?client
+let page_shift = 12
+
+let index_add t (c : cached) =
+  for p = c.cb.bb_addr asr page_shift to (c.cb_end - 1) asr page_shift do
+    let b =
+      match Hashtbl.find_opt t.pages p with
+      | Some b -> b
+      | None ->
+        let b = ref [] in
+        Hashtbl.replace t.pages p b;
+        b
+    in
+    b := c :: !b
+  done
+
+let index_remove t (c : cached) =
+  for p = c.cb.bb_addr asr page_shift to (c.cb_end - 1) asr page_shift do
+    match Hashtbl.find_opt t.pages p with
+    | Some b -> b := List.filter (fun o -> o != c) !b
+    | None -> ()
+  done
+
+let invalidate t (c : cached) =
+  c.cb_valid <- false;
+  c.cb_link_taken <- None;
+  c.cb_link_fall <- None;
+  (match Hashtbl.find_opt t.cache c.cb.bb_addr with
+  | Some cur when cur == c -> Hashtbl.remove t.cache c.cb.bb_addr
+  | Some _ | None -> ());
+  index_remove t c
+
+(* Invalidate every cached block whose byte span overlaps the flushed
+   range; empty (decode-faulting) blocks count as length 1 so a flush
+   that covers their address retires them too. *)
+let flush_blocks t start len =
+  if len > 0 then begin
+    let m = Jt_metrics.Metrics.Counters.global in
+    for p = start asr page_shift to (start + len - 1) asr page_shift do
+      match Hashtbl.find_opt t.pages p with
+      | None -> ()
+      | Some b ->
+        let doomed =
+          List.filter
+            (fun (c : cached) ->
+              m.c_flush_visits <- m.c_flush_visits + 1;
+              c.cb_valid && c.cb_end > start && c.cb.bb_addr < start + len)
+            !b
+        in
+        List.iter
+          (fun c ->
+            m.c_flush_drops <- m.c_flush_drops + 1;
+            invalidate t c)
+          doomed
+    done
+  end
+
+let create ~vm ?(profile = dynamorio) ?client ?(chain = true)
     ?(rules_for = fun _ -> None) () =
   let t =
     {
       vm;
       profile;
       client;
+      chain;
       cache = Hashtbl.create 4096;
-      tables = [];
+      pages = Hashtbl.create 256;
+      tables = Hashtbl.create 8;
       stats =
         {
           st_blocks_static = 0;
@@ -85,6 +163,8 @@ let create ~vm ?(profile = dynamorio) ?client
           st_block_execs = 0;
           st_indirects = 0;
           st_rules_applied = 0;
+          st_chain_hits = 0;
+          st_dispatch_entries = 0;
         };
     }
   in
@@ -98,27 +178,15 @@ let create ~vm ?(profile = dynamorio) ?client
           Jt_rules.Rules.Table.load file ~base:l.Jt_loader.Loader.base
             ~pic:(Jt_obj.Objfile.is_pic l.Jt_loader.Loader.lmod)
         in
-        t.tables <- (l, table) :: t.tables);
+        Hashtbl.replace t.tables l.Jt_loader.Loader.load_order table);
   (* Cache-flush syscalls (JIT regeneration) invalidate affected blocks. *)
-  Jt_vm.Vm.on_cache_flush vm (fun start len ->
-      let doomed =
-        Hashtbl.fold
-          (fun a (c : cached) acc ->
-            let last =
-              if Array.length c.cb.insns = 0 then a
-              else
-                let la, _, ll = c.cb.insns.(Array.length c.cb.insns - 1) in
-                la + ll
-            in
-            if last > start && a < start + len then a :: acc else acc)
-          t.cache []
-      in
-      List.iter (Hashtbl.remove t.cache) doomed);
+  Jt_vm.Vm.on_cache_flush vm (fun start len -> flush_blocks t start len);
   t
 
 let table_for t addr =
-  List.find_opt (fun (l, _) -> Jt_loader.Loader.contains l addr) t.tables
-  |> Option.map snd
+  match Jt_loader.Loader.module_at t.vm.Jt_vm.Vm.loader addr with
+  | Some l -> Hashtbl.find_opt t.tables l.Jt_loader.Loader.load_order
+  | None -> None
 
 let is_indirect_end (b : block) =
   if Array.length b.insns = 0 then false
@@ -147,6 +215,24 @@ let build_block t addr =
       if Insn.ends_block i || !n >= max_block_insns then stop := true
   done;
   { bb_addr = addr; insns = Array.of_list (List.rev !insns) }
+
+(* Static successors of a block, for chaining: a block ending in a direct
+   Jmp/Call has one known successor, a Jcc has two (target and
+   fallthrough), and a block cut by the size limit (or by a non-CTI such
+   as a syscall) falls through.  Indirect transfers, returns and halts
+   have none. *)
+let successors (b : block) =
+  if Array.length b.insns = 0 then (-1, -1)
+  else
+    let la, i, ll = b.insns.(Array.length b.insns - 1) in
+    match Insn.cti_kind i with
+    | Some (Insn.Cti_jmp tgt) -> (tgt, -1)
+    | Some (Insn.Cti_jcc (_, tgt)) -> (tgt, la + ll)
+    | Some (Insn.Cti_call tgt) -> (tgt, -1)
+    | Some (Insn.Cti_jmp_ind | Insn.Cti_call_ind | Insn.Cti_ret | Insn.Cti_halt)
+      ->
+      (-1, -1)
+    | Some Insn.Cti_syscall | None -> (-1, la + ll)
 
 (* Translate: classify the block against the rule tables ((3a)/(3b) in
    Figure 4) and let the client build its instrumentation plan. *)
@@ -180,49 +266,135 @@ let translate t addr =
         (if static_hit then Static_rules else Dynamic_only)
         ~rules_at
   in
-  let cached = { cb = b; cb_plan = plan; cb_indirect_end = is_indirect_end b } in
+  let cb_end =
+    if Array.length b.insns = 0 then addr + 1
+    else
+      let la, _, ll = b.insns.(Array.length b.insns - 1) in
+      la + ll
+  in
+  let succ_taken, succ_fall = successors b in
+  let cached =
+    {
+      cb = b;
+      cb_plan = plan;
+      cb_indirect_end = is_indirect_end b;
+      cb_end;
+      cb_succ_taken = succ_taken;
+      cb_succ_fall = succ_fall;
+      cb_link_taken = None;
+      cb_link_fall = None;
+      cb_valid = true;
+    }
+  in
+  (match Hashtbl.find_opt t.cache addr with
+  | Some old -> invalidate t old
+  | None -> ());
   Hashtbl.replace t.cache addr cached;
+  index_add t cached;
   cached
 
-let exec_block t (c : cached) =
+(* Execute a translated block.  The fuel budget is checked before every
+   instruction, not just between blocks, so Out_of_fuel fires within one
+   instruction of the budget even inside a maximal 256-instruction block
+   or a long chain. *)
+let exec_block t ~budget (c : cached) =
   let vm = t.vm in
   t.stats.st_block_execs <- t.stats.st_block_execs + 1;
   if t.profile.p_per_block > 0 then Jt_vm.Vm.charge vm t.profile.p_per_block;
   let n = Array.length c.cb.insns in
   let k = ref 0 in
   while !k < n && vm.Jt_vm.Vm.status = Jt_vm.Vm.Running do
-    let at, i, len = c.cb.insns.(!k) in
-    List.iter
-      (fun m ->
-        Jt_vm.Vm.charge vm m.m_cost;
-        match m.m_action with Some f -> f vm | None -> ())
-      c.cb_plan.(!k);
-    Jt_vm.Vm.step_decoded vm ~at i len;
-    incr k
+    if vm.Jt_vm.Vm.icount >= budget then
+      vm.Jt_vm.Vm.status <- Jt_vm.Vm.Fault Jt_vm.Vm.Out_of_fuel
+    else begin
+      let at, i, len = c.cb.insns.(!k) in
+      List.iter
+        (fun m ->
+          Jt_vm.Vm.charge vm m.m_cost;
+          match m.m_action with Some f -> f vm | None -> ())
+        c.cb_plan.(!k);
+      Jt_vm.Vm.step_decoded vm ~at i len;
+      incr k
+    end
   done;
   if c.cb_indirect_end && vm.Jt_vm.Vm.status = Jt_vm.Vm.Running then begin
     Jt_vm.Vm.charge vm t.profile.p_indirect;
     t.stats.st_indirects <- t.stats.st_indirects + 1
   end
 
+(* The dispatch loop.  After a block whose last instruction is a direct
+   transfer, the next PC is compared against the block's static
+   successors: a previously installed chain link is followed without
+   touching the code-cache hash table (a chain hit); otherwise the
+   dispatcher probes/translates and installs the link for next time.
+   Chaining affects only host-level dispatch work — simulated cycles,
+   instruction counts and all results are bit-identical with it off. *)
 let run ?(fuel = 200_000_000) t =
   let vm = t.vm in
   let budget = vm.Jt_vm.Vm.icount + fuel in
+  let m = Jt_metrics.Metrics.Counters.global in
+  let prev : cached option ref = ref None in
   (try
      while vm.Jt_vm.Vm.status = Jt_vm.Vm.Running do
        if vm.Jt_vm.Vm.icount >= budget then
          vm.Jt_vm.Vm.status <- Jt_vm.Vm.Fault Jt_vm.Vm.Out_of_fuel
-       else if vm.Jt_vm.Vm.pc = Jt_vm.Vm.sentinel then Jt_vm.Vm.advance_phase vm
+       else if vm.Jt_vm.Vm.pc = Jt_vm.Vm.sentinel then begin
+         prev := None;
+         Jt_vm.Vm.advance_phase vm
+       end
        else begin
          let pc = vm.Jt_vm.Vm.pc in
+         let linked =
+           if not t.chain then None
+           else
+             match !prev with
+             | Some p when p.cb_succ_taken = pc -> (
+               match p.cb_link_taken with
+               | Some c when c.cb_valid -> Some c
+               | Some _ ->
+                 p.cb_link_taken <- None;
+                 None
+               | None -> None)
+             | Some p when p.cb_succ_fall = pc -> (
+               match p.cb_link_fall with
+               | Some c when c.cb_valid -> Some c
+               | Some _ ->
+                 p.cb_link_fall <- None;
+                 None
+               | None -> None)
+             | Some _ | None -> None
+         in
          let cached =
-           match Hashtbl.find_opt t.cache pc with
-           | Some c -> c
-           | None -> translate t pc
+           match linked with
+           | Some c ->
+             t.stats.st_chain_hits <- t.stats.st_chain_hits + 1;
+             m.c_chain_hits <- m.c_chain_hits + 1;
+             c
+           | None ->
+             t.stats.st_dispatch_entries <- t.stats.st_dispatch_entries + 1;
+             m.c_dispatch_entries <- m.c_dispatch_entries + 1;
+             let c =
+               match Hashtbl.find_opt t.cache pc with
+               | Some c -> c
+               | None -> translate t pc
+             in
+             (if t.chain then
+                match !prev with
+                | Some p when p.cb_valid ->
+                  if p.cb_succ_taken = pc then p.cb_link_taken <- Some c
+                  else if p.cb_succ_fall = pc then p.cb_link_fall <- Some c
+                | Some _ | None -> ());
+             c
          in
          if Array.length cached.cb.insns = 0 then
            vm.Jt_vm.Vm.status <- Jt_vm.Vm.Fault (Jt_vm.Vm.Decode_fault pc)
-         else exec_block t cached
+         else begin
+           exec_block t ~budget cached;
+           prev :=
+             if vm.Jt_vm.Vm.status = Jt_vm.Vm.Running && cached.cb_valid then
+               Some cached
+             else None
+         end
        end
      done
    with Jt_vm.Vm.Security_abort why -> vm.Jt_vm.Vm.status <- Jt_vm.Vm.Aborted why)

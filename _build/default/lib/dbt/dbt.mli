@@ -62,6 +62,11 @@ type stats = {
   mutable st_block_execs : int;
   mutable st_indirects : int;
   mutable st_rules_applied : int;
+  mutable st_chain_hits : int;
+      (** block transfers that followed a direct chain link, skipping the
+          dispatcher entirely *)
+  mutable st_dispatch_entries : int;
+      (** dispatcher entries: code-cache hash probes (and translations) *)
 }
 
 type t
@@ -70,13 +75,22 @@ val create :
   vm:Jt_vm.Vm.t ->
   ?profile:profile ->
   ?client:client ->
+  ?chain:bool ->
   ?rules_for:(string -> Jt_rules.Rules.file option) ->
   unit ->
   t
 (** Create an engine bound to [vm].  Must be called before [Vm.boot] so
     that the engine observes startup module loads (it subscribes to the
     loader and to cache-flush events).  [rules_for] supplies each module's
-    statically generated rule file, if one exists. *)
+    statically generated rule file, if one exists.
+
+    [chain] (default true) enables direct block chaining: blocks ending
+    in a direct [Jmp]/[Jcc]/[Call] are linked to their translated
+    successors, so chains of hot blocks execute without re-entering the
+    dispatcher or re-probing the code-cache hash table.  Links are
+    severed on invalidation.  Chaining changes only host-level dispatch
+    work ({!stats} and [Jt_metrics] counters); simulated cycles, outputs
+    and violations are bit-identical with it off. *)
 
 val run : ?fuel:int -> t -> unit
 (** Execute the booted program to completion under the engine. *)

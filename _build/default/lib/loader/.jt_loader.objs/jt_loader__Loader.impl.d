@@ -1,1 +1,1 @@
-lib/loader/loader.ml: Dsl Format Hashtbl Jt_asm Jt_isa Jt_mem Jt_obj List Objfile Reloc Section String
+lib/loader/loader.ml: Array Dsl Format Hashtbl Jt_asm Jt_isa Jt_mem Jt_metrics Jt_obj List Objfile Reloc Section String

@@ -38,6 +38,11 @@ type t = {
   mutable next_pic_base : int;
   mutable main : loaded option;
   mutable pinned : int;  (* load_order below this cannot be dlclosed *)
+  (* Interval index over the run-time address spans of every loaded
+     section, sorted by start address, so [module_at] is a binary search
+     instead of a scan over all modules.  Rebuilt on load and dlclose
+     (rare) to keep the lookup (hot: every block translation) cheap. *)
+  mutable index : (int * int * loaded) array;
 }
 
 let pic_base0 = 0x1000_0000
@@ -60,7 +65,25 @@ let create ~mem ~registry =
     next_pic_base = pic_base0;
     main = None;
     pinned = 0;
+    index = [||];
   }
+
+let rebuild_index t =
+  let spans =
+    List.concat_map
+      (fun l ->
+        List.filter_map
+          (fun (s : Section.t) ->
+            if Section.size s = 0 then None
+            else
+              Some
+                (runtime_addr l s.vaddr, runtime_addr l (Section.end_vaddr s), l))
+          l.lmod.sections)
+      t.loaded
+  in
+  let arr = Array.of_list spans in
+  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) arr;
+  t.index <- arr
 
 let mem t = t.mem
 let on_load t f = t.callbacks <- f :: t.callbacks
@@ -68,7 +91,25 @@ let loaded_modules t = List.rev t.loaded
 let find_loaded t name =
   List.find_opt (fun l -> String.equal l.lmod.name name) t.loaded
 
-let module_at t a = List.find_opt (fun l -> contains l a) t.loaded
+(* Binary search for the section span containing [a]: find the last span
+   starting at or before [a] and check containment.  Section spans never
+   overlap (the assembler lays sections out disjointly and each PIC module
+   gets its own base slot), so one candidate suffices. *)
+let module_at t a =
+  let c = Jt_metrics.Metrics.Counters.global in
+  c.c_module_lookups <- c.c_module_lookups + 1;
+  let arr = t.index in
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    c.c_lookup_probes <- c.c_lookup_probes + 1;
+    let mid = (!lo + !hi) / 2 in
+    let b, _, _ = arr.(mid) in
+    if b <= a then lo := mid + 1 else hi := mid
+  done;
+  if !lo = 0 then None
+  else
+    let b, e, l = arr.(!lo - 1) in
+    if a >= b && a < e then Some l else None
 
 let resolve_symbol t name =
   let rec go = function
@@ -144,6 +185,7 @@ let commit t news =
      to a module later in the closure). *)
   List.iter (fun l -> materialize t l) news;
   t.loaded <- List.rev_append news t.loaded;
+  rebuild_index t;
   List.iter
     (fun l ->
       apply_relative t l;
@@ -190,6 +232,7 @@ let dlclose t name =
     if still_needed then false
     else begin
       t.loaded <- List.filter (fun o -> o.load_order <> l.load_order) t.loaded;
+      rebuild_index t;
       List.iter (fun f -> f l) t.unload_callbacks;
       true
     end

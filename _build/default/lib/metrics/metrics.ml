@@ -1,8 +1,55 @@
-let geomean = function
+(* A zero or negative cell would feed [log] and poison the whole summary
+   row with [nan]/[0.]; such values are measurement failures, so they are
+   skipped (with a warning on stderr) rather than propagated. *)
+let geomean xs =
+  let pos, bad = List.partition (fun x -> x > 0.0) xs in
+  if bad <> [] then
+    Printf.eprintf "warning: geomean: skipping %d non-positive value(s)\n%!"
+      (List.length bad);
+  match pos with
   | [] -> 0.0
-  | xs ->
-    let n = float_of_int (List.length xs) in
-    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
+  | pos ->
+    let n = float_of_int (List.length pos) in
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 pos /. n)
+
+module Counters = struct
+  type t = {
+    mutable c_chain_hits : int;
+    mutable c_dispatch_entries : int;
+    mutable c_module_lookups : int;
+    mutable c_lookup_probes : int;
+    mutable c_flush_visits : int;
+    mutable c_flush_drops : int;
+  }
+
+  let global =
+    {
+      c_chain_hits = 0;
+      c_dispatch_entries = 0;
+      c_module_lookups = 0;
+      c_lookup_probes = 0;
+      c_flush_visits = 0;
+      c_flush_drops = 0;
+    }
+
+  let reset () =
+    global.c_chain_hits <- 0;
+    global.c_dispatch_entries <- 0;
+    global.c_module_lookups <- 0;
+    global.c_lookup_probes <- 0;
+    global.c_flush_visits <- 0;
+    global.c_flush_drops <- 0
+
+  let snapshot () =
+    [
+      ("chain_hits", global.c_chain_hits);
+      ("dispatch_entries", global.c_dispatch_entries);
+      ("module_lookups", global.c_module_lookups);
+      ("lookup_probes", global.c_lookup_probes);
+      ("flush_visits", global.c_flush_visits);
+      ("flush_drops", global.c_flush_drops);
+    ]
+end
 
 type cell = Value of float | Fail of string
 

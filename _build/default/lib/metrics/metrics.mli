@@ -1,7 +1,36 @@
 (** Result aggregation and table rendering for the benchmark harness. *)
 
 val geomean : float list -> float
-(** Geometric mean; 0 for an empty list. *)
+(** Geometric mean; 0 for an empty list.  Non-positive values would
+    poison the mean through [log], so they are skipped (with a warning on
+    stderr); 0 if nothing positive remains. *)
+
+(** Global hot-path instrumentation counters, incremented by the loader's
+    address-range index, the DBT dispatcher and the cache-invalidation
+    paths.  They measure *host-level* work (probes, visits), not simulated
+    cycles, so resetting or reading them never perturbs an experiment. *)
+module Counters : sig
+  type t = {
+    mutable c_chain_hits : int;
+        (** block-to-block transfers that followed a chain link without
+            re-entering the dispatcher *)
+    mutable c_dispatch_entries : int;
+        (** dispatcher entries (code-cache hash probes) *)
+    mutable c_module_lookups : int;  (** [Loader.module_at] calls *)
+    mutable c_lookup_probes : int;
+        (** binary-search steps across all module lookups *)
+    mutable c_flush_visits : int;
+        (** cache entries examined by range invalidations *)
+    mutable c_flush_drops : int;
+        (** cache entries actually invalidated *)
+  }
+
+  val global : t
+  val reset : unit -> unit
+
+  val snapshot : unit -> (string * int) list
+  (** Current values as name/value pairs, in a stable order. *)
+end
 
 type cell =
   | Value of float

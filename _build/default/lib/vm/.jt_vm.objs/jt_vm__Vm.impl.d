@@ -1,1 +1,1 @@
-lib/vm/vm.ml: Alloc Array Buffer Char Cost Decode Flags Format Hashtbl Insn Jt_isa Jt_loader Jt_mem Jt_obj List Reg Sysno Word
+lib/vm/vm.ml: Alloc Array Buffer Char Cost Decode Flags Format Hashtbl Insn Jt_isa Jt_loader Jt_mem Jt_metrics Jt_obj List Reg Sysno Word

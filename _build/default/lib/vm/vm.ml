@@ -26,8 +26,10 @@ type t = {
   mutable phases : int list;
   mutable jit_next : int;
   decode_cache : (int, Insn.t * int) Hashtbl.t;
+  decode_pages : (int, int list ref) Hashtbl.t;
   mutable flush_listeners : (int -> int -> unit) list;
   handles : (int, Jt_loader.Loader.loaded) Hashtbl.t;
+  mutable next_handle : int;
   mutable input : int list;
 }
 
@@ -57,8 +59,10 @@ let make ~registry =
     phases = [];
     jit_next = jit_base;
     decode_cache = Hashtbl.create 4096;
+    decode_pages = Hashtbl.create 256;
     flush_listeners = [];
     handles = Hashtbl.create 8;
+    next_handle = 1;
     input = [];
   }
 
@@ -98,13 +102,34 @@ let advance_phase t =
     t.pc <- next
   | [] -> t.status <- Exited (get t Reg.r0)
 
+(* The decode cache is bucketed by 4KiB page: every entry is registered
+   under each page its byte span [addr, addr+len) overlaps, so a range
+   invalidation only visits the affected pages instead of folding over
+   the whole table. *)
+let page_shift = 12
+
+let cache_decoded t addr ((_, len) as v) =
+  Hashtbl.replace t.decode_cache addr v;
+  let span = max len 1 in
+  for p = addr asr page_shift to (addr + span - 1) asr page_shift do
+    let b =
+      match Hashtbl.find_opt t.decode_pages p with
+      | Some b -> b
+      | None ->
+        let b = ref [] in
+        Hashtbl.replace t.decode_pages p b;
+        b
+    in
+    if not (List.mem addr !b) then b := addr :: !b
+  done
+
 let fetch t addr =
   match Hashtbl.find_opt t.decode_cache addr with
   | Some v -> Some v
   | None -> (
     match Decode.instr ~read:(fun a -> Jt_mem.Memory.read8 t.mem a) ~at:addr with
     | Some v ->
-      Hashtbl.replace t.decode_cache addr v;
+      cache_decoded t addr v;
       Some v
     | None -> None)
 
@@ -158,11 +183,43 @@ let eval_cond t (c : Insn.cond) =
 
 (* ---- syscalls ---- *)
 
+(* Invalidate every cached instruction whose byte span [k, k+len)
+   actually overlaps [start, start+len), visiting only the page buckets
+   the flushed range touches.  (The old heuristic dropped entries with
+   [k >= start - 16], which both over-invalidated nearby non-overlapping
+   entries and would let an instruction longer than 16 bytes survive with
+   stale bytes.) *)
 let flush_range t start len =
-  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.decode_cache [] in
-  List.iter
-    (fun k -> if k >= start - 16 && k < start + len then Hashtbl.remove t.decode_cache k)
-    keys;
+  (if len > 0 then begin
+     let c = Jt_metrics.Metrics.Counters.global in
+     let doomed = ref [] in
+     for p = start asr page_shift to (start + len - 1) asr page_shift do
+       match Hashtbl.find_opt t.decode_pages p with
+       | None -> ()
+       | Some b ->
+         List.iter
+           (fun k ->
+             c.c_flush_visits <- c.c_flush_visits + 1;
+             match Hashtbl.find_opt t.decode_cache k with
+             | Some (_, ilen) when k < start + len && k + max ilen 1 > start ->
+               doomed := (k, ilen) :: !doomed
+             | Some _ | None -> ())
+           !b
+     done;
+     List.iter
+       (fun (k, ilen) ->
+         (* an entry spanning two flushed pages appears twice *)
+         if Hashtbl.mem t.decode_cache k then begin
+           c.c_flush_drops <- c.c_flush_drops + 1;
+           Hashtbl.remove t.decode_cache k;
+           for q = k asr page_shift to (k + max ilen 1 - 1) asr page_shift do
+             match Hashtbl.find_opt t.decode_pages q with
+             | Some b -> b := List.filter (fun a -> a <> k) !b
+             | None -> ()
+           done
+         end)
+       !doomed
+   end);
   List.iter (fun f -> f start len) t.flush_listeners
 
 let do_syscall t n =
@@ -182,7 +239,10 @@ let do_syscall t n =
     let name = Jt_mem.Memory.read_cstring t.mem a0 in
     match Jt_loader.Loader.dlopen t.loader name with
     | l ->
-      let h = Hashtbl.length t.handles + 1 in
+      (* Monotonic handle IDs: sizing off [Hashtbl.length] would reuse a
+         live ID after a dlclose and silently alias another module. *)
+      let h = t.next_handle in
+      t.next_handle <- h + 1;
       Hashtbl.replace t.handles h l;
       set t Reg.r0 h
     | exception Jt_loader.Loader.Load_error e -> t.status <- Fault (Load_fault e)

@@ -43,8 +43,13 @@ type t = {
   mutable phases : int list;
   mutable jit_next : int;
   decode_cache : (int, Insn.t * int) Hashtbl.t;
+  decode_pages : (int, int list ref) Hashtbl.t;
+      (** 4KiB-page index over [decode_cache]: each entry is registered
+          under every page its byte span overlaps, so {!flush_range}
+          visits only affected pages.  Maintained by {!cache_decoded}. *)
   mutable flush_listeners : (int -> int -> unit) list;
   handles : (int, Jt_loader.Loader.loaded) Hashtbl.t;
+  mutable next_handle : int;  (** monotonic dlopen handle allocator *)
   mutable input : int list;  (** remaining external input (read_int) *)
 }
 
@@ -80,6 +85,16 @@ val set : t -> Reg.t -> int -> unit
 
 val fetch : t -> int -> (Insn.t * int) option
 (** Decode (with caching) the instruction at an address. *)
+
+val cache_decoded : t -> int -> Insn.t * int -> unit
+(** Insert a pre-decoded instruction into the decode cache, registering
+    it in the page index ({!fetch} goes through this; exposed for tools
+    that pre-decode). *)
+
+val flush_range : t -> int -> int -> unit
+(** Programmatic icache flush: invalidate every decode-cache entry whose
+    byte span overlaps [[start, start+len)] and notify flush listeners.
+    The [cache_flush] syscall is routed through this. *)
 
 val step_decoded : t -> at:int -> Insn.t -> int -> unit
 (** Execute one already-decoded instruction of length [len] located at

@@ -1,1 +1,1 @@
-test/test_dbt.ml: Alcotest Char Encode Insn Jt_asm Jt_dbt Jt_isa Jt_obj Jt_vm List Progs Reg String Sysno
+test/test_dbt.ml: Alcotest Char Encode Insn Jt_asm Jt_dbt Jt_isa Jt_mem Jt_obj Jt_vm List Progs Reg String Sysno

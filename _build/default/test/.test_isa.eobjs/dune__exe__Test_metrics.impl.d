@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Float Jt_dbt Jt_metrics Jt_vm List Progs

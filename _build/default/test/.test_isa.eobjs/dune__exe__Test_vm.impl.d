@@ -1,1 +1,1 @@
-test/test_vm.ml: Abi Alcotest Char Encode Insn Jt_asm Jt_isa Jt_obj Jt_vm List Reg String Sysno
+test/test_vm.ml: Abi Alcotest Char Encode Hashtbl Insn Jt_asm Jt_isa Jt_loader Jt_obj Jt_vm List Reg String Sysno

@@ -102,6 +102,33 @@ let test_module_at () =
   Alcotest.(check bool) "junk unmapped" true
     (Jt_loader.Loader.module_at loader 0x0666_0000 = None)
 
+let test_index_tracks_dlopen_dlclose () =
+  (* The interval index behind module_at must follow the loaded set:
+     entries appear on dlopen and disappear on dlclose. *)
+  let plugx =
+    build ~name:"plugx.so" ~kind:Jt_obj.Objfile.Shared
+      [ func ~exported:true "pfun" [ movi Reg.r0 9; ret ] ]
+  in
+  let mem = Jt_mem.Memory.create () in
+  let loader =
+    Jt_loader.Loader.create ~mem ~registry:[ main_mod; liba; libb; plugx ]
+  in
+  let _ = Jt_loader.Loader.load_main loader "mainx" in
+  let l = Jt_loader.Loader.dlopen loader "plugx.so" in
+  let s = List.hd l.lmod.Jt_obj.Objfile.sections in
+  let probe = Jt_loader.Loader.runtime_addr l s.vaddr in
+  (match Jt_loader.Loader.module_at loader probe with
+  | Some l' -> Alcotest.(check string) "indexed after dlopen" "plugx.so" l'.lmod.name
+  | None -> Alcotest.fail "plugx not indexed after dlopen");
+  Alcotest.(check bool) "dlclose ok" true
+    (Jt_loader.Loader.dlclose loader "plugx.so");
+  Alcotest.(check bool) "dropped after dlclose" true
+    (Jt_loader.Loader.module_at loader probe = None);
+  let entry = Jt_loader.Loader.entry_point loader in
+  match Jt_loader.Loader.module_at loader entry with
+  | Some l' -> Alcotest.(check string) "main still indexed" "mainx" l'.lmod.name
+  | None -> Alcotest.fail "main lost from index"
+
 let test_dlopen_idempotent () =
   let _, loader = fresh () in
   let _ = Jt_loader.Loader.load_main loader "mainx" in
@@ -129,6 +156,8 @@ let () =
           Alcotest.test_case "got lazy" `Quick test_got_initialized_lazy;
           Alcotest.test_case "module_at" `Quick test_module_at;
           Alcotest.test_case "dlopen idempotent" `Quick test_dlopen_idempotent;
+          Alcotest.test_case "index tracks dlopen/dlclose" `Quick
+            test_index_tracks_dlopen_dlclose;
           Alcotest.test_case "load error" `Quick test_load_error;
         ] );
     ]

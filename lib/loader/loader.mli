@@ -70,7 +70,10 @@ val loaded_modules : t -> loaded list
 (** In load order. *)
 
 val module_at : t -> int -> loaded option
-(** Address-range lookup: which module maps this run-time address? *)
+(** Address-range lookup: which module maps this run-time address?
+    Served from a sorted interval index over loaded section spans
+    (binary search, maintained on load/dlclose), so it is cheap enough
+    to sit on the DBT's block-translation path. *)
 
 val find_loaded : t -> string -> loaded option
 

@@ -102,6 +102,92 @@ let test_cache_flush_invalidation () =
   let under_dbt, _ = run_null m in
   Alcotest.(check string) "dbt sees regen" "1\n2\n" under_dbt.r_output
 
+(* Chaining is a host-level dispatch optimization: results (cycles,
+   output, violations) must be bit-identical with it off, while the
+   dispatcher is entered far less often on loop-heavy code. *)
+let test_chaining_equivalent_and_cheaper () =
+  let m = Progs.sum_prog ~n:200 () in
+  let go chain =
+    let vm = Jt_vm.Vm.make ~registry:(Progs.registry_for m) in
+    let engine = Jt_dbt.Dbt.create ~vm ~chain () in
+    Jt_vm.Vm.boot vm ~main:"sum";
+    Jt_dbt.Dbt.run engine;
+    (Jt_vm.Vm.result vm, Jt_dbt.Dbt.stats engine)
+  in
+  let r_on, s_on = go true in
+  let r_off, s_off = go false in
+  Alcotest.(check bool) "bit-identical results" true (r_on = r_off);
+  Alcotest.(check int) "unchained never chains" 0 s_off.st_chain_hits;
+  let transfers = s_on.st_chain_hits + s_on.st_dispatch_entries in
+  Alcotest.(check bool) "chain-hit rate > 50%" true
+    (2 * s_on.st_chain_hits > transfers);
+  Alcotest.(check bool) ">= 2x fewer dispatcher entries" true
+    (s_off.st_dispatch_entries >= 2 * s_on.st_dispatch_entries)
+
+(* The fuel budget must fire inside a block, not only between blocks: a
+   long straight-line block used to overshoot the budget arbitrarily (here
+   the program would simply exit before fuel was ever checked). *)
+let test_fuel_checked_mid_block () =
+  let open Jt_isa in
+  let open Jt_asm.Builder in
+  let open Jt_asm.Builder.Dsl in
+  let m =
+    build ~name:"fuelb" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+      [ func "main" (List.init 40 (fun _ -> addi Reg.r0 1) @ Progs.exit0) ]
+  in
+  let vm = Jt_vm.Vm.make ~registry:[ m ] in
+  let engine = Jt_dbt.Dbt.create ~vm () in
+  Jt_vm.Vm.boot vm ~main:"fuelb";
+  Jt_dbt.Dbt.run ~fuel:10 engine;
+  Alcotest.(check bool) "out of fuel" true
+    (vm.status = Jt_vm.Vm.Fault Jt_vm.Vm.Out_of_fuel);
+  Alcotest.(check int) "stops at the budget" 10 vm.icount
+
+(* An empty (decode-faulting) cached block sits at exactly its start
+   address; flush invalidation must treat it as length 1 so regenerating
+   code over it retranslates instead of replaying the stale fault. *)
+let test_decode_fault_block_invalidated () =
+  let open Jt_isa in
+  let open Jt_asm.Builder in
+  let open Jt_asm.Builder.Dsl in
+  let m =
+    build ~name:"efault" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+      ~entry:"main"
+      [
+        func "main"
+          ([
+             movi Reg.r0 64; syscall Sysno.mmap_code; mov Reg.r6 Reg.r0;
+             call_reg Reg.r6 (* nothing written yet: decode fault *);
+             call_import "print_int";
+           ]
+          @ Progs.exit0);
+      ]
+  in
+  let vm = Jt_vm.Vm.make ~registry:(Progs.registry_for m) in
+  let engine = Jt_dbt.Dbt.create ~vm () in
+  Jt_vm.Vm.boot vm ~main:"efault";
+  Jt_dbt.Dbt.run engine;
+  let jit = fst Jt_vm.Vm.jit_region in
+  Alcotest.(check bool) "first call decode-faults" true
+    (vm.status = Jt_vm.Vm.Fault (Jt_vm.Vm.Decode_fault jit));
+  (* write real code over the faulting address and flush the range *)
+  let code =
+    List.fold_left
+      (fun (acc, a) i -> (acc ^ Encode.encode ~at:a i, a + Encode.length i))
+      ("", jit)
+      [ Insn.Mov (Reg.r0, Insn.Imm 5); Insn.Ret ]
+    |> fst
+  in
+  String.iteri
+    (fun i c -> Jt_mem.Memory.write8 vm.mem (jit + i) (Char.code c))
+    code;
+  Jt_vm.Vm.flush_range vm jit 64;
+  vm.status <- Jt_vm.Vm.Running;
+  Jt_dbt.Dbt.run engine;
+  Alcotest.(check string) "sees regenerated code" "5\n" (Jt_vm.Vm.output vm);
+  Alcotest.(check bool) "exits cleanly after regen" true
+    (vm.status = Jt_vm.Vm.Exited 0)
+
 let test_lightweight_profile_cheaper () =
   let m = Progs.sum_prog ~n:100 () in
   let run profile =
@@ -125,5 +211,9 @@ let () =
           Alcotest.test_case "jit dynamic blocks" `Quick test_jit_blocks_are_dynamic;
           Alcotest.test_case "cache flush" `Quick test_cache_flush_invalidation;
           Alcotest.test_case "profiles" `Quick test_lightweight_profile_cheaper;
+          Alcotest.test_case "chaining" `Quick test_chaining_equivalent_and_cheaper;
+          Alcotest.test_case "fuel mid-block" `Quick test_fuel_checked_mid_block;
+          Alcotest.test_case "empty-block invalidation" `Quick
+            test_decode_fault_block_invalidated;
         ] );
     ]

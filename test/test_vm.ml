@@ -301,6 +301,89 @@ let test_jit_codegen () =
   check_exit r;
   Alcotest.(check string) "output" "77\n" r.r_output
 
+(* dlopen handle IDs must be monotonic.  Pre-fix they were allocated as
+   [Hashtbl.length handles + 1], so open A, open B, close A, open C gave
+   C the still-live handle of B and dlsym through B silently resolved
+   into C. *)
+let test_dlopen_handle_no_reuse () =
+  let mk name v =
+    build ~name ~kind:Jt_obj.Objfile.Shared
+      [ func ~exported:true "val_" [ movi Reg.r0 v; ret ] ]
+  in
+  let pa = mk "pa.so" 111 and pb = mk "pb.so" 222 and pc = mk "pc.so" 333 in
+  let dlsym_call_print handle_reg =
+    [
+      mov Reg.r0 handle_reg;
+      addr_of_data ~pic:false Reg.r1 "sym";
+      syscall Sysno.dlsym;
+      call_reg Reg.r0;
+      syscall Sysno.write_int;
+    ]
+  in
+  let m =
+    build ~name:"hdl" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+      ~datas:
+        [
+          data "na" [ Dbytes "pa.so\x00" ];
+          data "nb" [ Dbytes "pb.so\x00" ];
+          data "nc" [ Dbytes "pc.so\x00" ];
+          data "sym" [ Dbytes "val_\x00" ];
+        ]
+      [
+        func "main"
+          ([
+             addr_of_data ~pic:false Reg.r0 "na";
+             syscall Sysno.dlopen;
+             mov Reg.r5 Reg.r0 (* handle A *);
+             addr_of_data ~pic:false Reg.r0 "nb";
+             syscall Sysno.dlopen;
+             mov Reg.r6 Reg.r0 (* handle B *);
+             mov Reg.r0 Reg.r5;
+             syscall Sysno.dlclose (* close A *);
+             addr_of_data ~pic:false Reg.r0 "nc";
+             syscall Sysno.dlopen;
+             mov Reg.r7 Reg.r0 (* handle C: must not alias B *);
+           ]
+          @ dlsym_call_print Reg.r6 (* through B: 222 *)
+          @ dlsym_call_print Reg.r7 (* through C: 333 *)
+          @ exit_ok);
+      ]
+  in
+  let r = run ~registry:[ pa; pb; pc ] m in
+  check_exit r;
+  Alcotest.(check string) "live handles stay distinct" "222\n333\n" r.r_output
+
+(* flush_range must invalidate by actual [addr, addr+len) byte overlap.
+   The old heuristic dropped every entry within 16 bytes before the
+   flushed start (over-invalidation) and would have let an instruction
+   longer than 16 bytes survive a flush of its tail (stale bytes). *)
+let test_flush_range_overlap () =
+  let m =
+    build ~name:"fl" ~kind:Jt_obj.Objfile.Exec_nonpic ~entry:"main"
+      [ func "main" exit_ok ]
+  in
+  let vm = Jt_vm.Vm.make ~registry:[ m ] in
+  Jt_vm.Vm.boot vm ~main:"fl";
+  let entry = Jt_loader.Loader.entry_point vm.loader in
+  (match Jt_vm.Vm.fetch vm entry with
+  | Some (_, len) -> Alcotest.(check bool) "entry decodes" true (len > 0)
+  | None -> Alcotest.fail "entry must decode");
+  (* flush a range just past the entry instruction (movi = 6 bytes): no
+     overlap, so the entry must survive (the heuristic dropped it) *)
+  Jt_vm.Vm.flush_range vm (entry + 8) 8;
+  Alcotest.(check bool) "non-overlapping entry survives" true
+    (Hashtbl.mem vm.decode_cache entry);
+  (* an entry whose span overlaps the flushed range is dropped no matter
+     how far before the start it begins *)
+  Jt_vm.Vm.cache_decoded vm 0x0070_0000 (Insn.Nop, 20);
+  Jt_vm.Vm.flush_range vm (0x0070_0000 + 17) 4;
+  Alcotest.(check bool) "overlapping long entry dropped" false
+    (Hashtbl.mem vm.decode_cache 0x0070_0000);
+  (* and a flush covering the entry start drops it *)
+  Jt_vm.Vm.flush_range vm entry 4;
+  Alcotest.(check bool) "covered entry dropped" false
+    (Hashtbl.mem vm.decode_cache entry)
+
 let () =
   Alcotest.run "vm"
     [
@@ -317,5 +400,9 @@ let () =
           Alcotest.test_case "dlopen" `Quick test_dlopen_dlsym;
           Alcotest.test_case "heap" `Quick test_heap_malloc_free;
           Alcotest.test_case "jit" `Quick test_jit_codegen;
+          Alcotest.test_case "dlopen handle monotonic" `Quick
+            test_dlopen_handle_no_reuse;
+          Alcotest.test_case "flush-range overlap" `Quick
+            test_flush_range_overlap;
         ] );
     ]
