@@ -368,55 +368,109 @@ let ablation () =
      violations on gobmk without the exemption, %d with it\n"
     (run_cfg ~exempt:false) (run_cfg ~exempt:true)
 
-(* ---- dispatch microbenchmark: blocks/sec and chain-hit rate ----
+(* ---- dispatch microbenchmark: blocks/sec, chain/IBL hit rates ----
 
-   Runs a loop-heavy subset under the null-client DBT twice (chaining on
-   and off), checks the runs are bit-identical, and reports host-level
-   dispatch cost: dispatcher entries, chain-hit rate and blocks/sec.
-   Emits machine-readable JSON (BENCH_dispatch.json) so future PRs can
-   track the dispatch-cost trajectory. *)
+   Runs a loop-heavy subset under the null-client DBT in three
+   configurations — full fast paths (chain+IBL+traces), chain-only (the
+   PR 1 baseline) and fully unchained — checks that observable program
+   behavior (status, output, instruction count, violations) is
+   bit-identical across all three, and reports host-level dispatch cost.
+   Simulated cycles intentionally drop with IBL on (that is the modeled
+   win), so cycles are excluded from the identity check.  Emits
+   machine-readable JSON (BENCH_dispatch.json) so future PRs can track
+   the dispatch-cost trajectory. *)
 
 type dispatch_row = {
   d_name : string;
   d_block_execs : int;
   d_chain_hits : int;
-  d_entries_chained : int;
+  d_ibl_hits : int;
+  d_ibl_misses : int;
+  d_traces_built : int;
+  d_trace_execs : int;
+  d_entries_full : int;
+  d_entries_chain_only : int;
   d_entries_unchained : int;
-  d_hit_rate : float;
+  d_chain_hit_rate : float;  (** chain-only config, comparable to PR 1 *)
+  d_ibl_hit_rate : float;
+  d_chain_ibl_hit_rate : float;  (** transfers that skipped the dispatcher *)
   d_blocks_per_sec : float;
   d_bit_identical : bool;
 }
 
 let dispatch_rows () =
   let loopy = [ "bzip2"; "hmmer"; "mcf"; "milc"; "lbm"; "sjeng" ] in
-  let run_one ~chain registry main =
+  let run_one ~chain ~ibl ~trace registry main =
     let vm = Jt_vm.Vm.make ~registry in
-    let engine = Jt_dbt.Dbt.create ~vm ~chain () in
+    let engine = Jt_dbt.Dbt.create ~vm ~chain ~ibl ~trace () in
     Jt_vm.Vm.boot vm ~main;
+    (* count from a clean slate: nothing before [run] may leak in *)
+    Jt_dbt.Dbt.reset_stats engine;
     let t0 = Sys.time () in
     if vm.Jt_vm.Vm.status = Jt_vm.Vm.Running then Jt_dbt.Dbt.run engine;
     let dt = Sys.time () -. t0 in
     (Jt_vm.Vm.result vm, Jt_dbt.Dbt.stats engine, dt)
   in
+  let observable (r : Jt_vm.Vm.result) =
+    (r.r_status, r.r_output, r.r_icount, r.r_violations)
+  in
+  let rate num den =
+    if den = 0 then 0.0 else float_of_int num /. float_of_int den
+  in
   List.map
     (fun name ->
       Printf.eprintf "  dispatch: %s...\n%!" name;
       let w = Specgen.build (Sheet.find name) in
-      let r_on, s_on, dt_on = run_one ~chain:true w.Specgen.w_registry name in
-      let r_off, s_off, _ = run_one ~chain:false w.Specgen.w_registry name in
-      let transfers = s_on.st_chain_hits + s_on.st_dispatch_entries in
+      let reg = w.Specgen.w_registry in
+      let r_full, s_full, dt =
+        run_one ~chain:true ~ibl:true ~trace:true reg name
+      in
+      let r_chain, s_chain, _ =
+        run_one ~chain:true ~ibl:false ~trace:false reg name
+      in
+      let r_off, s_off, _ =
+        run_one ~chain:false ~ibl:false ~trace:false reg name
+      in
+      (* Self-check: every executed block is reached through exactly one
+         of the dispatcher, a chain link, an IBL hit or a trace-interior
+         transition.  A broken identity means a stats or dispatch bug, so
+         fail loudly rather than emit wrong numbers. *)
+      let accounted =
+        s_full.Jt_dbt.Dbt.st_dispatch_entries + s_full.st_chain_hits
+        + s_full.st_ibl_hits + s_full.st_trace_interior
+      in
+      if accounted <> s_full.st_block_execs then begin
+        Printf.eprintf
+          "!! dispatch: %s entry accounting broken (%d accounted <> %d \
+           executed)\n\
+           %!"
+          name accounted s_full.st_block_execs;
+        exit 1
+      end;
       {
         d_name = name;
-        d_block_execs = s_on.st_block_execs;
-        d_chain_hits = s_on.st_chain_hits;
-        d_entries_chained = s_on.st_dispatch_entries;
+        d_block_execs = s_full.st_block_execs;
+        d_chain_hits = s_full.st_chain_hits;
+        d_ibl_hits = s_full.st_ibl_hits;
+        d_ibl_misses = s_full.st_ibl_misses;
+        d_traces_built = s_full.st_traces_built;
+        d_trace_execs = s_full.st_trace_execs;
+        d_entries_full = s_full.st_dispatch_entries;
+        d_entries_chain_only = s_chain.st_dispatch_entries;
         d_entries_unchained = s_off.st_dispatch_entries;
-        d_hit_rate =
-          (if transfers = 0 then 0.0
-           else float_of_int s_on.st_chain_hits /. float_of_int transfers);
-        d_blocks_per_sec =
-          float_of_int s_on.st_block_execs /. max dt_on 1e-9;
-        d_bit_identical = r_on = r_off;
+        d_chain_hit_rate =
+          rate s_chain.st_chain_hits
+            (s_chain.st_chain_hits + s_chain.st_dispatch_entries);
+        d_ibl_hit_rate =
+          rate s_full.st_ibl_hits (s_full.st_ibl_hits + s_full.st_ibl_misses);
+        d_chain_ibl_hit_rate =
+          rate
+            (s_full.st_block_execs - s_full.st_dispatch_entries)
+            s_full.st_block_execs;
+        d_blocks_per_sec = float_of_int s_full.st_block_execs /. max dt 1e-9;
+        d_bit_identical =
+          observable r_full = observable r_chain
+          && observable r_chain = observable r_off;
       })
     loopy
 
@@ -424,11 +478,16 @@ let dispatch_json rows =
   let row_json r =
     Printf.sprintf
       "    {\"name\": \"%s\", \"block_execs\": %d, \"chain_hits\": %d, \
-       \"dispatcher_entries\": %d, \"dispatcher_entries_unchained\": %d, \
-       \"chain_hit_rate\": %.4f, \"blocks_per_sec\": %.0f, \
-       \"bit_identical\": %b}"
-      r.d_name r.d_block_execs r.d_chain_hits r.d_entries_chained
-      r.d_entries_unchained r.d_hit_rate r.d_blocks_per_sec r.d_bit_identical
+       \"ibl_hits\": %d, \"ibl_misses\": %d, \"traces_built\": %d, \
+       \"trace_execs\": %d, \"dispatcher_entries\": %d, \
+       \"dispatcher_entries_chain_only\": %d, \
+       \"dispatcher_entries_unchained\": %d, \"chain_hit_rate\": %.4f, \
+       \"ibl_hit_rate\": %.4f, \"chain_ibl_hit_rate\": %.4f, \
+       \"blocks_per_sec\": %.0f, \"bit_identical\": %b}"
+      r.d_name r.d_block_execs r.d_chain_hits r.d_ibl_hits r.d_ibl_misses
+      r.d_traces_built r.d_trace_execs r.d_entries_full r.d_entries_chain_only
+      r.d_entries_unchained r.d_chain_hit_rate r.d_ibl_hit_rate
+      r.d_chain_ibl_hit_rate r.d_blocks_per_sec r.d_bit_identical
   in
   Printf.sprintf "{\n  \"target\": \"dispatch\",\n  \"workloads\": [\n%s\n  ]\n}\n"
     (String.concat ",\n" (List.map row_json rows))
@@ -441,26 +500,111 @@ let dispatch () =
         ( r.d_name,
           [
             Jt_metrics.Metrics.Value (float_of_int r.d_entries_unchained);
-            Jt_metrics.Metrics.Value (float_of_int r.d_entries_chained);
-            Jt_metrics.Metrics.Value (100.0 *. r.d_hit_rate);
+            Jt_metrics.Metrics.Value (float_of_int r.d_entries_chain_only);
+            Jt_metrics.Metrics.Value (float_of_int r.d_entries_full);
+            Jt_metrics.Metrics.Value (100.0 *. r.d_chain_ibl_hit_rate);
+            Jt_metrics.Metrics.Value (100.0 *. r.d_ibl_hit_rate);
+            Jt_metrics.Metrics.Value (float_of_int r.d_traces_built);
             Jt_metrics.Metrics.Value r.d_blocks_per_sec;
           ] ))
       rows
   in
-  open_table "Dispatch microbenchmark: chaining vs dispatcher entries"
+  open_table
+    "Dispatch microbenchmark: chaining + IBL + traces vs dispatcher entries"
     "counts / % / blocks-per-sec"
-    [ "entries(off)"; "entries(on)"; "hit-rate %"; "blocks/sec" ]
+    [
+      "entries(off)"; "entries(chain)"; "entries(full)"; "chain+ibl %";
+      "ibl-hit %"; "traces"; "blocks/sec";
+    ]
     tbl_rows;
   List.iter
     (fun r ->
       if not r.d_bit_identical then
-        Printf.printf "!! dispatch: %s diverged between chain on/off\n" r.d_name)
+        Printf.printf "!! dispatch: %s diverged across fast-path configs\n"
+          r.d_name)
     rows;
   let json = dispatch_json rows in
   let oc = open_out "BENCH_dispatch.json" in
   output_string oc json;
   close_out oc;
   print_string json
+
+(* ---- shadow microbenchmark: per-byte loop vs page-at-a-time bulk ----
+
+   The "before" series reproduces the pre-optimization implementation
+   faithfully: one hash probe and one byte store/load per shadow byte
+   (exactly what [Shadow.set]/[Shadow.get] still do, and what
+   poison/unpoison used to loop over).  The "after" series uses the bulk
+   entry points: page-at-a-time [Bytes.fill] for poisoning and
+   whole-page skipping for the clean-scan path. *)
+
+let shadow_bench () =
+  let len = 1 lsl 20 (* 1 MiB *) in
+  let base = 0x5000_0000 in
+  let naive_reps = 4 and bulk_reps = 1000 in
+  let time reps f =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    max (Sys.time () -. t0) 1e-9
+  in
+  let mibs reps dt = float_of_int reps *. (float_of_int len /. dt) /. 1048576.0 in
+  let dt_naive_poison =
+    time naive_reps (fun () ->
+        let s = Jt_jasan.Shadow.create () in
+        for i = 0 to len - 1 do
+          Jt_jasan.Shadow.set s (base + i) 1
+        done)
+  in
+  let dt_bulk_poison =
+    time bulk_reps (fun () ->
+        let s = Jt_jasan.Shadow.create () in
+        Jt_jasan.Shadow.poison s base ~len Jt_jasan.Shadow.Heap_redzone)
+  in
+  (* Scan of a clean region — the hot JASan check shape.  The region was
+     never poisoned, so its pages do not even exist: the bulk path skips
+     them wholesale while the per-byte path probes every address. *)
+  let clean = Jt_jasan.Shadow.create () in
+  Jt_jasan.Shadow.poison clean (base + len) ~len:1 Jt_jasan.Shadow.Heap_redzone;
+  let dt_naive_scan =
+    time naive_reps (fun () ->
+        for i = 0 to len - 1 do
+          if Jt_jasan.Shadow.get clean (base + i) <> 0 then
+            failwith "unexpected poison"
+        done)
+  in
+  let dt_bulk_scan =
+    time bulk_reps (fun () ->
+        if Jt_jasan.Shadow.first_poisoned clean base ~len <> None then
+          failwith "unexpected poison")
+  in
+  (* correctness spot-checks on the bulk paths while we are here *)
+  let s = Jt_jasan.Shadow.create () in
+  Jt_jasan.Shadow.poison s base ~len Jt_jasan.Shadow.Heap_freed;
+  assert (Jt_jasan.Shadow.poisoned_count s = len);
+  assert (
+    Jt_jasan.Shadow.first_poisoned s (base - 8) ~len:16
+    = Some (base, Jt_jasan.Shadow.Heap_freed));
+  Jt_jasan.Shadow.unpoison s base ~len;
+  assert (Jt_jasan.Shadow.poisoned_count s = 0);
+  let line label reps dt dt_base reps_base =
+    ( label,
+      Printf.sprintf "%10.1f MiB/s  (%.0fx)" (mibs reps dt)
+        (mibs reps dt /. mibs reps_base dt_base) )
+  in
+  Jt_metrics.Metrics.print_kv
+    "Shadow microbenchmark: 1 MiB poison / clean-region scan"
+    [
+      line "poison: per-byte set" naive_reps dt_naive_poison dt_naive_poison
+        naive_reps;
+      line "poison: bulk fill" bulk_reps dt_bulk_poison dt_naive_poison
+        naive_reps;
+      line "scan:   per-byte get" naive_reps dt_naive_scan dt_naive_scan
+        naive_reps;
+      line "scan:   bulk first_poisoned" bulk_reps dt_bulk_scan dt_naive_scan
+        naive_reps;
+    ]
 
 (* ---- bechamel microbenchmarks of the framework's own primitives ---- *)
 
@@ -530,6 +674,7 @@ let targets =
     ("fig14", fig14);
     ("ablation", ablation);
     ("dispatch", dispatch);
+    ("shadow", shadow_bench);
     ("micro", micro);
   ]
 

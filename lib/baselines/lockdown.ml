@@ -273,7 +273,11 @@ let run ?(fuel = 200_000_000) ?(policy = Strong) ~registry ~main () =
   in
   let vm = Jt_vm.Vm.make ~registry in
   let engine =
-    Jt_dbt.Dbt.create ~vm ~profile:Jt_dbt.Dbt.lightweight ~client:(client rt) ()
+    (* Lockdown's libdetox keeps its own constants: no IBL discount, no
+       trace stitching — every indirect pays the lightweight profile's
+       fixed lookup price. *)
+    Jt_dbt.Dbt.create ~vm ~profile:Jt_dbt.Dbt.lightweight ~ibl:false
+      ~trace:false ~client:(client rt) ()
   in
   Jt_loader.Loader.on_load vm.loader (fun l ->
       rt.mods <- build_lmod l :: rt.mods;

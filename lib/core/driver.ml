@@ -65,8 +65,8 @@ let static_closure ~registry ~main =
   go main;
   List.rev !order
 
-let run ?fuel ?(hybrid = true) ?profile ?(precomputed = []) ~tool ~registry
-    ~main () =
+let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?(precomputed = []) ~tool
+    ~registry ~main () =
   let rule_files =
     if hybrid then
       let todo =
@@ -84,7 +84,7 @@ let run ?fuel ?(hybrid = true) ?profile ?(precomputed = []) ~tool ~registry
   in
   let vm = Jt_vm.Vm.make ~registry in
   let engine =
-    Jt_dbt.Dbt.create ~vm ?profile ~client:tool.Tool.t_client
+    Jt_dbt.Dbt.create ~vm ?profile ?ibl ?trace ~client:tool.Tool.t_client
       ~rules_for:(fun name -> List.assoc_opt name rule_files)
       ()
   in
@@ -101,9 +101,9 @@ let run ?fuel ?(hybrid = true) ?profile ?(precomputed = []) ~tool ~registry
     o_rule_count = rule_count;
   }
 
-let run_null ?fuel ?profile ~registry ~main () =
+let run_null ?fuel ?profile ?ibl ?trace ~registry ~main () =
   let vm = Jt_vm.Vm.make ~registry in
-  let engine = Jt_dbt.Dbt.create ~vm ?profile () in
+  let engine = Jt_dbt.Dbt.create ~vm ?profile ?ibl ?trace () in
   Jt_vm.Vm.boot vm ~main;
   if vm.Jt_vm.Vm.status = Jt_vm.Vm.Running then Jt_dbt.Dbt.run ?fuel engine;
   {

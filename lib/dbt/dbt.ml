@@ -21,6 +21,7 @@ type profile = {
   p_translate_block : int;
   p_translate_insn : int;
   p_indirect : int;
+  p_ibl_hit : int;
   p_per_block : int;
 }
 
@@ -30,15 +31,20 @@ let dynamorio =
     p_translate_block = Jt_vm.Cost.dbt_translate_block;
     p_translate_insn = Jt_vm.Cost.dbt_translate_insn;
     p_indirect = Jt_vm.Cost.dbt_indirect_lookup;
+    p_ibl_hit = Jt_vm.Cost.dbt_ibl_hit;
     p_per_block = 0;
   }
 
+(* Lockdown's libdetox keeps its own constants: an IBL hit there costs
+   the same as its ordinary indirect check, so enabling the IBL would
+   change nothing even if the baseline didn't opt out. *)
 let lightweight =
   {
     p_name = "lightweight";
     p_translate_block = 30;
     p_translate_insn = 6;
     p_indirect = Jt_vm.Cost.lockdown_indirect;
+    p_ibl_hit = Jt_vm.Cost.lockdown_indirect;
     p_per_block = Jt_vm.Cost.lockdown_per_block;
   }
 
@@ -50,6 +56,11 @@ type stats = {
   mutable st_rules_applied : int;
   mutable st_chain_hits : int;
   mutable st_dispatch_entries : int;
+  mutable st_ibl_hits : int;
+  mutable st_ibl_misses : int;
+  mutable st_traces_built : int;
+  mutable st_trace_execs : int;
+  mutable st_trace_interior : int;
 }
 
 (* A code-cache entry.  Blocks ending in a direct transfer record their
@@ -68,6 +79,27 @@ type cached = {
   mutable cb_link_taken : cached option;
   mutable cb_link_fall : cached option;
   mutable cb_valid : bool;
+  (* Per-site indirect-branch inline cache: for a block ending in an
+     indirect transfer, the last resolved target plus a small
+     associative table of recent targets, probed before the dispatcher.
+     Entries are severed lazily through [cb_valid], like chain links. *)
+  mutable cb_ibl_last : cached option;
+  cb_ibl : cached option array;
+  mutable cb_ibl_rr : int;  (* round-robin victim when all ways are live *)
+  mutable cb_hot : int;  (* dispatcher-level entries, for trace heads *)
+}
+
+(* A NET-style superblock trace: the tail of blocks that actually
+   executed after a hot head, stitched so the common path re-enters the
+   dispatcher once per trip instead of once per block.  Constituents are
+   ordinary code-cache entries, so PR 1's page-bucketed range
+   invalidation reaches them without knowing about traces: a trace is
+   alive only while every constituent still is, and execution re-checks
+   each constituent before entering it (a flush mid-trace side-exits). *)
+type trace = {
+  tr_head : int;
+  tr_blocks : cached array;
+  mutable tr_valid : bool;
 }
 
 type t = {
@@ -75,6 +107,8 @@ type t = {
   profile : profile;
   client : client option;
   chain : bool;
+  ibl : bool;
+  trace : bool;
   cache : (int, cached) Hashtbl.t;
   (* 4KiB-page index over [cache]: every block is registered under each
      page its byte span overlaps, so a range invalidation visits only the
@@ -84,12 +118,25 @@ type t = {
      module's load order and reached through the loader's interval-indexed
      [module_at] instead of a linear scan. *)
   tables : (int, Jt_rules.Rules.Table.t) Hashtbl.t;
+  traces : (int, trace) Hashtbl.t;
+  mutable recording : (int * cached list) option;
+      (* trace being recorded: head address, constituents in reverse *)
   stats : stats;
 }
 
 let max_block_insns = 256
 
 let page_shift = 12
+
+(* Trace-formation constants (NET: "next-executing tail").  A head is a
+   block entered [hot_threshold] times through the dispatcher-level
+   paths; the trace then records up to [max_trace_len] blocks of the
+   execution that follows. *)
+let hot_threshold = 32
+
+let max_trace_len = 16
+
+let ibl_ways = 4
 
 let index_add t (c : cached) =
   for p = c.cb.bb_addr asr page_shift to (c.cb_end - 1) asr page_shift do
@@ -115,6 +162,11 @@ let invalidate t (c : cached) =
   c.cb_valid <- false;
   c.cb_link_taken <- None;
   c.cb_link_fall <- None;
+  (* Inline-cache entries into the dead block are severed lazily by the
+     probe's [cb_valid] check; the dead block's own site cache is cleared
+     eagerly so it stops pinning other blocks. *)
+  c.cb_ibl_last <- None;
+  Array.fill c.cb_ibl 0 (Array.length c.cb_ibl) None;
   (match Hashtbl.find_opt t.cache c.cb.bb_addr with
   | Some cur when cur == c -> Hashtbl.remove t.cache c.cb.bb_addr
   | Some _ | None -> ());
@@ -145,17 +197,21 @@ let flush_blocks t start len =
     done
   end
 
-let create ~vm ?(profile = dynamorio) ?client ?(chain = true)
-    ?(rules_for = fun _ -> None) () =
+let create ~vm ?(profile = dynamorio) ?client ?(chain = true) ?(ibl = true)
+    ?(trace = true) ?(rules_for = fun _ -> None) () =
   let t =
     {
       vm;
       profile;
       client;
       chain;
+      ibl;
+      trace;
       cache = Hashtbl.create 4096;
       pages = Hashtbl.create 256;
       tables = Hashtbl.create 8;
+      traces = Hashtbl.create 64;
+      recording = None;
       stats =
         {
           st_blocks_static = 0;
@@ -165,6 +221,11 @@ let create ~vm ?(profile = dynamorio) ?client ?(chain = true)
           st_rules_applied = 0;
           st_chain_hits = 0;
           st_dispatch_entries = 0;
+          st_ibl_hits = 0;
+          st_ibl_misses = 0;
+          st_traces_built = 0;
+          st_trace_execs = 0;
+          st_trace_interior = 0;
         };
     }
   in
@@ -284,6 +345,10 @@ let translate t addr =
       cb_link_taken = None;
       cb_link_fall = None;
       cb_valid = true;
+      cb_ibl_last = None;
+      cb_ibl = Array.make ibl_ways None;
+      cb_ibl_rr = 0;
+      cb_hot = 0;
     }
   in
   (match Hashtbl.find_opt t.cache addr with
@@ -293,14 +358,53 @@ let translate t addr =
   index_add t cached;
   cached
 
-(* Execute a translated block.  The fuel budget is checked before every
-   instruction, not just between blocks, so Out_of_fuel fires within one
-   instruction of the budget even inside a maximal 256-instruction block
-   or a long chain. *)
-let exec_block t ~budget (c : cached) =
+(* ---- per-site indirect-branch inline caches ---- *)
+
+let ibl_probe (p : cached) pc =
+  match p.cb_ibl_last with
+  | Some c when c.cb_valid && c.cb.bb_addr = pc -> Some c
+  | _ ->
+    let n = Array.length p.cb_ibl in
+    let rec scan i =
+      if i >= n then None
+      else
+        match p.cb_ibl.(i) with
+        | Some c when c.cb_valid && c.cb.bb_addr = pc ->
+          p.cb_ibl_last <- Some c;
+          Some c
+        | Some _ | None -> scan (i + 1)
+    in
+    scan 0
+
+let ibl_install (p : cached) (c : cached) =
+  p.cb_ibl_last <- Some c;
+  let n = Array.length p.cb_ibl in
+  (* reuse a dead or duplicate way if one exists, else evict round-robin *)
+  let rec free i =
+    if i >= n then None
+    else
+      match p.cb_ibl.(i) with
+      | Some o when o.cb_valid && o != c -> free (i + 1)
+      | Some _ | None -> Some i
+  in
+  let slot =
+    match free 0 with
+    | Some i -> i
+    | None ->
+      let v = p.cb_ibl_rr in
+      p.cb_ibl_rr <- (v + 1) mod n;
+      v
+  in
+  p.cb_ibl.(slot) <- Some c
+
+(* ---- block / trace execution ---- *)
+
+(* Run one translated block's instructions (with their instrumentation
+   plan).  The fuel budget is checked before every instruction, not just
+   between blocks, so Out_of_fuel fires within one instruction of the
+   budget even inside a maximal 256-instruction block or a long chain. *)
+let exec_insns t ~budget (c : cached) =
   let vm = t.vm in
-  t.stats.st_block_execs <- t.stats.st_block_execs + 1;
-  if t.profile.p_per_block > 0 then Jt_vm.Vm.charge vm t.profile.p_per_block;
   let n = Array.length c.cb.insns in
   let k = ref 0 in
   while !k < n && vm.Jt_vm.Vm.status = Jt_vm.Vm.Running do
@@ -316,19 +420,148 @@ let exec_block t ~budget (c : cached) =
       Jt_vm.Vm.step_decoded vm ~at i len;
       incr k
     end
-  done;
+  done
+
+(* With the IBL on, the cost of an ending indirect transfer depends on
+   the probe outcome and is charged by the dispatch loop (or by the
+   trace executor for in-trace transitions); with it off the flat
+   [p_indirect] charge lands here, as before. *)
+let exec_block t ~budget (c : cached) =
+  let vm = t.vm in
+  t.stats.st_block_execs <- t.stats.st_block_execs + 1;
+  if t.profile.p_per_block > 0 then Jt_vm.Vm.charge vm t.profile.p_per_block;
+  exec_insns t ~budget c;
   if c.cb_indirect_end && vm.Jt_vm.Vm.status = Jt_vm.Vm.Running then begin
-    Jt_vm.Vm.charge vm t.profile.p_indirect;
-    t.stats.st_indirects <- t.stats.st_indirects + 1
+    t.stats.st_indirects <- t.stats.st_indirects + 1;
+    if not t.ibl then Jt_vm.Vm.charge vm t.profile.p_indirect
   end
+
+let trace_alive tr =
+  tr.tr_valid && Array.for_all (fun c -> c.cb_valid) tr.tr_blocks
+
+let traces_live t =
+  Hashtbl.fold (fun _ tr n -> if trace_alive tr then n + 1 else n) t.traces 0
+
+let drop_trace t tr =
+  tr.tr_valid <- false;
+  match Hashtbl.find_opt t.traces tr.tr_head with
+  | Some cur when cur == tr -> Hashtbl.remove t.traces tr.tr_head
+  | Some _ | None -> ()
+
+(* Execute a superblock trace.  Constituents run back to back with their
+   instrumentation plans; after each one, control stays inside the trace
+   only if the machine's next PC really is the next constituent's head
+   (so a Jcc going the other way, an indirect transfer to a new target,
+   or a constituent invalidated by a flush mid-trace all side-exit to
+   the dispatcher, which re-resolves from scratch).  An in-trace
+   indirect transition pays only the inlined-comparison price
+   [p_ibl_hit]; the final block's exit is resolved by the dispatcher
+   exactly like a plain block's.  Returns the last constituent that
+   executed, for the dispatcher's chain/IBL bookkeeping. *)
+let exec_trace t ~budget (tr : trace) =
+  let vm = t.vm in
+  let s = t.stats in
+  s.st_trace_execs <- s.st_trace_execs + 1;
+  Jt_metrics.Metrics.Counters.(global.c_trace_execs <- global.c_trace_execs + 1);
+  if t.profile.p_per_block > 0 then Jt_vm.Vm.charge vm t.profile.p_per_block;
+  let n = Array.length tr.tr_blocks in
+  let i = ref 0 in
+  let last = ref tr.tr_blocks.(0) in
+  let continue_ = ref true in
+  while !continue_ do
+    let c = tr.tr_blocks.(!i) in
+    last := c;
+    s.st_block_execs <- s.st_block_execs + 1;
+    if !i > 0 then s.st_trace_interior <- s.st_trace_interior + 1;
+    exec_insns t ~budget c;
+    let running = vm.Jt_vm.Vm.status = Jt_vm.Vm.Running in
+    if c.cb_indirect_end && running then s.st_indirects <- s.st_indirects + 1;
+    if (not running) || !i = n - 1 then begin
+      (if c.cb_indirect_end && running && not t.ibl then
+         Jt_vm.Vm.charge vm t.profile.p_indirect);
+      continue_ := false
+    end
+    else begin
+      let next = tr.tr_blocks.(!i + 1) in
+      if next.cb_valid && vm.Jt_vm.Vm.pc = next.cb.bb_addr then begin
+        (if c.cb_indirect_end then
+           Jt_vm.Vm.charge vm
+             (if t.ibl then t.profile.p_ibl_hit else t.profile.p_indirect));
+        incr i
+      end
+      else begin
+        (if c.cb_indirect_end && not t.ibl then
+           Jt_vm.Vm.charge vm t.profile.p_indirect);
+        (* a dead constituent means a flush hit the trace: tear it down
+           so the head can re-form over the regenerated code *)
+        if not next.cb_valid then drop_trace t tr;
+        continue_ := false
+      end
+    end
+  done;
+  !last
+
+(* ---- trace recording (NET) ---- *)
+
+let finalize_recording t =
+  match t.recording with
+  | None -> ()
+  | Some (head, acc) ->
+    t.recording <- None;
+    (* keep the longest prefix still alive and executable *)
+    let rec prefix = function
+      | c :: rest when c.cb_valid && Array.length c.cb.insns > 0 ->
+        c :: prefix rest
+      | _ -> []
+    in
+    let blocks = prefix (List.rev acc) in
+    if List.length blocks >= 2 then begin
+      Hashtbl.replace t.traces head
+        { tr_head = head; tr_blocks = Array.of_list blocks; tr_valid = true };
+      t.stats.st_traces_built <- t.stats.st_traces_built + 1;
+      Jt_metrics.Metrics.Counters.(
+        global.c_traces_built <- global.c_traces_built + 1)
+    end
+
+(* Head-execution counting and recording bookkeeping for one
+   dispatcher-level entry of [c] at [pc] (not reached through a trace).
+   Ends an in-progress recording when it loops back to its head, reaches
+   another live trace's head, or hits the length cap; otherwise appends
+   the entered block.  A block whose entry count crosses the hot
+   threshold (and that has no live trace yet) starts a recording. *)
+let note_entry t (c : cached) pc =
+  match t.recording with
+  | Some (head, acc) ->
+    if
+      pc = head
+      || List.length acc >= max_trace_len
+      || (match Hashtbl.find_opt t.traces pc with
+         | Some tr -> trace_alive tr
+         | None -> false)
+    then finalize_recording t
+    else t.recording <- Some (head, c :: acc)
+  | None ->
+    c.cb_hot <- c.cb_hot + 1;
+    if
+      c.cb_hot >= hot_threshold
+      && (match Hashtbl.find_opt t.traces pc with
+         | Some tr -> not (trace_alive tr)
+         | None -> true)
+    then t.recording <- Some (pc, [ c ])
 
 (* The dispatch loop.  After a block whose last instruction is a direct
    transfer, the next PC is compared against the block's static
    successors: a previously installed chain link is followed without
-   touching the code-cache hash table (a chain hit); otherwise the
-   dispatcher probes/translates and installs the link for next time.
-   Chaining affects only host-level dispatch work — simulated cycles,
-   instruction counts and all results are bit-identical with it off. *)
+   touching the code-cache hash table (a chain hit).  After an indirect
+   transfer, the exiting block's per-site inline cache is probed: a hit
+   costs [p_ibl_hit] and skips the dispatcher, a miss pays the full
+   [p_indirect] lookup and installs the resolved target for next time.
+   A live trace registered at the target address upgrades the entry to a
+   superblock execution.  Chaining and traces affect only host-level
+   dispatch work; the IBL additionally replaces the flat per-indirect
+   charge with a hit/miss split (cheaper on hits, never dearer).
+   Program output, instruction counts and violations are bit-identical
+   with every combination of the knobs. *)
 let run ?(fuel = 200_000_000) t =
   let vm = t.vm in
   let budget = vm.Jt_vm.Vm.icount + fuel in
@@ -339,6 +572,14 @@ let run ?(fuel = 200_000_000) t =
        if vm.Jt_vm.Vm.icount >= budget then
          vm.Jt_vm.Vm.status <- Jt_vm.Vm.Fault Jt_vm.Vm.Out_of_fuel
        else if vm.Jt_vm.Vm.pc = Jt_vm.Vm.sentinel then begin
+         (* A phase-ending return is still an indirect transfer; with the
+            IBL on its (probe-skipping) charge lands here.  Not counted
+            as an IBL miss: no code-cache lookup happens for the
+            sentinel. *)
+         (match !prev with
+         | Some p when t.ibl && p.cb_indirect_end ->
+           Jt_vm.Vm.charge vm t.profile.p_indirect
+         | Some _ | None -> ());
          prev := None;
          Jt_vm.Vm.advance_phase vm
        end
@@ -364,13 +605,32 @@ let run ?(fuel = 200_000_000) t =
                | None -> None)
              | Some _ | None -> None
          in
+         (* [ibl_site] remembers the probed site so a dispatcher
+            resolution can install the new target into it. *)
+         let via_ibl, ibl_site =
+           match (linked, !prev) with
+           | None, Some p when t.ibl && p.cb_indirect_end -> (
+             match ibl_probe p pc with
+             | Some c ->
+               Jt_vm.Vm.charge vm t.profile.p_ibl_hit;
+               t.stats.st_ibl_hits <- t.stats.st_ibl_hits + 1;
+               m.c_ibl_hits <- m.c_ibl_hits + 1;
+               (Some c, Some p)
+             | None ->
+               Jt_vm.Vm.charge vm t.profile.p_indirect;
+               t.stats.st_ibl_misses <- t.stats.st_ibl_misses + 1;
+               m.c_ibl_misses <- m.c_ibl_misses + 1;
+               (None, Some p))
+           | _ -> (None, None)
+         in
          let cached =
-           match linked with
-           | Some c ->
+           match (linked, via_ibl) with
+           | Some c, _ ->
              t.stats.st_chain_hits <- t.stats.st_chain_hits + 1;
              m.c_chain_hits <- m.c_chain_hits + 1;
              c
-           | None ->
+           | None, Some c -> c
+           | None, None ->
              t.stats.st_dispatch_entries <- t.stats.st_dispatch_entries + 1;
              m.c_dispatch_entries <- m.c_dispatch_entries + 1;
              let c =
@@ -384,22 +644,72 @@ let run ?(fuel = 200_000_000) t =
                   if p.cb_succ_taken = pc then p.cb_link_taken <- Some c
                   else if p.cb_succ_fall = pc then p.cb_link_fall <- Some c
                 | Some _ | None -> ());
+             (match ibl_site with
+             | Some p when p.cb_valid -> ibl_install p c
+             | Some _ | None -> ());
              c
          in
          if Array.length cached.cb.insns = 0 then
            vm.Jt_vm.Vm.status <- Jt_vm.Vm.Fault (Jt_vm.Vm.Decode_fault pc)
          else begin
-           exec_block t ~budget cached;
+           let live_trace =
+             if not t.trace then None
+             else
+               match Hashtbl.find_opt t.traces pc with
+               | Some tr when trace_alive tr -> Some tr
+               | Some tr ->
+                 drop_trace t tr;
+                 None
+               | None -> None
+           in
+           let last =
+             match live_trace with
+             | Some tr ->
+               (* reaching a live trace head ends any recording *)
+               finalize_recording t;
+               exec_trace t ~budget tr
+             | None ->
+               if t.trace then note_entry t cached pc;
+               exec_block t ~budget cached;
+               cached
+           in
            prev :=
-             if vm.Jt_vm.Vm.status = Jt_vm.Vm.Running && cached.cb_valid then
-               Some cached
-             else None
+             if vm.Jt_vm.Vm.status = Jt_vm.Vm.Running && last.cb_valid then
+               Some last
+             else begin
+               (* the exit of a block that invalidated itself cannot be
+                  probed next iteration; settle its indirect charge now *)
+               (if
+                  t.ibl && last.cb_indirect_end
+                  && vm.Jt_vm.Vm.status = Jt_vm.Vm.Running
+                then Jt_vm.Vm.charge vm t.profile.p_indirect);
+               None
+             end
          end
        end
      done
    with Jt_vm.Vm.Security_abort why -> vm.Jt_vm.Vm.status <- Jt_vm.Vm.Aborted why)
 
 let stats t = t.stats
+
+(* Zero the per-engine counters so an engine reused across workloads (or
+   across repeated runs of one workload) reports per-run numbers.  The
+   code cache, traces and inline caches are left intact: resetting stats
+   must not change what executes. *)
+let reset_stats t =
+  let s = t.stats in
+  s.st_blocks_static <- 0;
+  s.st_blocks_dynamic <- 0;
+  s.st_block_execs <- 0;
+  s.st_indirects <- 0;
+  s.st_rules_applied <- 0;
+  s.st_chain_hits <- 0;
+  s.st_dispatch_entries <- 0;
+  s.st_ibl_hits <- 0;
+  s.st_ibl_misses <- 0;
+  s.st_traces_built <- 0;
+  s.st_trace_execs <- 0;
+  s.st_trace_interior <- 0
 
 let dynamic_block_fraction t =
   let s = t.stats in

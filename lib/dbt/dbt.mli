@@ -49,7 +49,12 @@ type profile = {
   p_name : string;
   p_translate_block : int;
   p_translate_insn : int;
-  p_indirect : int;  (** per executed indirect transfer (incl. returns) *)
+  p_indirect : int;
+      (** per executed indirect transfer (incl. returns) that misses the
+          inline caches and falls back to the dispatcher lookup *)
+  p_ibl_hit : int;
+      (** per indirect transfer resolved by a per-site inline cache; equal
+          to [p_indirect] for engines without an IBL fast path *)
   p_per_block : int;  (** per block execution *)
 }
 
@@ -67,6 +72,14 @@ type stats = {
           dispatcher entirely *)
   mutable st_dispatch_entries : int;
       (** dispatcher entries: code-cache hash probes (and translations) *)
+  mutable st_ibl_hits : int;
+      (** indirect transfers resolved by a per-site inline cache *)
+  mutable st_ibl_misses : int;
+      (** indirect transfers that probed an inline cache and missed *)
+  mutable st_traces_built : int;  (** superblock traces stitched *)
+  mutable st_trace_execs : int;  (** trace executions entered at a head *)
+  mutable st_trace_interior : int;
+      (** block transitions taken inside a trace without any dispatch *)
 }
 
 type t
@@ -76,6 +89,8 @@ val create :
   ?profile:profile ->
   ?client:client ->
   ?chain:bool ->
+  ?ibl:bool ->
+  ?trace:bool ->
   ?rules_for:(string -> Jt_rules.Rules.file option) ->
   unit ->
   t
@@ -90,12 +105,40 @@ val create :
     dispatcher or re-probing the code-cache hash table.  Links are
     severed on invalidation.  Chaining changes only host-level dispatch
     work ({!stats} and [Jt_metrics] counters); simulated cycles, outputs
-    and violations are bit-identical with it off. *)
+    and violations are bit-identical with it off.
+
+    [ibl] (default true) enables per-site indirect-branch inline caches:
+    each block ending in [Jmp_ind]/[Call_ind]/[Ret] keeps a last-target
+    slot plus a small associative table of recent targets, probed before
+    the dispatcher.  A hit charges the profile's cheaper [p_ibl_hit]; only
+    a miss pays [p_indirect] and re-enters the dispatcher.  Program
+    output, exit status, instruction counts and violations are identical
+    with it off; simulated cycles drop (that is the modeled win).
+
+    [trace] (default true) enables NET-style hot-trace formation: block
+    heads that cross a hotness threshold record the next-executing tail of
+    cached blocks into a superblock, which then runs head-to-tail with a
+    single per-block dispatch charge.  Traces live on top of the ordinary
+    code cache: any range invalidation (dlopen unload, [flush_range],
+    self-modifying code) that kills a constituent block kills the trace,
+    which is then re-formed on demand.  Like [ibl], observable program
+    behavior is bit-identical with it off. *)
 
 val run : ?fuel:int -> t -> unit
 (** Execute the booted program to completion under the engine. *)
 
 val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zero every {!stats} counter without touching the code cache, chain
+    links, inline caches or traces, so an engine reused across workloads
+    reports per-run numbers.  The invariant
+    [st_dispatch_entries + st_chain_hits + st_ibl_hits + st_trace_interior
+     = st_block_execs] holds from any reset point (absent decode faults). *)
+
+val traces_live : t -> int
+(** Number of built traces whose constituent blocks are all still valid
+    (i.e. would still execute if their head is reached). *)
 
 val dynamic_block_fraction : t -> float
 (** Fraction of executed unique blocks that were only discovered

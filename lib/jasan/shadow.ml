@@ -16,51 +16,113 @@ let page_bits = 12
 let page_size = 1 lsl page_bits
 let page_mask = page_size - 1
 
-type t = { pages : (int, Bytes.t) Hashtbl.t; mutable poisoned : int }
+(* [live] counts the poisoned (non-zero) bytes on the page, so bulk
+   operations can skip clean pages without scanning them and [unpoison]
+   over a wholly clean page is free. *)
+type page = { bytes : Bytes.t; mutable live : int }
+
+type t = { pages : (int, page) Hashtbl.t; mutable poisoned : int }
 
 let create () = { pages = Hashtbl.create 64; poisoned = 0 }
 
-let page t a =
-  let key = a lsr page_bits in
+let alloc_page t key =
   match Hashtbl.find_opt t.pages key with
   | Some p -> p
   | None ->
-    let p = Bytes.make page_size '\x00' in
+    let p = { bytes = Bytes.make page_size '\x00'; live = 0 } in
     Hashtbl.add t.pages key p;
     p
 
-let set t a v =
-  let a = a land Jt_isa.Word.mask in
-  let p = page t a in
-  let old = Bytes.get p (a land page_mask) in
-  if old <> '\x00' && v = 0 then t.poisoned <- t.poisoned - 1
-  else if old = '\x00' && v <> 0 then t.poisoned <- t.poisoned + 1;
-  Bytes.set p (a land page_mask) (Char.chr v)
+let count_nonzero b off len =
+  let n = ref 0 in
+  for i = off to off + len - 1 do
+    if Bytes.unsafe_get b i <> '\x00' then incr n
+  done;
+  !n
+
+(* Fill the shadow of [a, a+len) with byte [v], page-at-a-time.  Per-page
+   live counts let the common cases avoid touching memory at all
+   (clearing a page that was never allocated or is already clean) or
+   avoid the scan for overwritten bytes (page entirely clean / entirely
+   poisoned).  Addresses wrap modulo the word size like every other
+   per-byte path. *)
+let fill_range t a len v =
+  let c = Char.chr v in
+  let a = ref (a land Jt_isa.Word.mask) in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let key = !a lsr page_bits in
+    let off = !a land page_mask in
+    let chunk = min !remaining (page_size - off) in
+    (match (Hashtbl.find_opt t.pages key, v) with
+    | None, 0 -> () (* clearing untouched memory: nothing to do *)
+    | None, _ ->
+      let p = alloc_page t key in
+      Bytes.fill p.bytes off chunk c;
+      p.live <- chunk;
+      t.poisoned <- t.poisoned + chunk
+    | Some p, 0 ->
+      if p.live > 0 then begin
+        let dropped =
+          if chunk = page_size || p.live = page_size then
+            min p.live chunk
+          else count_nonzero p.bytes off chunk
+        in
+        Bytes.fill p.bytes off chunk '\x00';
+        p.live <- p.live - dropped;
+        t.poisoned <- t.poisoned - dropped
+      end
+    | Some p, _ ->
+      let overwritten =
+        if p.live = 0 then 0
+        else if p.live = page_size then chunk
+        else count_nonzero p.bytes off chunk
+      in
+      Bytes.fill p.bytes off chunk c;
+      p.live <- p.live + chunk - overwritten;
+      t.poisoned <- t.poisoned + chunk - overwritten);
+    a := (!a + chunk) land Jt_isa.Word.mask;
+    remaining := !remaining - chunk
+  done
+
+let set t a v = fill_range t a 1 v
 
 let get t a =
   let a = a land Jt_isa.Word.mask in
   match Hashtbl.find_opt t.pages (a lsr page_bits) with
   | None -> 0
-  | Some p -> Char.code (Bytes.get p (a land page_mask))
+  | Some p -> Char.code (Bytes.get p.bytes (a land page_mask))
 
-let poison t a ~len st =
-  let v = to_byte st in
-  for i = 0 to len - 1 do
-    set t (a + i) v
-  done
+let poison t a ~len st = fill_range t a len (to_byte st)
+let unpoison t a ~len = fill_range t a len 0
 
-let unpoison t a ~len =
-  for i = 0 to len - 1 do
-    set t (a + i) 0
-  done
-
+(* Scan page-at-a-time: a page that was never allocated, or whose live
+   count is zero, cannot hold the first poisoned byte and is skipped
+   wholesale. *)
 let first_poisoned t a ~len =
-  let rec go i =
-    if i >= len then None
+  let rec go start remaining consumed =
+    if remaining <= 0 then None
     else
-      let v = get t (a + i) in
-      if v <> 0 then Some (a + i, of_byte v) else go (i + 1)
+      let key = start lsr page_bits in
+      let off = start land page_mask in
+      let chunk = min remaining (page_size - off) in
+      let next () =
+        go ((start + chunk) land Jt_isa.Word.mask) (remaining - chunk)
+          (consumed + chunk)
+      in
+      match Hashtbl.find_opt t.pages key with
+      | None -> next ()
+      | Some p when p.live = 0 -> next ()
+      | Some p ->
+        let rec scan i =
+          if i >= off + chunk then next ()
+          else
+            let v = Char.code (Bytes.unsafe_get p.bytes i) in
+            if v <> 0 then Some (a + consumed + (i - off), of_byte v)
+            else scan (i + 1)
+        in
+        scan off
   in
-  go 0
+  go (a land Jt_isa.Word.mask) len 0
 
 let poisoned_count t = t.poisoned

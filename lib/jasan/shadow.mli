@@ -15,6 +15,14 @@ type t
 
 val create : unit -> t
 
+val set : t -> int -> int -> unit
+(** Set one shadow byte to a raw state value (0 = addressable).  The
+    per-byte slow path; {!poison}/{!unpoison} operate page-at-a-time and
+    should be preferred for ranges. *)
+
+val get : t -> int -> int
+(** Read one shadow byte (0 = addressable). *)
+
 val poison : t -> int -> len:int -> state -> unit
 val unpoison : t -> int -> len:int -> unit
 

@@ -16,6 +16,10 @@ module Counters = struct
   type t = {
     mutable c_chain_hits : int;
     mutable c_dispatch_entries : int;
+    mutable c_ibl_hits : int;
+    mutable c_ibl_misses : int;
+    mutable c_traces_built : int;
+    mutable c_trace_execs : int;
     mutable c_module_lookups : int;
     mutable c_lookup_probes : int;
     mutable c_flush_visits : int;
@@ -26,6 +30,10 @@ module Counters = struct
     {
       c_chain_hits = 0;
       c_dispatch_entries = 0;
+      c_ibl_hits = 0;
+      c_ibl_misses = 0;
+      c_traces_built = 0;
+      c_trace_execs = 0;
       c_module_lookups = 0;
       c_lookup_probes = 0;
       c_flush_visits = 0;
@@ -35,6 +43,10 @@ module Counters = struct
   let reset () =
     global.c_chain_hits <- 0;
     global.c_dispatch_entries <- 0;
+    global.c_ibl_hits <- 0;
+    global.c_ibl_misses <- 0;
+    global.c_traces_built <- 0;
+    global.c_trace_execs <- 0;
     global.c_module_lookups <- 0;
     global.c_lookup_probes <- 0;
     global.c_flush_visits <- 0;
@@ -44,6 +56,10 @@ module Counters = struct
     [
       ("chain_hits", global.c_chain_hits);
       ("dispatch_entries", global.c_dispatch_entries);
+      ("ibl_hits", global.c_ibl_hits);
+      ("ibl_misses", global.c_ibl_misses);
+      ("traces_built", global.c_traces_built);
+      ("trace_execs", global.c_trace_execs);
       ("module_lookups", global.c_module_lookups);
       ("lookup_probes", global.c_lookup_probes);
       ("flush_visits", global.c_flush_visits);

@@ -16,6 +16,12 @@ module Counters : sig
             re-entering the dispatcher *)
     mutable c_dispatch_entries : int;
         (** dispatcher entries (code-cache hash probes) *)
+    mutable c_ibl_hits : int;
+        (** indirect transfers resolved by a per-site inline cache *)
+    mutable c_ibl_misses : int;
+        (** indirect transfers that probed an inline cache and missed *)
+    mutable c_traces_built : int;  (** superblock traces stitched *)
+    mutable c_trace_execs : int;  (** head-to-tail trace executions *)
     mutable c_module_lookups : int;  (** [Loader.module_at] calls *)
     mutable c_lookup_probes : int;
         (** binary-search steps across all module lookups *)

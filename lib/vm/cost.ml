@@ -21,6 +21,7 @@ let insn : Insn.t -> int = function
 let dbt_translate_block = 60
 let dbt_translate_insn = 12
 let dbt_indirect_lookup = 8
+let dbt_ibl_hit = 2
 let dbt_clean_call = 40
 let spill_reg = 1
 let save_restore_flags = 2

@@ -23,6 +23,11 @@ val dbt_indirect_lookup : int
     indirect jump, indirect call and return under the DBT (direct
     branches are linked and cost nothing extra). *)
 
+val dbt_ibl_hit : int
+(** Cost of an indirect transfer resolved by a per-site inline cache
+    (last-target or associative way): a compare-and-jump instead of the
+    full [dbt_indirect_lookup] hash probe. *)
+
 val dbt_clean_call : int
 (** Cost of a clean call: full register + flag save/restore around an
     out-of-line instrumentation routine. *)
