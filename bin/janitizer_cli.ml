@@ -224,6 +224,72 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ workload_arg $ tool_arg $ out_arg)
 
+(* ---- trace: structured event capture ---- *)
+
+let trace_cmd =
+  let doc =
+    "Execute a workload with the structured trace layer enabled and export \
+     the captured events as JSONL."
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.jsonl" & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Where to write the JSONL event stream")
+  in
+  let capacity_arg =
+    Arg.(value & opt int Jt_trace.Trace.default_capacity
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Ring-buffer capacity in events (oldest are dropped beyond it)")
+  in
+  let run name tool no_static out capacity =
+    match find_workload name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok w ->
+      let hybrid = not no_static in
+      Jt_trace.Trace.enable ~capacity ();
+      let o =
+        match tool with
+        | `Null -> Janitizer.Driver.run_null ~registry:w.w_registry ~main:name ()
+        | `Valgrind ->
+          prerr_endline "trace needs a framework tool (jasan|jcfi|taint|null)";
+          exit 1
+        | `Jasan ->
+          let t, _ = Jt_jasan.Jasan.create () in
+          Janitizer.Driver.run ~hybrid ~tool:t ~registry:w.w_registry ~main:name ()
+        | `Jcfi ->
+          let t, _ = Jt_jcfi.Jcfi.create () in
+          Janitizer.Driver.run ~hybrid ~tool:t ~registry:w.w_registry ~main:name ()
+        | `Taint ->
+          let t, _ = Jt_taint.Taint.create () in
+          Janitizer.Driver.run ~hybrid ~tool:t ~registry:w.w_registry ~main:name ()
+      in
+      Jt_trace.Trace.disable ();
+      let oc = open_out out in
+      Jt_trace.Trace.export oc;
+      close_out oc;
+      Printf.printf "%s: %s, %d instructions, %d cycles\n" name
+        (Format.asprintf "%a" Jt_vm.Vm.pp_status o.o_result.r_status)
+        o.o_result.r_icount o.o_result.r_cycles;
+      Printf.printf "events: %d emitted, %d dropped (ring capacity %d) -> %s\n"
+        (Jt_trace.Trace.emitted ()) (Jt_trace.Trace.dropped ()) capacity out;
+      List.iter
+        (fun (k, n) -> Printf.printf "  %-16s %7d\n" k n)
+        (Jt_trace.Trace.kind_counts ());
+      print_string "phases:\n";
+      List.iter
+        (fun (p : Jt_trace.Trace.phase_summary) ->
+          if p.ps_spans > 0 || p.ps_cycles > 0 then
+            Printf.printf "  %-8s %d span(s), %.6fs host, %d cycles\n"
+              (Jt_trace.Trace.phase_name p.ps_phase)
+              p.ps_spans p.ps_host_s p.ps_cycles)
+        (Jt_trace.Trace.phase_totals ());
+      Jt_trace.Trace.clear ()
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ workload_arg $ tool_arg $ no_static_arg $ out_arg
+          $ capacity_arg)
+
 (* ---- juliet ---- *)
 
 let juliet_cmd =
@@ -249,4 +315,8 @@ let juliet_cmd =
 let () =
   let doc = "Janitizer: hybrid static-dynamic binary security (simulated reproduction)" in
   let info = Cmd.info "janitizer_cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; inspect_cmd; disasm_cmd; analyze_cmd; run_cmd; juliet_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; inspect_cmd; disasm_cmd; analyze_cmd; run_cmd; trace_cmd;
+            juliet_cmd ]))

@@ -14,8 +14,19 @@ let analyze_all ~tool registry =
 
 let rules_path ~dir name = Filename.concat dir (name ^ ".jtr")
 
+(* [Sys.mkdir] is single-level; rule caches are routinely pointed at
+   nested paths (per-configuration subdirectories), so create parents
+   first.  Racing creators are fine: EEXIST is ignored at every level. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with
+    | Sys_error _ when Sys.file_exists dir -> ()
+  end
+
 let save_rules ~dir files =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  mkdir_p dir;
   List.iter
     (fun (name, f) ->
       let oc = open_out_bin (rules_path ~dir name) in
@@ -23,16 +34,34 @@ let save_rules ~dir files =
       close_out oc)
     files
 
+(* A corrupt or unreadable cache entry must never take the run down: the
+   driver falls back to re-analyzing the module.  [decode_file] raises
+   [Failure] on truncation and bad magic, but a cache path that turns out
+   to be a directory ([Sys_error] from [open_in_bin]), a short read
+   ([End_of_file]) or any other decoder defect must degrade the same
+   way, so catch everything that isn't an asynchronous exception. *)
 let load_rules ~dir name =
   let path = rules_path ~dir name in
   if Sys.file_exists path then begin
-    let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    match Jt_rules.Rules.decode_file s with
-    | f -> Some f
-    | exception Failure _ -> None
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception e ->
+      Printf.eprintf "janitizer: warning: unreadable rule cache %s (%s)\n%!"
+        path (Printexc.to_string e);
+      None
+    | s -> (
+      match Jt_rules.Rules.decode_file s with
+      | f -> Some f
+      | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+      | exception e ->
+        Printf.eprintf "janitizer: warning: corrupt rule cache %s (%s)\n%!"
+          path (Printexc.to_string e);
+        None)
   end
   else None
 
@@ -67,15 +96,21 @@ let static_closure ~registry ~main =
 
 let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?(precomputed = []) ~tool
     ~registry ~main () =
+  (* Each driver run reports its own host-level counters; without this,
+     numbers from a previous run in the same process leak into the next
+     one's snapshot. *)
+  Jt_metrics.Metrics.Counters.reset ();
   let rule_files =
-    if hybrid then
-      let todo =
-        List.filter
-          (fun (m : Jt_obj.Objfile.t) -> not (List.mem_assoc m.name precomputed))
-          (static_closure ~registry ~main)
-      in
-      precomputed @ analyze_all ~tool todo
-    else []
+    Jt_trace.Trace.in_phase Jt_trace.Trace.Analyze (fun () ->
+        if hybrid then
+          let todo =
+            List.filter
+              (fun (m : Jt_obj.Objfile.t) ->
+                not (List.mem_assoc m.name precomputed))
+              (static_closure ~registry ~main)
+          in
+          precomputed @ analyze_all ~tool todo
+        else [])
   in
   let rule_count =
     List.fold_left
@@ -91,9 +126,23 @@ let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?(precomputed = []) ~tool
   Jt_loader.Loader.on_load vm.Jt_vm.Vm.loader (fun l ->
       tool.Tool.t_on_load vm l
         (List.assoc_opt l.Jt_loader.Loader.lmod.Jt_obj.Objfile.name rule_files));
-  tool.Tool.t_setup vm;
-  Jt_vm.Vm.boot vm ~main;
-  if vm.Jt_vm.Vm.status = Jt_vm.Vm.Running then Jt_dbt.Dbt.run ?fuel engine;
+  Jt_trace.Trace.in_phase Jt_trace.Trace.Load (fun () ->
+      let c0 = vm.Jt_vm.Vm.cycles in
+      tool.Tool.t_setup vm;
+      Jt_vm.Vm.boot vm ~main;
+      if !Jt_trace.Trace.enabled then
+        Jt_trace.Trace.phase_add_cycles Jt_trace.Trace.Load
+          (vm.Jt_vm.Vm.cycles - c0));
+  if vm.Jt_vm.Vm.status = Jt_vm.Vm.Running then
+    Jt_trace.Trace.in_phase Jt_trace.Trace.Run (fun () ->
+        let c0 = vm.Jt_vm.Vm.cycles in
+        Jt_dbt.Dbt.run ?fuel engine;
+        (* [Rewrite] cycles (lazy block translation) are attributed by
+           the engine itself and form a carved-out subset of this
+           [Run] total. *)
+        if !Jt_trace.Trace.enabled then
+          Jt_trace.Trace.phase_add_cycles Jt_trace.Trace.Run
+            (vm.Jt_vm.Vm.cycles - c0));
   {
     o_result = Jt_vm.Vm.result vm;
     o_dbt = Some (Jt_dbt.Dbt.stats engine);
@@ -102,6 +151,7 @@ let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?(precomputed = []) ~tool
   }
 
 let run_null ?fuel ?profile ?ibl ?trace ~registry ~main () =
+  Jt_metrics.Metrics.Counters.reset ();
   let vm = Jt_vm.Vm.make ~registry in
   let engine = Jt_dbt.Dbt.create ~vm ?profile ?ibl ?trace () in
   Jt_vm.Vm.boot vm ~main;

@@ -61,6 +61,7 @@ type stats = {
   mutable st_traces_built : int;
   mutable st_trace_execs : int;
   mutable st_trace_interior : int;
+  mutable st_decode_faults : int;
 }
 
 (* A code-cache entry.  Blocks ending in a direct transfer record their
@@ -87,6 +88,7 @@ type cached = {
   cb_ibl : cached option array;
   mutable cb_ibl_rr : int;  (* round-robin victim when all ways are live *)
   mutable cb_hot : int;  (* dispatcher-level entries, for trace heads *)
+  cb_origin : Jt_trace.Trace.origin;  (* static rules vs dynamic discovery *)
 }
 
 (* A NET-style superblock trace: the tail of blocks that actually
@@ -160,6 +162,17 @@ let index_remove t (c : cached) =
 
 let invalidate t (c : cached) =
   c.cb_valid <- false;
+  if !Jt_trace.Trace.enabled then begin
+    let sever = function
+      | Some (o : cached) ->
+        Jt_trace.Trace.emit
+          (Jt_trace.Trace.Chain_sever
+             { from_pc = c.cb.bb_addr; to_pc = o.cb.bb_addr })
+      | None -> ()
+    in
+    sever c.cb_link_taken;
+    sever c.cb_link_fall
+  end;
   c.cb_link_taken <- None;
   c.cb_link_fall <- None;
   (* Inline-cache entries into the dead block are severed lazily by the
@@ -226,6 +239,7 @@ let create ~vm ?(profile = dynamorio) ?client ?(chain = true) ?(ibl = true)
           st_traces_built = 0;
           st_trace_execs = 0;
           st_trace_interior = 0;
+          st_decode_faults = 0;
         };
     }
   in
@@ -299,9 +313,13 @@ let successors (b : block) =
    Figure 4) and let the client build its instrumentation plan. *)
 let translate t addr =
   let b = build_block t addr in
-  t.vm.Jt_vm.Vm.cycles <-
-    t.vm.Jt_vm.Vm.cycles + t.profile.p_translate_block
-    + (t.profile.p_translate_insn * Array.length b.insns);
+  let translate_cycles =
+    t.profile.p_translate_block
+    + (t.profile.p_translate_insn * Array.length b.insns)
+  in
+  t.vm.Jt_vm.Vm.cycles <- t.vm.Jt_vm.Vm.cycles + translate_cycles;
+  if !Jt_trace.Trace.enabled then
+    Jt_trace.Trace.phase_add_cycles Jt_trace.Trace.Rewrite translate_cycles;
   let table = table_for t addr in
   let static_hit =
     match table with
@@ -349,8 +367,14 @@ let translate t addr =
       cb_ibl = Array.make ibl_ways None;
       cb_ibl_rr = 0;
       cb_hot = 0;
+      cb_origin =
+        (if static_hit then Jt_trace.Trace.Static else Jt_trace.Trace.Dynamic);
     }
   in
+  if !Jt_trace.Trace.enabled then
+    Jt_trace.Trace.emit
+      (Jt_trace.Trace.Block_translate
+         { pc = addr; insns = Array.length b.insns; origin = cached.cb_origin });
   (match Hashtbl.find_opt t.cache addr with
   | Some old -> invalidate t old
   | None -> ());
@@ -429,6 +453,10 @@ let exec_insns t ~budget (c : cached) =
 let exec_block t ~budget (c : cached) =
   let vm = t.vm in
   t.stats.st_block_execs <- t.stats.st_block_execs + 1;
+  if !Jt_trace.Trace.enabled then begin
+    Jt_trace.Trace.set_exec_origin c.cb_origin;
+    Jt_trace.Trace.emit (Jt_trace.Trace.Block_exec { pc = c.cb.bb_addr })
+  end;
   if t.profile.p_per_block > 0 then Jt_vm.Vm.charge vm t.profile.p_per_block;
   exec_insns t ~budget c;
   if c.cb_indirect_end && vm.Jt_vm.Vm.status = Jt_vm.Vm.Running then begin
@@ -444,6 +472,8 @@ let traces_live t =
 
 let drop_trace t tr =
   tr.tr_valid <- false;
+  if !Jt_trace.Trace.enabled then
+    Jt_trace.Trace.emit (Jt_trace.Trace.Trace_teardown { head = tr.tr_head });
   match Hashtbl.find_opt t.traces tr.tr_head with
   | Some cur when cur == tr -> Hashtbl.remove t.traces tr.tr_head
   | Some _ | None -> ()
@@ -473,6 +503,10 @@ let exec_trace t ~budget (tr : trace) =
     last := c;
     s.st_block_execs <- s.st_block_execs + 1;
     if !i > 0 then s.st_trace_interior <- s.st_trace_interior + 1;
+    if !Jt_trace.Trace.enabled then begin
+      Jt_trace.Trace.set_exec_origin c.cb_origin;
+      Jt_trace.Trace.emit (Jt_trace.Trace.Block_exec { pc = c.cb.bb_addr })
+    end;
     exec_insns t ~budget c;
     let running = vm.Jt_vm.Vm.status = Jt_vm.Vm.Running in
     if c.cb_indirect_end && running then s.st_indirects <- s.st_indirects + 1;
@@ -520,7 +554,10 @@ let finalize_recording t =
         { tr_head = head; tr_blocks = Array.of_list blocks; tr_valid = true };
       t.stats.st_traces_built <- t.stats.st_traces_built + 1;
       Jt_metrics.Metrics.Counters.(
-        global.c_traces_built <- global.c_traces_built + 1)
+        global.c_traces_built <- global.c_traces_built + 1);
+      if !Jt_trace.Trace.enabled then
+        Jt_trace.Trace.emit
+          (Jt_trace.Trace.Trace_build { head; blocks = List.length blocks })
     end
 
 (* Head-execution counting and recording bookkeeping for one
@@ -592,14 +629,22 @@ let run ?(fuel = 200_000_000) t =
              | Some p when p.cb_succ_taken = pc -> (
                match p.cb_link_taken with
                | Some c when c.cb_valid -> Some c
-               | Some _ ->
+               | Some c ->
+                 if !Jt_trace.Trace.enabled then
+                   Jt_trace.Trace.emit
+                     (Jt_trace.Trace.Chain_sever
+                        { from_pc = p.cb.bb_addr; to_pc = c.cb.bb_addr });
                  p.cb_link_taken <- None;
                  None
                | None -> None)
              | Some p when p.cb_succ_fall = pc -> (
                match p.cb_link_fall with
                | Some c when c.cb_valid -> Some c
-               | Some _ ->
+               | Some c ->
+                 if !Jt_trace.Trace.enabled then
+                   Jt_trace.Trace.emit
+                     (Jt_trace.Trace.Chain_sever
+                        { from_pc = p.cb.bb_addr; to_pc = c.cb.bb_addr });
                  p.cb_link_fall <- None;
                  None
                | None -> None)
@@ -615,11 +660,17 @@ let run ?(fuel = 200_000_000) t =
                Jt_vm.Vm.charge vm t.profile.p_ibl_hit;
                t.stats.st_ibl_hits <- t.stats.st_ibl_hits + 1;
                m.c_ibl_hits <- m.c_ibl_hits + 1;
+               if !Jt_trace.Trace.enabled then
+                 Jt_trace.Trace.emit
+                   (Jt_trace.Trace.Ibl_hit { site = p.cb.bb_addr; target = pc });
                (Some c, Some p)
              | None ->
                Jt_vm.Vm.charge vm t.profile.p_indirect;
                t.stats.st_ibl_misses <- t.stats.st_ibl_misses + 1;
                m.c_ibl_misses <- m.c_ibl_misses + 1;
+               if !Jt_trace.Trace.enabled then
+                 Jt_trace.Trace.emit
+                   (Jt_trace.Trace.Ibl_miss { site = p.cb.bb_addr; target = pc });
                (None, Some p))
            | _ -> (None, None)
          in
@@ -641,16 +692,24 @@ let run ?(fuel = 200_000_000) t =
              (if t.chain then
                 match !prev with
                 | Some p when p.cb_valid ->
-                  if p.cb_succ_taken = pc then p.cb_link_taken <- Some c
-                  else if p.cb_succ_fall = pc then p.cb_link_fall <- Some c
+                  if p.cb_succ_taken = pc || p.cb_succ_fall = pc then begin
+                    if p.cb_succ_taken = pc then p.cb_link_taken <- Some c
+                    else p.cb_link_fall <- Some c;
+                    if !Jt_trace.Trace.enabled then
+                      Jt_trace.Trace.emit
+                        (Jt_trace.Trace.Chain_link
+                           { from_pc = p.cb.bb_addr; to_pc = pc })
+                  end
                 | Some _ | None -> ());
              (match ibl_site with
              | Some p when p.cb_valid -> ibl_install p c
              | Some _ | None -> ());
              c
          in
-         if Array.length cached.cb.insns = 0 then
+         if Array.length cached.cb.insns = 0 then begin
+           t.stats.st_decode_faults <- t.stats.st_decode_faults + 1;
            vm.Jt_vm.Vm.status <- Jt_vm.Vm.Fault (Jt_vm.Vm.Decode_fault pc)
+         end
          else begin
            let live_trace =
              if not t.trace then None
@@ -688,7 +747,16 @@ let run ?(fuel = 200_000_000) t =
          end
        end
      done
-   with Jt_vm.Vm.Security_abort why -> vm.Jt_vm.Vm.status <- Jt_vm.Vm.Aborted why)
+   with Jt_vm.Vm.Security_abort why -> vm.Jt_vm.Vm.status <- Jt_vm.Vm.Aborted why);
+  (* Every block execution must be accounted to exactly one entry path
+     (dispatcher, chain link, IBL hit, or trace interior); dispatcher
+     entries that resolve to an empty block decode-fault without
+     executing.  Checked after every run, tracing enabled or not. *)
+  let s = t.stats in
+  Jt_trace.Trace.entry_accounting ~dispatch:s.st_dispatch_entries
+    ~chain:s.st_chain_hits ~ibl:s.st_ibl_hits
+    ~trace_interior:s.st_trace_interior ~decode_faults:s.st_decode_faults
+    ~block_execs:s.st_block_execs
 
 let stats t = t.stats
 
@@ -709,7 +777,8 @@ let reset_stats t =
   s.st_ibl_misses <- 0;
   s.st_traces_built <- 0;
   s.st_trace_execs <- 0;
-  s.st_trace_interior <- 0
+  s.st_trace_interior <- 0;
+  s.st_decode_faults <- 0
 
 let dynamic_block_fraction t =
   let s = t.stats in

@@ -80,6 +80,9 @@ type stats = {
   mutable st_trace_execs : int;  (** trace executions entered at a head *)
   mutable st_trace_interior : int;
       (** block transitions taken inside a trace without any dispatch *)
+  mutable st_decode_faults : int;
+      (** entries that resolved to an empty (undecodable) block, which
+          faults without executing *)
 }
 
 type t
@@ -125,7 +128,13 @@ val create :
     behavior is bit-identical with it off. *)
 
 val run : ?fuel:int -> t -> unit
-(** Execute the booted program to completion under the engine. *)
+(** Execute the booted program to completion under the engine.  On the
+    way out, asserts the entry-accounting identity
+    [st_dispatch_entries + st_chain_hits + st_ibl_hits + st_trace_interior
+     = st_block_execs + st_decode_faults]
+    via {!Jt_trace.Trace.entry_accounting} (raising
+    [Jt_trace.Trace.Invariant_failure] on a mismatch), tracing enabled
+    or not. *)
 
 val stats : t -> stats
 
@@ -134,7 +143,7 @@ val reset_stats : t -> unit
     links, inline caches or traces, so an engine reused across workloads
     reports per-run numbers.  The invariant
     [st_dispatch_entries + st_chain_hits + st_ibl_hits + st_trace_interior
-     = st_block_execs] holds from any reset point (absent decode faults). *)
+     = st_block_execs + st_decode_faults] holds from any reset point. *)
 
 val traces_live : t -> int
 (** Number of built traces whose constituent blocks are all still valid

@@ -93,8 +93,18 @@ let get t a =
   | None -> 0
   | Some p -> Char.code (Bytes.get p.bytes (a land page_mask))
 
-let poison t a ~len st = fill_range t a len (to_byte st)
-let unpoison t a ~len = fill_range t a len 0
+let poison t a ~len st =
+  if !Jt_trace.Trace.enabled then
+    Jt_trace.Trace.emit
+      (Jt_trace.Trace.Shadow_poison
+         { addr = a land Jt_isa.Word.mask; len; state = to_byte st });
+  fill_range t a len (to_byte st)
+
+let unpoison t a ~len =
+  if !Jt_trace.Trace.enabled then
+    Jt_trace.Trace.emit
+      (Jt_trace.Trace.Shadow_unpoison { addr = a land Jt_isa.Word.mask; len });
+  fill_range t a len 0
 
 (* Scan page-at-a-time: a page that was never allocated, or whose live
    count is zero, cannot hold the first poisoned byte and is skipped
@@ -118,7 +128,8 @@ let first_poisoned t a ~len =
           if i >= off + chunk then next ()
           else
             let v = Char.code (Bytes.unsafe_get p.bytes i) in
-            if v <> 0 then Some (a + consumed + (i - off), of_byte v)
+            if v <> 0 then
+              Some ((a + consumed + (i - off)) land Jt_isa.Word.mask, of_byte v)
             else scan (i + 1)
         in
         scan off

@@ -439,6 +439,17 @@ let create ?(config = default_config) () =
             | Some f -> targets_of_rules l f
             | None -> Targets.of_module_runtime l
           in
+          if !Jt_trace.Trace.enabled then
+            Jt_trace.Trace.emit
+              (Jt_trace.Trace.Cfi_table
+                 {
+                   name = l.Jt_loader.Loader.lmod.Jt_obj.Objfile.name;
+                   entries =
+                     Hashtbl.length targets.Targets.funcs
+                     + Hashtbl.length targets.Targets.exports
+                     + Hashtbl.length targets.Targets.addr_taken
+                     + Hashtbl.length targets.Targets.jump_targets;
+                 });
           rt.Rt.tbl <- (l, targets) :: rt.Rt.tbl);
     },
     rt )

@@ -191,6 +191,12 @@ let commit t news =
       apply_relative t l;
       bind_got t l)
     news;
+  if !Jt_trace.Trace.enabled then
+    List.iter
+      (fun l ->
+        Jt_trace.Trace.emit
+          (Jt_trace.Trace.Module_load { name = l.lmod.Objfile.name; base = l.base }))
+      news;
   List.iter (fun l -> List.iter (fun f -> f l) (List.rev t.callbacks)) news
 
 let load_main t name =
@@ -233,6 +239,9 @@ let dlclose t name =
     else begin
       t.loaded <- List.filter (fun o -> o.load_order <> l.load_order) t.loaded;
       rebuild_index t;
+      if !Jt_trace.Trace.enabled then
+        Jt_trace.Trace.emit
+          (Jt_trace.Trace.Module_unload { name = l.lmod.Objfile.name });
       List.iter (fun f -> f l) t.unload_callbacks;
       true
     end
@@ -260,6 +269,9 @@ let resolve_plt_index t ~caller_pc ~index =
     | Some (owner, s) ->
       let target = runtime_addr owner s.vaddr in
       Jt_mem.Memory.write32 t.mem (runtime_addr l imp.imp_got) target;
+      if !Jt_trace.Trace.enabled then
+        Jt_trace.Trace.emit
+          (Jt_trace.Trace.Plt_resolve { caller = caller_pc; target });
       target)
 
 let entry_point t =

@@ -136,7 +136,20 @@ let fetch t addr =
 let charge t c = t.cycles <- t.cycles + c
 
 let report_violation t ~kind ~addr =
-  t.violations <- { v_kind = kind; v_addr = addr; v_pc = t.pc } :: t.violations
+  t.violations <- { v_kind = kind; v_addr = addr; v_pc = t.pc } :: t.violations;
+  if !Jt_trace.Trace.enabled then
+    Jt_trace.Trace.emit
+      (Jt_trace.Trace.Violation
+         {
+           kind;
+           addr;
+           pc = t.pc;
+           vmodule =
+             (match Jt_loader.Loader.module_at t.loader t.pc with
+             | Some l -> l.Jt_loader.Loader.lmod.Jt_obj.Objfile.name
+             | None -> "?");
+           origin = !Jt_trace.Trace.exec_origin;
+         })
 
 let on_cache_flush t f = t.flush_listeners <- f :: t.flush_listeners
 
@@ -190,6 +203,8 @@ let eval_cond t (c : Insn.cond) =
    entries and would let an instruction longer than 16 bytes survive with
    stale bytes.) *)
 let flush_range t start len =
+  if !Jt_trace.Trace.enabled then
+    Jt_trace.Trace.emit (Jt_trace.Trace.Flush_range { start; len });
   (if len > 0 then begin
      let c = Jt_metrics.Metrics.Counters.global in
      let doomed = ref [] in
@@ -244,6 +259,8 @@ let do_syscall t n =
       let h = t.next_handle in
       t.next_handle <- h + 1;
       Hashtbl.replace t.handles h l;
+      if !Jt_trace.Trace.enabled then
+        Jt_trace.Trace.emit (Jt_trace.Trace.Dlopen { name; handle = h });
       set t Reg.r0 h
     | exception Jt_loader.Loader.Load_error e -> t.status <- Fault (Load_fault e)
   end
@@ -278,7 +295,10 @@ let do_syscall t n =
     | None -> set t Reg.r0 0
     | Some l ->
       let name = l.lmod.Jt_obj.Objfile.name in
-      if Jt_loader.Loader.dlclose t.loader name then begin
+      let ok = Jt_loader.Loader.dlclose t.loader name in
+      if !Jt_trace.Trace.enabled then
+        Jt_trace.Trace.emit (Jt_trace.Trace.Dlclose { name; ok });
+      if ok then begin
         Hashtbl.remove t.handles a0;
         (* retire translated code for the whole module range *)
         List.iter

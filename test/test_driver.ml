@@ -1,0 +1,157 @@
+(* Driver hardening: rule-cache corruption must degrade to re-analysis
+   (never crash), [save_rules] must create nested cache directories, and
+   the global metrics counters must be isolated between driver runs. *)
+
+(* Unique-enough scratch root: [Filename.temp_file] reserves a fresh
+   name for us (the empty file it creates is immediately removed and the
+   name reused as a directory root). *)
+let scratch_root =
+  let f = Filename.temp_file "jt_driver_test" "" in
+  Sys.remove f;
+  f
+
+let tmpdir sub = Filename.concat scratch_root sub
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let sample_file name =
+  {
+    Jt_rules.Rules.rf_module = name;
+    rf_rules =
+      List.init 5 (fun i ->
+          Jt_rules.Rules.make ~id:0x101 ~bb:(0x400000 + (i * 16))
+            ~insn:(0x400000 + (i * 16))
+            ~data:[ 2; 1 ] ());
+  }
+
+(* -- save/load round trip, now through nested directories -- *)
+
+let test_save_load_roundtrip () =
+  let dir = tmpdir "roundtrip" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let f = sample_file "m" in
+      Janitizer.Driver.save_rules ~dir [ ("m", f) ];
+      match Janitizer.Driver.load_rules ~dir "m" with
+      | Some f' ->
+        Alcotest.(check string) "module name" "m" f'.Jt_rules.Rules.rf_module;
+        Alcotest.(check int) "rule count" 5 (List.length f'.rf_rules)
+      | None -> Alcotest.fail "round trip lost the file")
+
+let test_save_rules_nested_dir () =
+  let root = tmpdir "nested" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      (* pre-fix: [Sys.mkdir] is single-level, so a nested cache path
+         raised ENOENT *)
+      let dir = Filename.concat (Filename.concat root "per-config") "jasan" in
+      Janitizer.Driver.save_rules ~dir [ ("m", sample_file "m") ];
+      Alcotest.(check bool) "nested dir created" true (Sys.is_directory dir);
+      Alcotest.(check bool) "file written" true
+        (Sys.file_exists (Filename.concat dir "m.jtr"));
+      (* and again over the now-existing tree: idempotent *)
+      Janitizer.Driver.save_rules ~dir [ ("m2", sample_file "m2") ];
+      Alcotest.(check bool) "second save works" true
+        (Sys.file_exists (Filename.concat dir "m2.jtr")))
+
+(* -- corrupt-cache regressions -- *)
+
+let test_load_rules_truncated () =
+  let dir = tmpdir "trunc" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      Janitizer.Driver.save_rules ~dir [ ("m", sample_file "m") ];
+      let path = Filename.concat dir "m.jtr" in
+      (* keep the magic, drop the payload: decode_file raises Failure *)
+      let ic = open_in_bin path in
+      let head = really_input_string ic 6 in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc head;
+      close_out oc;
+      Alcotest.(check bool) "truncated cache -> None" true
+        (Janitizer.Driver.load_rules ~dir "m" = None))
+
+let test_load_rules_garbage () =
+  let dir = tmpdir "garbage" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      Janitizer.Driver.save_rules ~dir [];
+      let oc = open_out_bin (Filename.concat dir "m.jtr") in
+      output_string oc "this is not a JTRR file at all";
+      close_out oc;
+      Alcotest.(check bool) "bad magic -> None" true
+        (Janitizer.Driver.load_rules ~dir "m" = None))
+
+let test_load_rules_directory_entry () =
+  let dir = tmpdir "direntry" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      (* a cache entry that is a *directory*: [open_in_bin] (or the
+         subsequent read) raises [Sys_error], which the pre-fix handler
+         (catching only [Failure]) let escape and crash the run *)
+      Janitizer.Driver.save_rules ~dir [];
+      Sys.mkdir (Filename.concat dir "m.jtr") 0o755;
+      Alcotest.(check bool) "directory entry -> None" true
+        (Janitizer.Driver.load_rules ~dir "m" = None))
+
+(* -- per-run counter isolation -- *)
+
+let test_counters_isolated_between_runs () =
+  let m = Progs.sum_prog ~n:30 () in
+  let registry = Progs.registry_for m in
+  let run () =
+    ignore (Janitizer.Driver.run_null ~registry ~main:"sum" ());
+    Jt_metrics.Metrics.Counters.snapshot ()
+  in
+  let s1 = run () in
+  let s2 = run () in
+  (* pre-fix, every counter doubled on the second run *)
+  Alcotest.(check bool) "first run counted something" true
+    (List.assoc "dispatch_entries" s1 > 0);
+  List.iter2
+    (fun (name, v1) (name2, v2) ->
+      Alcotest.(check string) "same counter order" name name2;
+      Alcotest.(check int) (name ^ " identical across runs") v1 v2)
+    s1 s2;
+  (* the tool-attached driver entry point resets too *)
+  let tool, _ = Jt_jasan.Jasan.create () in
+  ignore (Janitizer.Driver.run ~tool ~registry ~main:"sum" ());
+  let s3 = Jt_metrics.Metrics.Counters.snapshot () in
+  ignore (Janitizer.Driver.run ~tool ~registry ~main:"sum" ());
+  let s4 = Jt_metrics.Metrics.Counters.snapshot () in
+  List.iter2
+    (fun (name, v3) (_, v4) ->
+      Alcotest.(check int) (name ^ " identical across tool runs") v3 v4)
+    s3 s4
+
+let () =
+  Alcotest.run "driver"
+    [
+      ( "rule-cache",
+        [
+          Alcotest.test_case "save/load round trip" `Quick
+            test_save_load_roundtrip;
+          Alcotest.test_case "nested cache dir" `Quick test_save_rules_nested_dir;
+          Alcotest.test_case "truncated file" `Quick test_load_rules_truncated;
+          Alcotest.test_case "garbage file" `Quick test_load_rules_garbage;
+          Alcotest.test_case "directory entry" `Quick
+            test_load_rules_directory_entry;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "isolated between runs" `Quick
+            test_counters_isolated_between_runs;
+        ] );
+    ]

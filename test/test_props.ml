@@ -82,6 +82,37 @@ let prop_shadow_matches_model =
           shadow_hit = Hashtbl.mem model a)
         (List.init 128 (fun i -> i * 33)))
 
+(* Wraparound regression: every per-byte shadow path works modulo the
+   word size, and [first_poisoned] must report the *masked* address of
+   the hit.  Pre-fix it returned [a + consumed + (i - off)] unmasked, so
+   a scan crossing the top of the address space reported addresses
+   beyond [Word.mask]. *)
+let prop_shadow_wraparound =
+  QCheck2.Test.make ~name:"first_poisoned wraps modulo word size" ~count:500
+    QCheck2.Gen.(
+      let* poff = int_range 1 48 in
+      let* plen = int_range 1 32 in
+      let* soff = int_range 1 96 in
+      let* slen = int_range 1 160 in
+      return (poff, plen, soff, slen))
+    (fun (poff, plen, soff, slen) ->
+      let sh = Jt_jasan.Shadow.create () in
+      let pstart = (Word.mask + 1 - poff) land Word.mask in
+      let sstart = (Word.mask + 1 - soff) land Word.mask in
+      Jt_jasan.Shadow.poison sh pstart ~len:plen Jt_jasan.Shadow.Heap_redzone;
+      let expected =
+        let rec find k =
+          if k >= slen then None
+          else
+            let a = (sstart + k) land Word.mask in
+            if (a - pstart) land Word.mask < plen then
+              Some (a, Jt_jasan.Shadow.Heap_redzone)
+            else find (k + 1)
+        in
+        find 0
+      in
+      Jt_jasan.Shadow.first_poisoned sh sstart ~len:slen = expected)
+
 (* -- allocator invariants -- *)
 
 let prop_alloc_disjoint =
@@ -124,7 +155,10 @@ let () =
     [
       ("word", List.map QCheck_alcotest.to_alcotest word_props);
       ( "shadow",
-        [ QCheck_alcotest.to_alcotest prop_shadow_matches_model ] );
+        [
+          QCheck_alcotest.to_alcotest prop_shadow_matches_model;
+          QCheck_alcotest.to_alcotest prop_shadow_wraparound;
+        ] );
       ("alloc", [ QCheck_alcotest.to_alcotest prop_alloc_disjoint ]);
       ( "air",
         [
