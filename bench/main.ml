@@ -1,15 +1,26 @@
 (* The benchmark harness: regenerates every table and figure of the
    paper's evaluation (section 6).
 
-     dune exec bench/main.exe            -- everything
-     dune exec bench/main.exe -- fig7    -- one figure
-     dune exec bench/main.exe -- list    -- available targets
+     dune exec bench/main.exe                       -- everything
+     dune exec bench/main.exe -- fig7               -- one figure
+     dune exec bench/main.exe -- --jobs 4 fig7      -- measure workloads in parallel
+     dune exec bench/main.exe -- parallel --jobs 4  -- sequential-vs-parallel sweep
+     dune exec bench/main.exe -- list               -- available targets
 
    Absolute numbers come from the simulator's cycle model (lib/vm/cost.ml)
    and are calibrated for shape, not for matching the authors' hardware;
-   EXPERIMENTS.md records paper-vs-measured for each figure. *)
+   EXPERIMENTS.md records paper-vs-measured for each figure.
+
+   `--jobs N` runs per-workload measurements as independent jobs on a
+   [Jt_pool] domain pool.  Parallelism is wall-clock only: the counters
+   and trace sinks are domain-local, every job builds its own workload,
+   VM and tool instances, and the `parallel` target asserts that the
+   parallel sweep's per-workload results are bit-identical to the
+   sequential ones. *)
 
 open Jt_workloads
+
+let jobs = ref 1
 
 (* ---- per-benchmark measurement cache ---- *)
 
@@ -42,10 +53,9 @@ let cache : (string, bench_runs) Hashtbl.t = Hashtbl.create 32
 
 let ratio c n = float_of_int c /. float_of_int n
 
-let measure (s : Sheet.t) =
-  match Hashtbl.find_opt cache s.s_name with
-  | Some r -> r
-  | None ->
+(* The full ~12-configuration measurement of one workload, cache-free:
+   safe to run as a pool job (everything it touches is job-local). *)
+let measure_fresh (s : Sheet.t) =
     let w = Specgen.build s in
     let registry = w.w_registry in
     let main = s.s_name in
@@ -161,16 +171,43 @@ let measure (s : Sheet.t) =
         b_sound = !sound;
       }
     in
-    Hashtbl.replace cache s.s_name r;
     if not !sound then
       Printf.printf "!! soundness warning: %s produced divergent output\n%!"
         s.s_name;
     r
 
+let measure (s : Sheet.t) =
+  match Hashtbl.find_opt cache s.s_name with
+  | Some r -> r
+  | None ->
+    let r = measure_fresh s in
+    Hashtbl.replace cache s.s_name r;
+    r
+
+(* With [--jobs N], the workloads missing from the cache are measured as
+   pool jobs; the shared cache is only written back here, sequentially,
+   after every job has completed. *)
 let all_runs () =
+  (if !jobs > 1 then
+     let missing =
+       List.filter (fun s -> not (Hashtbl.mem cache s.Sheet.s_name)) Sheet.all
+     in
+     if missing <> [] then
+       Jt_pool.Pool.with_pool ~jobs:!jobs (fun p ->
+           let rs =
+             Jt_pool.Pool.map p
+               (fun s ->
+                 Printf.eprintf "  measuring %s...\n%!" s.Sheet.s_name;
+                 measure_fresh s)
+               missing
+           in
+           List.iter2
+             (fun s r -> Hashtbl.replace cache s.Sheet.s_name r)
+             missing rs));
   List.map
     (fun s ->
-      Printf.eprintf "  measuring %s...\n%!" s.Sheet.s_name;
+      if not (Hashtbl.mem cache s.Sheet.s_name) then
+        Printf.eprintf "  measuring %s...\n%!" s.Sheet.s_name;
       measure s)
     Sheet.all
 
@@ -711,6 +748,106 @@ let trace_overhead () =
   print_string json;
   if bad <> [] then exit 1
 
+(* ---- parallel: sequential-vs-pool wall clock over the full sweep ----
+
+   One job = one workload evaluated under JASan-hybrid (build, static
+   pass, simulated run).  The whole 27-workload sweep runs twice: purely
+   sequentially on the main domain, then as jobs on a [Jt_pool].  The
+   contract asserted here is the tentpole's: parallelism must never
+   change what the simulator computes, so every per-workload observable
+   (exit status, output, icount, cycles, violations, rule count) is
+   bit-identical between the two sweeps; the payoff is wall clock,
+   recorded in BENCH_parallel.json. *)
+
+type parallel_row = {
+  pr_name : string;
+  pr_status : string;
+  pr_output : string;
+  pr_icount : int;
+  pr_cycles : int;
+  pr_violations : int;
+  pr_rules : int;
+}
+
+let parallel_eval (s : Sheet.t) =
+  let w = Specgen.build s in
+  let tool, _ = Jt_jasan.Jasan.create () in
+  let o =
+    Janitizer.Driver.run ~tool ~registry:w.w_registry ~main:s.s_name ()
+  in
+  let r = o.Janitizer.Driver.o_result in
+  {
+    pr_name = s.s_name;
+    pr_status = Format.asprintf "%a" Jt_vm.Vm.pp_status r.r_status;
+    pr_output = r.r_output;
+    pr_icount = r.r_icount;
+    pr_cycles = r.r_cycles;
+    pr_violations = List.length r.r_violations;
+    pr_rules = o.o_rule_count;
+  }
+
+let parallel_bench () =
+  (* [Sys.time] is process CPU time — it *sums* across domains and would
+     hide any speedup — so this target alone measures wall clock. *)
+  let wall () = Unix.gettimeofday () in
+  let n_jobs = if !jobs > 1 then !jobs else 4 in
+  (* Speedup is bounded by the cores the host actually grants; recording
+     the count keeps a 1-core CI container's sub-1x number interpretable
+     next to a many-core machine's. *)
+  let cores = Domain.recommended_domain_count () in
+  Printf.eprintf "  parallel: sequential sweep (%d workloads)...\n%!"
+    (List.length Sheet.all);
+  let t0 = wall () in
+  let seq = List.map parallel_eval Sheet.all in
+  let seq_s = wall () -. t0 in
+  Printf.eprintf "  parallel: pool sweep (--jobs %d)...\n%!" n_jobs;
+  let t1 = wall () in
+  let par =
+    Jt_pool.Pool.run ~jobs:n_jobs parallel_eval Sheet.all
+  in
+  let par_s = wall () -. t1 in
+  let speedup = seq_s /. max par_s 1e-9 in
+  let mismatches =
+    List.filter_map
+      (fun (a, b) -> if a = b then None else Some a.pr_name)
+      (List.combine seq par)
+  in
+  List.iter
+    (fun n -> Printf.printf "!! parallel: %s diverged between sweeps\n" n)
+    mismatches;
+  Jt_metrics.Metrics.print_kv "Parallel sweep: sequential vs domain pool"
+    [
+      ("workloads", string_of_int (List.length seq));
+      ("jobs", string_of_int n_jobs);
+      ("host cores", string_of_int cores);
+      ("sequential wall", Printf.sprintf "%.2f s" seq_s);
+      ("parallel wall", Printf.sprintf "%.2f s" par_s);
+      ("speedup", Printf.sprintf "%.2fx" speedup);
+      ( "bit-identical",
+        if mismatches = [] then "yes" else "NO (" ^ String.concat "," mismatches ^ ")" );
+    ];
+  let row_json r =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"status\": \"%s\", \"icount\": %d, \
+       \"cycles\": %d, \"violations\": %d, \"rules\": %d}"
+      r.pr_name (String.escaped r.pr_status) r.pr_icount r.pr_cycles
+      r.pr_violations r.pr_rules
+  in
+  let json =
+    Printf.sprintf
+      "{\n  \"target\": \"parallel\",\n  \"jobs\": %d,\n  \"host_cores\": %d,\n\
+      \  \"sequential_wall_s\": %.3f,\n  \"parallel_wall_s\": %.3f,\n\
+      \  \"speedup\": %.3f,\n  \"bit_identical\": %b,\n\
+      \  \"workloads\": [\n%s\n  ]\n}\n"
+      n_jobs cores seq_s par_s speedup (mismatches = [])
+      (String.concat ",\n" (List.map row_json seq))
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  if mismatches <> [] then exit 1
+
 (* ---- bechamel microbenchmarks of the framework's own primitives ---- *)
 
 let micro () =
@@ -732,6 +869,7 @@ let micro () =
   let file =
     {
       Jt_rules.Rules.rf_module = "m";
+      rf_digest = "";
       rf_rules =
         List.init 512 (fun i ->
             Jt_rules.Rules.make ~id:0x101 ~bb:(0x400000 + (i * 16))
@@ -781,11 +919,35 @@ let targets =
     ("dispatch", dispatch);
     ("shadow", shadow_bench);
     ("trace-overhead", trace_overhead);
+    ("parallel", parallel_bench);
     ("micro", micro);
   ]
 
+(* Strip `--jobs N` (or `--jobs=N`) anywhere in the argument list; the
+   rest are target names. *)
+let rec parse_args = function
+  | [] -> []
+  | "--jobs" :: n :: rest -> (
+    match int_of_string_opt n with
+    | Some v when v >= 1 ->
+      jobs := v;
+      parse_args rest
+    | _ ->
+      Printf.eprintf "bad --jobs value %S\n" n;
+      exit 2)
+  | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
+    let n = String.sub arg 7 (String.length arg - 7) in
+    match int_of_string_opt n with
+    | Some v when v >= 1 ->
+      jobs := v;
+      parse_args rest
+    | _ ->
+      Printf.eprintf "bad --jobs value %S\n" n;
+      exit 2)
+  | arg :: rest -> arg :: parse_args rest
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = parse_args (List.tl (Array.to_list Sys.argv)) in
   match args with
   | [ "list" ] ->
     List.iter (fun (n, _) -> print_endline n) targets

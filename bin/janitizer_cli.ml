@@ -290,6 +290,109 @@ let trace_cmd =
     Term.(const run $ workload_arg $ tool_arg $ no_static_arg $ out_arg
           $ capacity_arg)
 
+(* ---- batch: many workload×tool jobs across a domain pool ---- *)
+
+let batch_cmd =
+  let doc =
+    "Evaluate many workload/tool combinations concurrently on a domain pool \
+     and emit a single JSON report."
+  in
+  let workloads_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"WORKLOAD"
+           ~doc:"Workloads to evaluate (default: all of them)")
+  in
+  let tools_arg =
+    Arg.(value & opt_all tool_conv [ `Jasan ]
+         & info [ "tool" ] ~docv:"TOOL"
+             ~doc:"Tool to attach; repeatable for a tool×workload matrix")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains in the pool")
+  in
+  let out_arg =
+    Arg.(value & opt string "batch.json" & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Where to write the JSON report")
+  in
+  let tool_name = function
+    | `Jasan -> "jasan"
+    | `Jcfi -> "jcfi"
+    | `Taint -> "taint"
+    | `Valgrind -> "valgrind"
+    | `Null -> "null"
+  in
+  let run names tools jobs out =
+    let names = if names = [] then List.map (fun (s : Sheet.t) -> s.s_name) Sheet.all else names in
+    List.iter
+      (fun n ->
+        if not (List.exists (fun (s : Sheet.t) -> String.equal s.s_name n) Sheet.all)
+        then begin
+          Printf.eprintf "unknown workload %S (try `janitizer_cli list`)\n" n;
+          exit 1
+        end)
+      names;
+    let matrix =
+      List.concat_map (fun n -> List.map (fun t -> (n, t)) tools) names
+    in
+    (* Each job is self-contained: it builds the workload, instantiates a
+       fresh tool and runs on whatever worker domain picks it up —
+       metrics/trace state is domain-local, so jobs cannot corrupt each
+       other.  [Pool.map] returns results in submission order, so the
+       report is byte-stable regardless of completion order. *)
+    let eval (name, tool) =
+      match Sheet.find name with
+      | exception Not_found -> assert false
+      | s ->
+        let w = Specgen.build s in
+        let o =
+          match tool with
+          | `Null -> Janitizer.Driver.run_null ~registry:w.w_registry ~main:name ()
+          | `Valgrind ->
+            let r =
+              Jt_baselines.Valgrind_like.run ~registry:w.w_registry ~main:name ()
+            in
+            { Janitizer.Driver.o_result = r; o_dbt = None;
+              o_dynamic_fraction = 0.0; o_rule_count = 0 }
+          | `Jasan ->
+            let t, _ = Jt_jasan.Jasan.create () in
+            Janitizer.Driver.run ~tool:t ~registry:w.w_registry ~main:name ()
+          | `Jcfi ->
+            let t, _ = Jt_jcfi.Jcfi.create () in
+            Janitizer.Driver.run ~tool:t ~registry:w.w_registry ~main:name ()
+          | `Taint ->
+            let t, _ = Jt_taint.Taint.create () in
+            Janitizer.Driver.run ~tool:t ~registry:w.w_registry ~main:name ()
+        in
+        (name, tool, o)
+    in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      if jobs > 1 then Jt_pool.Pool.run ~jobs eval matrix else List.map eval matrix
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let oc = open_out out in
+    Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"wall_s\": %.3f,\n  \"runs\": [\n"
+      jobs wall;
+    List.iteri
+      (fun i (name, tool, (o : Janitizer.Driver.outcome)) ->
+        Printf.fprintf oc
+          "    {\"workload\": %S, \"tool\": %S, \"status\": %S, \"icount\": %d, \
+           \"cycles\": %d, \"violations\": %d, \"rules\": %d}%s\n"
+          name (tool_name tool)
+          (Format.asprintf "%a" Jt_vm.Vm.pp_status o.o_result.r_status)
+          o.o_result.r_icount o.o_result.r_cycles
+          (List.length o.o_result.r_violations)
+          o.o_rule_count
+          (if i = List.length results - 1 then "" else ","))
+      results;
+    output_string oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "%d runs (%d workloads x %d tools), %d jobs, %.3fs -> %s\n"
+      (List.length results) (List.length names) (List.length tools) jobs wall out
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(const run $ workloads_arg $ tools_arg $ jobs_arg $ out_arg)
+
 (* ---- juliet ---- *)
 
 let juliet_cmd =
@@ -319,4 +422,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; inspect_cmd; disasm_cmd; analyze_cmd; run_cmd; trace_cmd;
-            juliet_cmd ]))
+            batch_cmd; juliet_cmd ]))

@@ -5,12 +5,22 @@ type outcome = {
   o_rule_count : int;
 }
 
-let analyze_all ~tool registry =
-  List.map
-    (fun (m : Jt_obj.Objfile.t) ->
-      let sa = Static_analyzer.analyze m in
-      (m.name, tool.Tool.t_static sa))
-    registry
+(* Per-module static analysis is independent work, so with a pool it
+   fans out across domains.  The tool's static pass itself stays on the
+   calling domain, applied in registry order: tools may carry internal
+   state, and sequential application keeps rule generation deterministic
+   regardless of which worker finished first.  The expensive part —
+   disassembly, CFG recovery, the helper analyses — is what parallelizes. *)
+let analyze_all ?pool ~tool registry =
+  let analyses =
+    match pool with
+    | None ->
+      List.map (fun (m : Jt_obj.Objfile.t) -> Static_analyzer.analyze m) registry
+    | Some p -> Jt_pool.Pool.map p Static_analyzer.analyze registry
+  in
+  List.map2
+    (fun (m : Jt_obj.Objfile.t) sa -> (m.name, tool.Tool.t_static sa))
+    registry analyses
 
 let rules_path ~dir name = Filename.concat dir (name ^ ".jtr")
 
@@ -40,7 +50,9 @@ let save_rules ~dir files =
    to be a directory ([Sys_error] from [open_in_bin]), a short read
    ([End_of_file]) or any other decoder defect must degrade the same
    way, so catch everything that isn't an asynchronous exception. *)
-let load_rules ~dir name =
+let module_digest = Jt_obj.Objfile.digest
+
+let load_rules ?expect_digest ~dir name =
   let path = rules_path ~dir name in
   if Sys.file_exists path then begin
     match
@@ -56,7 +68,22 @@ let load_rules ~dir name =
       None
     | s -> (
       match Jt_rules.Rules.decode_file s with
-      | f -> Some f
+      | f -> (
+        (* The cache is keyed by module *name*; a workload regenerated
+           with different code reuses the name, and applying the old
+           rules would plant checks at addresses that no longer exist.
+           The header digest detects that: any mismatch (including a
+           cache written without a digest) degrades to re-analysis,
+           exactly like corruption. *)
+        match expect_digest with
+        | None -> Some f
+        | Some d when String.equal d f.Jt_rules.Rules.rf_digest -> Some f
+        | Some _ ->
+          Printf.eprintf
+            "janitizer: warning: stale rule cache %s (module content \
+             changed), re-analyzing\n%!"
+            path;
+          None)
       | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
       | exception e ->
         Printf.eprintf "janitizer: warning: corrupt rule cache %s (%s)\n%!"
@@ -94,11 +121,11 @@ let static_closure ~registry ~main =
   go main;
   List.rev !order
 
-let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?(precomputed = []) ~tool
-    ~registry ~main () =
-  (* Each driver run reports its own host-level counters; without this,
-     numbers from a previous run in the same process leak into the next
-     one's snapshot. *)
+let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?(precomputed = []) ?pool
+    ~tool ~registry ~main () =
+  (* Each driver run reports its own (domain-local) counters; without
+     this, numbers from a previous run on the same domain leak into the
+     next one's snapshot. *)
   Jt_metrics.Metrics.Counters.reset ();
   let rule_files =
     Jt_trace.Trace.in_phase Jt_trace.Trace.Analyze (fun () ->
@@ -109,7 +136,7 @@ let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?(precomputed = []) ~tool
                 not (List.mem_assoc m.name precomputed))
               (static_closure ~registry ~main)
           in
-          precomputed @ analyze_all ~tool todo
+          precomputed @ analyze_all ?pool ~tool todo
         else [])
   in
   let rule_count =
@@ -130,7 +157,7 @@ let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?(precomputed = []) ~tool
       let c0 = vm.Jt_vm.Vm.cycles in
       tool.Tool.t_setup vm;
       Jt_vm.Vm.boot vm ~main;
-      if !Jt_trace.Trace.enabled then
+      if Jt_trace.Trace.is_enabled () then
         Jt_trace.Trace.phase_add_cycles Jt_trace.Trace.Load
           (vm.Jt_vm.Vm.cycles - c0));
   if vm.Jt_vm.Vm.status = Jt_vm.Vm.Running then
@@ -140,7 +167,7 @@ let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?(precomputed = []) ~tool
         (* [Rewrite] cycles (lazy block translation) are attributed by
            the engine itself and form a carved-out subset of this
            [Run] total. *)
-        if !Jt_trace.Trace.enabled then
+        if Jt_trace.Trace.is_enabled () then
           Jt_trace.Trace.phase_add_cycles Jt_trace.Trace.Run
             (vm.Jt_vm.Vm.cycles - c0));
   {

@@ -11,6 +11,7 @@ type t = {
   sa_disasm : Jt_disasm.Disasm.t;
   sa_cfg : Jt_cfg.Cfg.t;
   sa_fns : fn_analysis list;
+  sa_addr_fn : (int, fn_analysis) Hashtbl.t;
   sa_reliable_conventions : bool;
 }
 
@@ -48,20 +49,27 @@ let analyze (m : Jt_obj.Objfile.t) =
         })
       (Jt_cfg.Cfg.functions cfg)
   in
-  { sa_mod = m; sa_disasm = disasm; sa_cfg = cfg; sa_fns = fns;
-    sa_reliable_conventions = reliable }
-
-let fn_of_addr t addr =
-  List.find_opt
+  (* Instruction-address -> function index, built once here so
+     [fn_of_addr] is a hash probe instead of a full scan of every
+     instruction of every function per query.  [Hashtbl.add] guarded by
+     [mem] keeps the *first* function in [fns] order for an address
+     claimed by several (matching the old [List.find_opt] semantics). *)
+  let addr_fn = Hashtbl.create 1024 in
+  List.iter
     (fun fa ->
-      Hashtbl.fold
-        (fun _ (b : Jt_cfg.Cfg.block) found ->
-          found
-          || Array.exists
-               (fun (i : Jt_disasm.Disasm.insn_info) -> i.d_addr = addr)
-               b.b_insns)
-        fa.fa_fn.Jt_cfg.Cfg.f_blocks false)
-    t.sa_fns
+      Hashtbl.iter
+        (fun _ (b : Jt_cfg.Cfg.block) ->
+          Array.iter
+            (fun (i : Jt_disasm.Disasm.insn_info) ->
+              if not (Hashtbl.mem addr_fn i.d_addr) then
+                Hashtbl.add addr_fn i.d_addr fa)
+            b.b_insns)
+        fa.fa_fn.Jt_cfg.Cfg.f_blocks)
+    fns;
+  { sa_mod = m; sa_disasm = disasm; sa_cfg = cfg; sa_fns = fns;
+    sa_addr_fn = addr_fn; sa_reliable_conventions = reliable }
+
+let fn_of_addr t addr = Hashtbl.find_opt t.sa_addr_fn addr
 
 let all_block_addrs t =
   List.sort compare

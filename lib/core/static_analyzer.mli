@@ -20,6 +20,9 @@ type t = {
   sa_disasm : Jt_disasm.Disasm.t;
   sa_cfg : Jt_cfg.Cfg.t;
   sa_fns : fn_analysis list;
+  sa_addr_fn : (int, fn_analysis) Hashtbl.t;
+      (** instruction address -> containing function, precomputed at
+          {!analyze} time (first function in [sa_fns] order wins) *)
   sa_reliable_conventions : bool;
       (** false when the module breaks the calling convention
           (section 4.1.2): liveness results are replaced by the
@@ -29,7 +32,8 @@ type t = {
 val analyze : Jt_obj.Objfile.t -> t
 
 val fn_of_addr : t -> int -> fn_analysis option
-(** The analyzed function whose CFG contains the instruction address. *)
+(** The analyzed function whose CFG contains the instruction address.
+    A single hash probe against [sa_addr_fn]. *)
 
 val all_block_addrs : t -> int list
 

@@ -162,7 +162,7 @@ let index_remove t (c : cached) =
 
 let invalidate t (c : cached) =
   c.cb_valid <- false;
-  if !Jt_trace.Trace.enabled then begin
+  if Jt_trace.Trace.is_enabled () then begin
     let sever = function
       | Some (o : cached) ->
         Jt_trace.Trace.emit
@@ -190,7 +190,7 @@ let invalidate t (c : cached) =
    that covers their address retires them too. *)
 let flush_blocks t start len =
   if len > 0 then begin
-    let m = Jt_metrics.Metrics.Counters.global in
+    let m = Jt_metrics.Metrics.Counters.current () in
     for p = start asr page_shift to (start + len - 1) asr page_shift do
       match Hashtbl.find_opt t.pages p with
       | None -> ()
@@ -318,7 +318,7 @@ let translate t addr =
     + (t.profile.p_translate_insn * Array.length b.insns)
   in
   t.vm.Jt_vm.Vm.cycles <- t.vm.Jt_vm.Vm.cycles + translate_cycles;
-  if !Jt_trace.Trace.enabled then
+  if Jt_trace.Trace.is_enabled () then
     Jt_trace.Trace.phase_add_cycles Jt_trace.Trace.Rewrite translate_cycles;
   let table = table_for t addr in
   let static_hit =
@@ -371,7 +371,7 @@ let translate t addr =
         (if static_hit then Jt_trace.Trace.Static else Jt_trace.Trace.Dynamic);
     }
   in
-  if !Jt_trace.Trace.enabled then
+  if Jt_trace.Trace.is_enabled () then
     Jt_trace.Trace.emit
       (Jt_trace.Trace.Block_translate
          { pc = addr; insns = Array.length b.insns; origin = cached.cb_origin });
@@ -453,7 +453,7 @@ let exec_insns t ~budget (c : cached) =
 let exec_block t ~budget (c : cached) =
   let vm = t.vm in
   t.stats.st_block_execs <- t.stats.st_block_execs + 1;
-  if !Jt_trace.Trace.enabled then begin
+  if Jt_trace.Trace.is_enabled () then begin
     Jt_trace.Trace.set_exec_origin c.cb_origin;
     Jt_trace.Trace.emit (Jt_trace.Trace.Block_exec { pc = c.cb.bb_addr })
   end;
@@ -472,7 +472,7 @@ let traces_live t =
 
 let drop_trace t tr =
   tr.tr_valid <- false;
-  if !Jt_trace.Trace.enabled then
+  if Jt_trace.Trace.is_enabled () then
     Jt_trace.Trace.emit (Jt_trace.Trace.Trace_teardown { head = tr.tr_head });
   match Hashtbl.find_opt t.traces tr.tr_head with
   | Some cur when cur == tr -> Hashtbl.remove t.traces tr.tr_head
@@ -492,7 +492,8 @@ let exec_trace t ~budget (tr : trace) =
   let vm = t.vm in
   let s = t.stats in
   s.st_trace_execs <- s.st_trace_execs + 1;
-  Jt_metrics.Metrics.Counters.(global.c_trace_execs <- global.c_trace_execs + 1);
+  (let m = Jt_metrics.Metrics.Counters.current () in
+   m.c_trace_execs <- m.c_trace_execs + 1);
   if t.profile.p_per_block > 0 then Jt_vm.Vm.charge vm t.profile.p_per_block;
   let n = Array.length tr.tr_blocks in
   let i = ref 0 in
@@ -503,7 +504,7 @@ let exec_trace t ~budget (tr : trace) =
     last := c;
     s.st_block_execs <- s.st_block_execs + 1;
     if !i > 0 then s.st_trace_interior <- s.st_trace_interior + 1;
-    if !Jt_trace.Trace.enabled then begin
+    if Jt_trace.Trace.is_enabled () then begin
       Jt_trace.Trace.set_exec_origin c.cb_origin;
       Jt_trace.Trace.emit (Jt_trace.Trace.Block_exec { pc = c.cb.bb_addr })
     end;
@@ -553,9 +554,9 @@ let finalize_recording t =
       Hashtbl.replace t.traces head
         { tr_head = head; tr_blocks = Array.of_list blocks; tr_valid = true };
       t.stats.st_traces_built <- t.stats.st_traces_built + 1;
-      Jt_metrics.Metrics.Counters.(
-        global.c_traces_built <- global.c_traces_built + 1);
-      if !Jt_trace.Trace.enabled then
+      (let m = Jt_metrics.Metrics.Counters.current () in
+       m.c_traces_built <- m.c_traces_built + 1);
+      if Jt_trace.Trace.is_enabled () then
         Jt_trace.Trace.emit
           (Jt_trace.Trace.Trace_build { head; blocks = List.length blocks })
     end
@@ -602,7 +603,7 @@ let note_entry t (c : cached) pc =
 let run ?(fuel = 200_000_000) t =
   let vm = t.vm in
   let budget = vm.Jt_vm.Vm.icount + fuel in
-  let m = Jt_metrics.Metrics.Counters.global in
+  let m = Jt_metrics.Metrics.Counters.current () in
   let prev : cached option ref = ref None in
   (try
      while vm.Jt_vm.Vm.status = Jt_vm.Vm.Running do
@@ -630,7 +631,7 @@ let run ?(fuel = 200_000_000) t =
                match p.cb_link_taken with
                | Some c when c.cb_valid -> Some c
                | Some c ->
-                 if !Jt_trace.Trace.enabled then
+                 if Jt_trace.Trace.is_enabled () then
                    Jt_trace.Trace.emit
                      (Jt_trace.Trace.Chain_sever
                         { from_pc = p.cb.bb_addr; to_pc = c.cb.bb_addr });
@@ -641,7 +642,7 @@ let run ?(fuel = 200_000_000) t =
                match p.cb_link_fall with
                | Some c when c.cb_valid -> Some c
                | Some c ->
-                 if !Jt_trace.Trace.enabled then
+                 if Jt_trace.Trace.is_enabled () then
                    Jt_trace.Trace.emit
                      (Jt_trace.Trace.Chain_sever
                         { from_pc = p.cb.bb_addr; to_pc = c.cb.bb_addr });
@@ -660,7 +661,7 @@ let run ?(fuel = 200_000_000) t =
                Jt_vm.Vm.charge vm t.profile.p_ibl_hit;
                t.stats.st_ibl_hits <- t.stats.st_ibl_hits + 1;
                m.c_ibl_hits <- m.c_ibl_hits + 1;
-               if !Jt_trace.Trace.enabled then
+               if Jt_trace.Trace.is_enabled () then
                  Jt_trace.Trace.emit
                    (Jt_trace.Trace.Ibl_hit { site = p.cb.bb_addr; target = pc });
                (Some c, Some p)
@@ -668,7 +669,7 @@ let run ?(fuel = 200_000_000) t =
                Jt_vm.Vm.charge vm t.profile.p_indirect;
                t.stats.st_ibl_misses <- t.stats.st_ibl_misses + 1;
                m.c_ibl_misses <- m.c_ibl_misses + 1;
-               if !Jt_trace.Trace.enabled then
+               if Jt_trace.Trace.is_enabled () then
                  Jt_trace.Trace.emit
                    (Jt_trace.Trace.Ibl_miss { site = p.cb.bb_addr; target = pc });
                (None, Some p))
@@ -695,7 +696,7 @@ let run ?(fuel = 200_000_000) t =
                   if p.cb_succ_taken = pc || p.cb_succ_fall = pc then begin
                     if p.cb_succ_taken = pc then p.cb_link_taken <- Some c
                     else p.cb_link_fall <- Some c;
-                    if !Jt_trace.Trace.enabled then
+                    if Jt_trace.Trace.is_enabled () then
                       Jt_trace.Trace.emit
                         (Jt_trace.Trace.Chain_link
                            { from_pc = p.cb.bb_addr; to_pc = pc })

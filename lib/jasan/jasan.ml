@@ -212,7 +212,8 @@ let static_pass ~liveness ~hoist_scev ~skip_frame ~exempt_canary
         fa.fa_scev)
     sa.sa_fns;
   let rules = Janitizer.Tool.noop_marks sa (List.rev !rules) in
-  { Jt_rules.Rules.rf_module = sa.sa_mod.Jt_obj.Objfile.name; rf_rules = rules }
+  { Jt_rules.Rules.rf_module = sa.sa_mod.Jt_obj.Objfile.name;
+    rf_digest = Jt_obj.Objfile.digest sa.sa_mod; rf_rules = rules }
 
 (* ---- instrumentation (dynamic modifier side) ---- *)
 

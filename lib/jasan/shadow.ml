@@ -94,14 +94,14 @@ let get t a =
   | Some p -> Char.code (Bytes.get p.bytes (a land page_mask))
 
 let poison t a ~len st =
-  if !Jt_trace.Trace.enabled then
+  if Jt_trace.Trace.is_enabled () then
     Jt_trace.Trace.emit
       (Jt_trace.Trace.Shadow_poison
          { addr = a land Jt_isa.Word.mask; len; state = to_byte st });
   fill_range t a len (to_byte st)
 
 let unpoison t a ~len =
-  if !Jt_trace.Trace.enabled then
+  if Jt_trace.Trace.is_enabled () then
     Jt_trace.Trace.emit
       (Jt_trace.Trace.Shadow_unpoison { addr = a land Jt_isa.Word.mask; len });
   fill_range t a len 0

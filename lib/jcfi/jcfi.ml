@@ -224,7 +224,8 @@ let static_pass ~config (sa : Janitizer.Static_analyzer.t) =
         targets)
     sa.sa_disasm.Jt_disasm.Disasm.jump_tables;
   let rules = Janitizer.Tool.noop_marks sa (List.rev !rules) in
-  { Jt_rules.Rules.rf_module = m.Jt_obj.Objfile.name; rf_rules = rules }
+  { Jt_rules.Rules.rf_module = m.Jt_obj.Objfile.name;
+    rf_digest = Jt_obj.Objfile.digest m; rf_rules = rules }
 
 (* ---- runtime table construction from static hints ---- *)
 
@@ -439,7 +440,7 @@ let create ?(config = default_config) () =
             | Some f -> targets_of_rules l f
             | None -> Targets.of_module_runtime l
           in
-          if !Jt_trace.Trace.enabled then
+          if Jt_trace.Trace.is_enabled () then
             Jt_trace.Trace.emit
               (Jt_trace.Trace.Cfi_table
                  {

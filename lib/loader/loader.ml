@@ -96,7 +96,7 @@ let find_loaded t name =
    overlap (the assembler lays sections out disjointly and each PIC module
    gets its own base slot), so one candidate suffices. *)
 let module_at t a =
-  let c = Jt_metrics.Metrics.Counters.global in
+  let c = Jt_metrics.Metrics.Counters.current () in
   c.c_module_lookups <- c.c_module_lookups + 1;
   let arr = t.index in
   let lo = ref 0 and hi = ref (Array.length arr) in
@@ -191,7 +191,7 @@ let commit t news =
       apply_relative t l;
       bind_got t l)
     news;
-  if !Jt_trace.Trace.enabled then
+  if Jt_trace.Trace.is_enabled () then
     List.iter
       (fun l ->
         Jt_trace.Trace.emit
@@ -239,7 +239,7 @@ let dlclose t name =
     else begin
       t.loaded <- List.filter (fun o -> o.load_order <> l.load_order) t.loaded;
       rebuild_index t;
-      if !Jt_trace.Trace.enabled then
+      if Jt_trace.Trace.is_enabled () then
         Jt_trace.Trace.emit
           (Jt_trace.Trace.Module_unload { name = l.lmod.Objfile.name });
       List.iter (fun f -> f l) t.unload_callbacks;
@@ -269,7 +269,7 @@ let resolve_plt_index t ~caller_pc ~index =
     | Some (owner, s) ->
       let target = runtime_addr owner s.vaddr in
       Jt_mem.Memory.write32 t.mem (runtime_addr l imp.imp_got) target;
-      if !Jt_trace.Trace.enabled then
+      if Jt_trace.Trace.is_enabled () then
         Jt_trace.Trace.emit
           (Jt_trace.Trace.Plt_resolve { caller = caller_pc; target });
       target)

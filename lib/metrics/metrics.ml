@@ -26,7 +26,7 @@ module Counters = struct
     mutable c_flush_drops : int;
   }
 
-  let global =
+  let fresh () =
     {
       c_chain_hits = 0;
       c_dispatch_entries = 0;
@@ -40,31 +40,54 @@ module Counters = struct
       c_flush_drops = 0;
     }
 
-  let reset () =
-    global.c_chain_hits <- 0;
-    global.c_dispatch_entries <- 0;
-    global.c_ibl_hits <- 0;
-    global.c_ibl_misses <- 0;
-    global.c_traces_built <- 0;
-    global.c_trace_execs <- 0;
-    global.c_module_lookups <- 0;
-    global.c_lookup_probes <- 0;
-    global.c_flush_visits <- 0;
-    global.c_flush_drops <- 0
+  (* One instance per domain: concurrent driver runs on separate domains
+     each count into their own record, so counters never race and a
+     snapshot taken inside a pool job describes that job alone. *)
+  let key = Domain.DLS.new_key fresh
 
-  let snapshot () =
+  let current () = Domain.DLS.get key
+
+  let reset () =
+    let c = current () in
+    c.c_chain_hits <- 0;
+    c.c_dispatch_entries <- 0;
+    c.c_ibl_hits <- 0;
+    c.c_ibl_misses <- 0;
+    c.c_traces_built <- 0;
+    c.c_trace_execs <- 0;
+    c.c_module_lookups <- 0;
+    c.c_lookup_probes <- 0;
+    c.c_flush_visits <- 0;
+    c.c_flush_drops <- 0
+
+  let snapshot_of c =
     [
-      ("chain_hits", global.c_chain_hits);
-      ("dispatch_entries", global.c_dispatch_entries);
-      ("ibl_hits", global.c_ibl_hits);
-      ("ibl_misses", global.c_ibl_misses);
-      ("traces_built", global.c_traces_built);
-      ("trace_execs", global.c_trace_execs);
-      ("module_lookups", global.c_module_lookups);
-      ("lookup_probes", global.c_lookup_probes);
-      ("flush_visits", global.c_flush_visits);
-      ("flush_drops", global.c_flush_drops);
+      ("chain_hits", c.c_chain_hits);
+      ("dispatch_entries", c.c_dispatch_entries);
+      ("ibl_hits", c.c_ibl_hits);
+      ("ibl_misses", c.c_ibl_misses);
+      ("traces_built", c.c_traces_built);
+      ("trace_execs", c.c_trace_execs);
+      ("module_lookups", c.c_module_lookups);
+      ("lookup_probes", c.c_lookup_probes);
+      ("flush_visits", c.c_flush_visits);
+      ("flush_drops", c.c_flush_drops);
     ]
+
+  let snapshot () = snapshot_of (current ())
+
+  let merge snaps =
+    match snaps with
+    | [] -> snapshot_of (fresh ())
+    | first :: _ ->
+      List.map
+        (fun (name, _) ->
+          ( name,
+            List.fold_left
+              (fun acc snap ->
+                acc + Option.value ~default:0 (List.assoc_opt name snap))
+              0 snaps ))
+        first
 end
 
 type cell = Value of float | Fail of string

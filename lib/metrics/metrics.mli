@@ -5,10 +5,16 @@ val geomean : float list -> float
     poison the mean through [log], so they are skipped (with a warning on
     stderr); 0 if nothing positive remains. *)
 
-(** Global hot-path instrumentation counters, incremented by the loader's
+(** Hot-path instrumentation counters, incremented by the loader's
     address-range index, the DBT dispatcher and the cache-invalidation
     paths.  They measure *host-level* work (probes, visits), not simulated
-    cycles, so resetting or reading them never perturbs an experiment. *)
+    cycles, so resetting or reading them never perturbs an experiment.
+
+    The counters are {e domain-local} ([Domain.DLS]): every domain counts
+    into its own instance, so concurrent driver runs on a [Jt_pool] never
+    corrupt each other.  A pool job that wants its numbers must
+    {!Counters.snapshot} on its own domain (inside the job) and return
+    the snapshot; the harness aggregates with {!Counters.merge}. *)
 module Counters : sig
   type t = {
     mutable c_chain_hits : int;
@@ -31,11 +37,22 @@ module Counters : sig
         (** cache entries actually invalidated *)
   }
 
-  val global : t
+  val current : unit -> t
+  (** The calling domain's counters (created zeroed on first use). *)
+
   val reset : unit -> unit
+  (** Zero the calling domain's counters. *)
 
   val snapshot : unit -> (string * int) list
-  (** Current values as name/value pairs, in a stable order. *)
+  (** The calling domain's current values as name/value pairs, in a
+      stable order. *)
+
+  val snapshot_of : t -> (string * int) list
+
+  val merge : (string * int) list list -> (string * int) list
+  (** Sum snapshots pointwise (key order of the first snapshot); the
+      aggregation step for per-domain snapshots collected from pool
+      jobs.  Empty input yields an all-zero snapshot. *)
 end
 
 type cell =

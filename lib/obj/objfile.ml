@@ -63,6 +63,29 @@ let code_bounds m =
 
 let has_feature m f = List.mem f m.features
 
+(* Content digest used to key derived artifacts (rule caches): covers
+   everything the static analyzer's output depends on — identity, layout
+   and the raw section bytes — so regenerating a module with different
+   code yields a different digest even when the name is unchanged. *)
+let digest m =
+  let b = Buffer.create 4096 in
+  let str s =
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+  in
+  str m.name;
+  str (match m.kind with Exec_nonpic -> "E" | Exec_pic -> "P" | Shared -> "S");
+  Buffer.add_string b (match m.entry with None -> "-" | Some e -> string_of_int e);
+  List.iter
+    (fun (s : Section.t) ->
+      str s.Section.name;
+      Buffer.add_string b (string_of_int s.Section.vaddr);
+      Buffer.add_char b (if s.Section.is_code then 'c' else 'd');
+      str s.Section.data)
+    m.sections;
+  Digest.string (Buffer.contents b)
+
 let pp ppf m =
   let kind_s =
     match m.kind with

@@ -68,4 +68,11 @@ val code_bounds : t -> (int * int) option
     exclusive). *)
 
 val has_feature : t -> feature -> bool
+
+val digest : t -> string
+(** 16-byte MD5 over the module's identity, layout and section contents.
+    Keys derived artifacts (the [.jtr] rule caches): two builds of a
+    module with the same name but different code digest differently, so
+    a stale cache is detected instead of applied. *)
+
 val pp : Format.formatter -> t -> unit

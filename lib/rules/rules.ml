@@ -6,9 +6,14 @@ let make ~id ~bb ~insn ?(data = []) () =
   if List.length data > 4 then invalid_arg "Rules.make: at most 4 data words";
   { rule_id = id; bb; insn; data = Array.of_list data }
 
-type file = { rf_module : string; rf_rules : t list }
+type file = { rf_module : string; rf_digest : string; rf_rules : t list }
 
-let magic = "JTRR"
+(* Format v2 ("JTR2", was "JTRR"): the header gains a content digest of
+   the module the rules were computed from, so a stale cache written for
+   an older build of a module is detected instead of silently planting
+   checks at addresses that no longer mean anything.  v1 files fail the
+   magic check and degrade to re-analysis. *)
+let magic = "JTR2"
 
 let u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
 
@@ -21,8 +26,12 @@ let u32 b v =
   u16 b (v lsr 16)
 
 let encode_file f =
+  if String.length f.rf_digest > 0xFF then
+    invalid_arg "Rules.encode_file: digest longer than 255 bytes";
   let b = Buffer.create 1024 in
   Buffer.add_string b magic;
+  u8 b (String.length f.rf_digest);
+  Buffer.add_string b f.rf_digest;
   u16 b (String.length f.rf_module);
   Buffer.add_string b f.rf_module;
   u32 b (List.length f.rf_rules);
@@ -55,11 +64,21 @@ let decode_file s =
   in
   if String.length s < 4 || String.sub s 0 4 <> magic then fail "bad magic";
   pos := 4;
+  let dlen = byte () in
+  if !pos + dlen > String.length s then fail "bad digest";
+  let digest = String.sub s !pos dlen in
+  pos := !pos + dlen;
   let nlen = r16 () in
   if !pos + nlen > String.length s then fail "bad name";
   let name = String.sub s !pos nlen in
   pos := !pos + nlen;
   let count = r32 () in
+  (* A rule occupies at least 11 bytes (u16 id + u32 bb + u32 insn +
+     u8 nd); validating the declared count against the bytes actually
+     present rejects a corrupt header up front instead of spinning
+     through up to ~4G loop iterations before a byte-level "truncated"
+     failure. *)
+  if count * 11 > String.length s - !pos then fail "rule count exceeds file size";
   let rules = ref [] in
   for _ = 1 to count do
     let id = r16 () in
@@ -67,10 +86,17 @@ let decode_file s =
     let insn = r32 () in
     let nd = byte () in
     if nd > 4 then fail "too many data words";
-    let data = Array.init nd (fun _ -> r32 ()) in
+    (* data words are read with an explicit in-order loop: [Array.init]'s
+       element evaluation order is unspecified, so feeding it an
+       impure [r32] could silently permute range-check parameters and
+       canary displacements under a different compiler/runtime *)
+    let data = Array.make nd 0 in
+    for i = 0 to nd - 1 do
+      data.(i) <- r32 ()
+    done;
     rules := { rule_id = id; bb; insn; data } :: !rules
   done;
-  { rf_module = name; rf_rules = List.rev !rules }
+  { rf_module = name; rf_digest = digest; rf_rules = List.rev !rules }
 
 module Table = struct
   type rule = t
@@ -85,14 +111,18 @@ module Table = struct
     let adj a = if pic then a + base else a in
     let bbs = Hashtbl.create 256 in
     let by_insn = Hashtbl.create 256 in
+    (* Accumulate per-insn rule lists reversed and flip them once at the
+       end: the old [prev @ [ r ]] append made loading N same-insn rules
+       quadratic. *)
     List.iter
       (fun r ->
         let r = { r with bb = adj r.bb; insn = adj r.insn } in
         Hashtbl.replace bbs r.bb ();
         if r.rule_id <> no_op then
           let prev = Option.value ~default:[] (Hashtbl.find_opt by_insn r.insn) in
-          Hashtbl.replace by_insn r.insn (prev @ [ r ]))
+          Hashtbl.replace by_insn r.insn (r :: prev))
       f.rf_rules;
+    Hashtbl.filter_map_inplace (fun _ rs -> Some (List.rev rs)) by_insn;
     { bbs; by_insn; count = List.length f.rf_rules }
 
   let bb_seen t a = Hashtbl.mem t.bbs a

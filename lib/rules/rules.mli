@@ -25,11 +25,25 @@ val no_op : int
 
 val make : id:int -> bb:int -> insn:int -> ?data:int list -> unit -> t
 
-type file = { rf_module : string; rf_rules : t list }
+type file = {
+  rf_module : string;
+  rf_digest : string;
+      (** content digest of the module these rules were computed from
+          (16-byte MD5 from [Jt_obj.Objfile.digest]), or [""] when
+          unknown; serialized into the file header so a consumer can
+          reject a cache written for a different build of the module *)
+  rf_rules : t list;
+}
 
 val encode_file : file -> string
+(** Serialize in format v2 (magic "JTR2", digest in the header).
+    @raise Invalid_argument if the digest exceeds 255 bytes. *)
+
 val decode_file : string -> file
-(** @raise Failure on malformed input. *)
+(** @raise Failure on malformed input: bad magic (including v1 "JTRR"
+    files), truncation, or a declared rule count that exceeds what the
+    remaining bytes could possibly hold (rejected up front, before the
+    decode loop). *)
 
 (** Run-time rule table for one loaded module: addresses adjusted by the
     load base (for PIC modules) and hashed for block- and

@@ -2,14 +2,15 @@
    runtime events plus span-style phase timers with simulated-cycle
    attribution.
 
-   The layer is a process-global sink (like [Metrics.Counters]) so emit
+   The layer is a domain-local sink (like [Metrics.Counters]) so emit
    points anywhere in the runtime can reach it without threading a handle
-   through every API.  The contract with emitters is:
+   through every API, while concurrent driver runs on a [Jt_pool] each
+   capture their own stream.  The contract with emitters is:
 
-     if !Jt_trace.Trace.enabled then
+     if Jt_trace.Trace.is_enabled () then
        Jt_trace.Trace.emit (Jt_trace.Trace.Ibl_hit { site; target })
 
-   i.e. the disabled path costs exactly one load-and-branch and never
+   i.e. the disabled path costs a DLS load plus one branch and never
    allocates (the event is constructed inside the guard).  Enabling
    tracing must not perturb the simulated machine: emitters only observe,
    they never charge cycles or touch guest state, so status, output,
@@ -68,30 +69,7 @@ type ring = {
   mutable total : int;  (** events ever emitted; head = total mod cap *)
 }
 
-let enabled = ref false
-
-let ring : ring option ref = ref None
-
-(* Provenance of the currently executing translated block, maintained by
-   the DBT so violation reports (which surface in lib/vm, far below the
-   DBT) can carry static-vs-dynamic origin.  Only updated while tracing
-   is enabled. *)
-let exec_origin = ref Dynamic
-
-let set_exec_origin o = exec_origin := o
-
-(* Emit sites guard with [if !enabled then emit ...] so the disabled
-   path never even constructs the event; the re-check here makes a
-   stray unguarded [emit] after [disable] harmless too. *)
-let emit ev =
-  if !enabled then
-    match !ring with
-    | None -> ()
-    | Some r ->
-      r.buf.(r.total mod r.cap) <- ev;
-      r.total <- r.total + 1
-
-(* ---- phase spans ---- *)
+(* ---- phase accumulators ---- *)
 
 type phase_tot = {
   mutable pt_host : float;  (** accumulated wall-clock seconds *)
@@ -105,28 +83,80 @@ let phases = [ Analyze; Rewrite; Load; Run ]
 
 let phase_index = function Analyze -> 0 | Rewrite -> 1 | Load -> 2 | Run -> 3
 
-let totals =
-  Array.init 4 (fun _ ->
-      { pt_host = 0.0; pt_cycles = 0; pt_count = 0; pt_open = Float.nan; pt_open_cycles = 0 })
+(* ---- domain-local trace state ----
+
+   Everything mutable — the on/off flag, the ring, the exec-origin
+   latch, the phase accumulators — lives in one record stored in
+   [Domain.DLS], so two driver runs on different pool domains capture
+   disjoint streams instead of silently interleaving into one ring. *)
+
+type state = {
+  mutable s_enabled : bool;
+  mutable s_ring : ring option;
+  mutable s_exec_origin : origin;
+      (** provenance of the currently executing translated block,
+          maintained by the DBT so violation reports (surfacing in
+          lib/vm, far below the DBT) can carry static-vs-dynamic origin;
+          only updated while tracing is enabled *)
+  s_totals : phase_tot array;
+}
+
+let fresh_state () =
+  {
+    s_enabled = false;
+    s_ring = None;
+    s_exec_origin = Dynamic;
+    s_totals =
+      Array.init 4 (fun _ ->
+          { pt_host = 0.0; pt_cycles = 0; pt_count = 0; pt_open = Float.nan;
+            pt_open_cycles = 0 });
+  }
+
+let key = Domain.DLS.new_key fresh_state
+
+let state () = Domain.DLS.get key
+
+let is_enabled () = (state ()).s_enabled
+
+let exec_origin () = (state ()).s_exec_origin
+
+let set_exec_origin o = (state ()).s_exec_origin <- o
+
+(* Emit sites guard with [if is_enabled () then emit ...] so the
+   disabled path never even constructs the event; the re-check here
+   makes a stray unguarded [emit] after [disable] harmless too. *)
+let emit ev =
+  let st = state () in
+  if st.s_enabled then
+    match st.s_ring with
+    | None -> ()
+    | Some r ->
+      r.buf.(r.total mod r.cap) <- ev;
+      r.total <- r.total + 1
+
+(* ---- phase spans ---- *)
 
 let phase_begin p =
-  if !enabled then begin
-    let t = totals.(phase_index p) in
+  let st = state () in
+  if st.s_enabled then begin
+    let t = st.s_totals.(phase_index p) in
     t.pt_open <- Sys.time ();
     t.pt_open_cycles <- 0;
     emit (Phase_begin { phase = p })
   end
 
 let phase_add_cycles p n =
-  if !enabled then begin
-    let t = totals.(phase_index p) in
+  let st = state () in
+  if st.s_enabled then begin
+    let t = st.s_totals.(phase_index p) in
     t.pt_cycles <- t.pt_cycles + n;
     if not (Float.is_nan t.pt_open) then t.pt_open_cycles <- t.pt_open_cycles + n
   end
 
 let phase_end p =
-  if !enabled then begin
-    let t = totals.(phase_index p) in
+  let st = state () in
+  if st.s_enabled then begin
+    let t = st.s_totals.(phase_index p) in
     let host_s =
       if Float.is_nan t.pt_open then 0.0 else Sys.time () -. t.pt_open
     in
@@ -138,7 +168,7 @@ let phase_end p =
   end
 
 let in_phase p f =
-  if not !enabled then f ()
+  if not (is_enabled ()) then f ()
   else begin
     phase_begin p;
     match f () with
@@ -158,16 +188,18 @@ type phase_summary = {
 }
 
 let phase_totals () =
+  let st = state () in
   List.map
     (fun p ->
-      let t = totals.(phase_index p) in
+      let t = st.s_totals.(phase_index p) in
       { ps_phase = p; ps_spans = t.pt_count; ps_host_s = t.pt_host; ps_cycles = t.pt_cycles })
     phases
 
 (* ---- lifecycle ---- *)
 
 let clear () =
-  (match !ring with Some r -> r.total <- 0 | None -> ());
+  let st = state () in
+  (match st.s_ring with Some r -> r.total <- 0 | None -> ());
   Array.iter
     (fun t ->
       t.pt_host <- 0.0;
@@ -175,31 +207,76 @@ let clear () =
       t.pt_count <- 0;
       t.pt_open <- Float.nan;
       t.pt_open_cycles <- 0)
-    totals;
-  exec_origin := Dynamic
+    st.s_totals;
+  st.s_exec_origin <- Dynamic
 
 let enable ?(capacity = default_capacity) () =
   if capacity <= 0 then invalid_arg "Trace.enable: capacity must be positive";
-  (match !ring with
+  let st = state () in
+  (match st.s_ring with
   | Some r when r.cap = capacity -> ()
-  | Some _ | None -> ring := Some { buf = Array.make capacity dummy; cap = capacity; total = 0 });
+  | Some _ | None ->
+    st.s_ring <- Some { buf = Array.make capacity dummy; cap = capacity; total = 0 });
   clear ();
-  enabled := true
+  st.s_enabled <- true
 
-let disable () = enabled := false
+let disable () = (state ()).s_enabled <- false
 
-let emitted () = match !ring with Some r -> r.total | None -> 0
+let emitted () = match (state ()).s_ring with Some r -> r.total | None -> 0
 
 let dropped () =
-  match !ring with Some r -> max 0 (r.total - r.cap) | None -> 0
+  match (state ()).s_ring with Some r -> max 0 (r.total - r.cap) | None -> 0
 
 let events () =
-  match !ring with
+  match (state ()).s_ring with
   | None -> []
   | Some r ->
     let n = min r.total r.cap in
     let first = r.total - n in
     List.init n (fun i -> r.buf.((first + i) mod r.cap))
+
+(* ---- snapshots: carrying a domain's capture back to an aggregator ---- *)
+
+type snapshot = {
+  sn_events : event list;
+  sn_emitted : int;
+  sn_dropped : int;
+  sn_phases : phase_summary list;
+}
+
+let snapshot () =
+  {
+    sn_events = events ();
+    sn_emitted = emitted ();
+    sn_dropped = dropped ();
+    sn_phases = phase_totals ();
+  }
+
+let merge snaps =
+  let zero =
+    List.map
+      (fun p -> { ps_phase = p; ps_spans = 0; ps_host_s = 0.0; ps_cycles = 0 })
+      phases
+  in
+  let add_phases acc ps =
+    List.map2
+      (fun a b ->
+        { a with
+          ps_spans = a.ps_spans + b.ps_spans;
+          ps_host_s = a.ps_host_s +. b.ps_host_s;
+          ps_cycles = a.ps_cycles + b.ps_cycles })
+      acc ps
+  in
+  List.fold_left
+    (fun acc sn ->
+      {
+        sn_events = acc.sn_events @ sn.sn_events;
+        sn_emitted = acc.sn_emitted + sn.sn_emitted;
+        sn_dropped = acc.sn_dropped + sn.sn_dropped;
+        sn_phases = add_phases acc.sn_phases sn.sn_phases;
+      })
+    { sn_events = []; sn_emitted = 0; sn_dropped = 0; sn_phases = zero }
+    snaps
 
 (* ---- JSONL export / import ---- *)
 

@@ -1,14 +1,18 @@
-(** Structured tracing & profiling for the runtime (DESIGN.md §9).
+(** Structured tracing & profiling for the runtime (DESIGN.md §9–10).
 
-    A process-global, fixed-capacity ring buffer of typed events emitted
+    A domain-local, fixed-capacity ring buffer of typed events emitted
     by the VM, the DBT engine, the loader and the security tools, plus
     span-style phase timers ([Analyze]/[Rewrite]/[Load]/[Run]) with
-    simulated-cycle attribution.
+    simulated-cycle attribution.  All state lives in [Domain.DLS]:
+    enabling tracing affects only the calling domain, and concurrent
+    driver runs on a [Jt_pool] capture disjoint streams (a pool job
+    returns its capture via {!snapshot}; aggregate with {!merge}).
 
-    The emit contract keeps the disabled path at one load-and-branch:
+    The emit contract keeps the disabled path at a DLS load plus one
+    branch, never constructing the event:
 
     {[
-      if !Jt_trace.Trace.enabled then
+      if Jt_trace.Trace.is_enabled () then
         Jt_trace.Trace.emit (Jt_trace.Trace.Ibl_hit { site; target })
     ]}
 
@@ -57,29 +61,32 @@ type event =
   | Phase_begin of { phase : phase }
   | Phase_end of { phase : phase; host_s : float; cycles : int }
 
-val enabled : bool ref
-(** The cheap guard.  Read it before constructing an event so the
-    disabled path neither allocates nor calls. *)
+val is_enabled : unit -> bool
+(** The cheap guard: is tracing enabled on the calling domain?  Check it
+    before constructing an event so the disabled path neither allocates
+    nor emits. *)
 
 val default_capacity : int
 
 val enable : ?capacity:int -> unit -> unit
-(** Allocate the ring (capacity in events, default
+(** Allocate the calling domain's ring (capacity in events, default
     {!default_capacity}), clear any previous contents and phase totals,
-    and set {!enabled}.  Raises [Invalid_argument] on a non-positive
-    capacity. *)
+    and turn tracing on for this domain.  Raises [Invalid_argument] on a
+    non-positive capacity. *)
 
 val disable : unit -> unit
-(** Clear {!enabled}; buffered events remain readable. *)
+(** Turn tracing off on the calling domain; buffered events remain
+    readable. *)
 
 val clear : unit -> unit
-(** Drop buffered events and zero phase totals without toggling
-    {!enabled}. *)
+(** Drop the calling domain's buffered events and zero its phase totals
+    without toggling the enabled flag. *)
 
 val emit : event -> unit
-(** Append an event, overwriting the oldest once the ring is full.
-    No-op while {!enabled} is false (callers still guard on {!enabled}
-    first so the disabled path never constructs the event). *)
+(** Append an event to the calling domain's ring, overwriting the oldest
+    once it is full.  No-op while tracing is disabled (callers still
+    guard on {!is_enabled} first so the disabled path never constructs
+    the event). *)
 
 val emitted : unit -> int
 (** Events ever emitted since the last {!enable}/{!clear} (including
@@ -89,7 +96,8 @@ val dropped : unit -> int
 (** Events lost to ring wraparound ([max 0 (emitted - capacity)]). *)
 
 val events : unit -> event list
-(** Buffered events, oldest first; at most [capacity] of them. *)
+(** The calling domain's buffered events, oldest first; at most
+    [capacity] of them. *)
 
 (** {2 Violation provenance} *)
 
@@ -98,7 +106,7 @@ val set_exec_origin : origin -> unit
     the DBT (only while tracing is enabled) so [Vm.report_violation] can
     stamp violations with static-vs-dynamic origin. *)
 
-val exec_origin : origin ref
+val exec_origin : unit -> origin
 
 (** {2 Phase spans} *)
 
@@ -123,6 +131,28 @@ type phase_summary = {
 
 val phase_totals : unit -> phase_summary list
 (** One summary per phase, in [Analyze; Rewrite; Load; Run] order. *)
+
+(** {2 Snapshots}
+
+    A pool job runs on a worker domain, so its capture is invisible to
+    the submitting domain.  The job takes a {!snapshot} before
+    returning; the harness combines per-job snapshots with {!merge}. *)
+
+type snapshot = {
+  sn_events : event list;  (** buffered events, oldest first *)
+  sn_emitted : int;
+  sn_dropped : int;
+  sn_phases : phase_summary list;
+}
+
+val snapshot : unit -> snapshot
+(** Capture the calling domain's current events, counts and phase
+    totals. *)
+
+val merge : snapshot list -> snapshot
+(** Concatenate events in argument order, sum emit/drop counts and phase
+    totals pointwise.  Snapshots must come from {!snapshot} (canonical
+    phase order). *)
 
 (** {2 JSONL export / import} *)
 

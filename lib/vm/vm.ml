@@ -137,7 +137,7 @@ let charge t c = t.cycles <- t.cycles + c
 
 let report_violation t ~kind ~addr =
   t.violations <- { v_kind = kind; v_addr = addr; v_pc = t.pc } :: t.violations;
-  if !Jt_trace.Trace.enabled then
+  if Jt_trace.Trace.is_enabled () then
     Jt_trace.Trace.emit
       (Jt_trace.Trace.Violation
          {
@@ -148,7 +148,7 @@ let report_violation t ~kind ~addr =
              (match Jt_loader.Loader.module_at t.loader t.pc with
              | Some l -> l.Jt_loader.Loader.lmod.Jt_obj.Objfile.name
              | None -> "?");
-           origin = !Jt_trace.Trace.exec_origin;
+           origin = Jt_trace.Trace.exec_origin ();
          })
 
 let on_cache_flush t f = t.flush_listeners <- f :: t.flush_listeners
@@ -203,10 +203,10 @@ let eval_cond t (c : Insn.cond) =
    entries and would let an instruction longer than 16 bytes survive with
    stale bytes.) *)
 let flush_range t start len =
-  if !Jt_trace.Trace.enabled then
+  if Jt_trace.Trace.is_enabled () then
     Jt_trace.Trace.emit (Jt_trace.Trace.Flush_range { start; len });
   (if len > 0 then begin
-     let c = Jt_metrics.Metrics.Counters.global in
+     let c = Jt_metrics.Metrics.Counters.current () in
      let doomed = ref [] in
      for p = start asr page_shift to (start + len - 1) asr page_shift do
        match Hashtbl.find_opt t.decode_pages p with
@@ -259,7 +259,7 @@ let do_syscall t n =
       let h = t.next_handle in
       t.next_handle <- h + 1;
       Hashtbl.replace t.handles h l;
-      if !Jt_trace.Trace.enabled then
+      if Jt_trace.Trace.is_enabled () then
         Jt_trace.Trace.emit (Jt_trace.Trace.Dlopen { name; handle = h });
       set t Reg.r0 h
     | exception Jt_loader.Loader.Load_error e -> t.status <- Fault (Load_fault e)
@@ -296,7 +296,7 @@ let do_syscall t n =
     | Some l ->
       let name = l.lmod.Jt_obj.Objfile.name in
       let ok = Jt_loader.Loader.dlclose t.loader name in
-      if !Jt_trace.Trace.enabled then
+      if Jt_trace.Trace.is_enabled () then
         Jt_trace.Trace.emit (Jt_trace.Trace.Dlclose { name; ok });
       if ok then begin
         Hashtbl.remove t.handles a0;

@@ -1,5 +1,5 @@
 (* Metrics: geomean guarding against non-positive cells (which used to
-   poison the whole summary row through [log]), and the global hot-path
+   poison the whole summary row through [log]), and the domain-local hot-path
    counters wired into the dispatcher and loader. *)
 
 let geomean = Jt_metrics.Metrics.geomean
@@ -28,8 +28,9 @@ let test_counters_reset_snapshot () =
   List.iter
     (fun (name, v) -> Alcotest.(check int) (name ^ " zeroed") 0 v)
     (snapshot ());
-  global.c_chain_hits <- 7;
-  global.c_flush_visits <- 2;
+  let c = current () in
+  c.c_chain_hits <- 7;
+  c.c_flush_visits <- 2;
   Alcotest.(check int) "chain hits read back" 7
     (List.assoc "chain_hits" (snapshot ()));
   Alcotest.(check int) "flush visits read back" 2
@@ -45,13 +46,14 @@ let test_counters_instrument_dispatch () =
   let engine = Jt_dbt.Dbt.create ~vm () in
   Jt_vm.Vm.boot vm ~main:"sum";
   Jt_dbt.Dbt.run engine;
+  let c = current () in
   Alcotest.(check bool) "dispatcher entries counted" true
-    (global.c_dispatch_entries > 0);
-  Alcotest.(check bool) "chain hits counted" true (global.c_chain_hits > 0);
+    (c.c_dispatch_entries > 0);
+  Alcotest.(check bool) "chain hits counted" true (c.c_chain_hits > 0);
   Alcotest.(check bool) "module lookups counted" true
-    (global.c_module_lookups > 0);
+    (c.c_module_lookups > 0);
   Alcotest.(check bool) "lookup probes counted" true
-    (global.c_lookup_probes >= global.c_module_lookups);
+    (c.c_lookup_probes >= c.c_module_lookups);
   reset ()
 
 let () =

@@ -13,7 +13,7 @@ let gen_file =
   let open QCheck2.Gen in
   let* name = string_size ~gen:(char_range 'a' 'z') (int_range 1 20) in
   let* rules = list_size (int_bound 200) gen_rule in
-  return { Jt_rules.Rules.rf_module = name; rf_rules = rules }
+  return { Jt_rules.Rules.rf_module = name; rf_digest = ""; rf_rules = rules }
 
 let prop_roundtrip =
   QCheck2.Test.make ~name:"file encode/decode roundtrip" ~count:300 gen_file
@@ -25,6 +25,7 @@ let test_table_lookup () =
   let f =
     {
       Jt_rules.Rules.rf_module = "m";
+      rf_digest = "";
       rf_rules =
         [
           mk ~id:Jt_rules.Rules.no_op ~bb:0x100 ~insn:0x100 ();
@@ -47,6 +48,7 @@ let test_table_lookup () =
 let test_pic_adjustment () =
   let f =
     { Jt_rules.Rules.rf_module = "m";
+      rf_digest = "";
       rf_rules = [ mk ~id:0x101 ~bb:0x40 ~insn:0x48 () ] }
   in
   let t = Jt_rules.Rules.Table.load f ~base:0x1000_0000 ~pic:true in
@@ -66,10 +68,76 @@ let test_pic_adjustment () =
 let test_decode_failures () =
   Alcotest.check_raises "bad magic" (Failure "Rules.decode_file: bad magic")
     (fun () -> ignore (Jt_rules.Rules.decode_file "NOPE"));
-  let good = Jt_rules.Rules.encode_file { rf_module = "m"; rf_rules = [] } in
+  let good =
+    Jt_rules.Rules.encode_file { rf_module = "m"; rf_digest = ""; rf_rules = [] }
+  in
   let truncated = String.sub good 0 (String.length good - 1) in
   Alcotest.check_raises "truncated" (Failure "Rules.decode_file: truncated")
     (fun () -> ignore (Jt_rules.Rules.decode_file truncated))
+
+(* Regression: decode_file once filled data words via [Array.init], whose
+   element evaluation order is unspecified — an order change would
+   silently permute the words.  Four distinct values round-tripped
+   in-order pins the explicit loop down. *)
+let test_data_word_order () =
+  let f =
+    {
+      Jt_rules.Rules.rf_module = "m";
+      rf_digest = "";
+      rf_rules =
+        [ mk ~id:0x7 ~bb:0x100 ~insn:0x104 ~data:[ 0xAA; 0xBB; 0xCC; 0xDD ] () ];
+    }
+  in
+  match (Jt_rules.Rules.(decode_file (encode_file f))).rf_rules with
+  | [ r ] ->
+    Alcotest.(check (array int)) "data words in written order"
+      [| 0xAA; 0xBB; 0xCC; 0xDD |] r.data
+  | _ -> Alcotest.fail "expected exactly one rule"
+
+(* Regression: a corrupt header declaring ~4G rules must be rejected by
+   the up-front count-vs-remaining-bytes check, not by spinning through
+   the decode loop until a byte-level "truncated" failure. *)
+let test_corrupt_count_bound () =
+  let corrupt =
+    (* magic, empty digest, name "m", count 0xFFFFFFFF, no rule bytes *)
+    "JTR2" ^ "\x00" ^ "\x01\x00" ^ "m" ^ "\xff\xff\xff\xff"
+  in
+  Alcotest.check_raises "count bound"
+    (Failure "Rules.decode_file: rule count exceeds file size") (fun () ->
+      ignore (Jt_rules.Rules.decode_file corrupt))
+
+(* Regression: [Table.load] used [prev @ [ r ]] per same-insn rule
+   (quadratic); the linear rebuild must still present rules in file
+   order at each instruction. *)
+let test_table_same_insn_order () =
+  let f =
+    {
+      Jt_rules.Rules.rf_module = "m";
+      rf_digest = "";
+      rf_rules =
+        List.init 40 (fun i -> mk ~id:(0x100 + i) ~bb:0x200 ~insn:0x208 ());
+    }
+  in
+  let t = Jt_rules.Rules.Table.load f ~base:0 ~pic:false in
+  Alcotest.(check (list int)) "file order preserved at one insn"
+    (List.init 40 (fun i -> 0x100 + i))
+    (List.map
+       (fun (r : Jt_rules.Rules.t) -> r.rule_id)
+       (Jt_rules.Rules.Table.at_insn t 0x208))
+
+(* v2 header: the module content digest survives the round trip, and the
+   old v1 magic is rejected rather than misparsed. *)
+let test_digest_roundtrip () =
+  let digest = Digest.string "some module contents" in
+  let f =
+    { Jt_rules.Rules.rf_module = "m"; rf_digest = digest;
+      rf_rules = [ mk ~id:1 ~bb:0 ~insn:0 () ] }
+  in
+  let f' = Jt_rules.Rules.(decode_file (encode_file f)) in
+  Alcotest.(check string) "digest round trip" digest f'.rf_digest;
+  Alcotest.check_raises "v1 magic rejected"
+    (Failure "Rules.decode_file: bad magic") (fun () ->
+      ignore (Jt_rules.Rules.decode_file "JTRR\x01\x00m\x00\x00\x00\x00"))
 
 let test_data_limit () =
   match Jt_rules.Rules.make ~id:1 ~bb:0 ~insn:0 ~data:[ 1; 2; 3; 4; 5 ] () with
@@ -83,11 +151,16 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_roundtrip;
           Alcotest.test_case "decode failures" `Quick test_decode_failures;
+          Alcotest.test_case "data word order" `Quick test_data_word_order;
+          Alcotest.test_case "corrupt count bound" `Quick
+            test_corrupt_count_bound;
+          Alcotest.test_case "digest round trip" `Quick test_digest_roundtrip;
           Alcotest.test_case "data limit" `Quick test_data_limit;
         ] );
       ( "tables",
         [
           Alcotest.test_case "lookup" `Quick test_table_lookup;
+          Alcotest.test_case "same-insn order" `Quick test_table_same_insn_order;
           Alcotest.test_case "pic adjust" `Quick test_pic_adjustment;
         ] );
     ]

@@ -38,7 +38,7 @@ let test_ring_below_capacity () =
   Alcotest.(check int) "two buffered" 2 (List.length (events ()));
   clear ();
   Alcotest.(check int) "clear empties" 0 (List.length (events ()));
-  Alcotest.(check bool) "clear keeps enabled" true !enabled
+  Alcotest.(check bool) "clear keeps enabled" true (is_enabled ())
 
 let test_bad_capacity () =
   Alcotest.check_raises "zero capacity rejected"
@@ -48,8 +48,8 @@ let test_bad_capacity () =
 (* -- disabled path -- *)
 
 let test_disabled_noop () =
-  Alcotest.(check bool) "disabled by default" false !enabled;
-  (* the emit-site contract is [if !enabled then emit ...]; but even a
+  Alcotest.(check bool) "disabled by default" false (is_enabled ());
+  (* the emit-site contract is [if is_enabled () then emit ...]; but even a
      raw emit with no ring must be a silent no-op *)
   emit (Block_exec { pc = 42 });
   Alcotest.(check int) "nothing recorded" 0 (emitted ());
@@ -58,7 +58,7 @@ let test_disabled_noop () =
   enable ~capacity:4 ();
   emit (Block_exec { pc = 1 });
   disable ();
-  Alcotest.(check bool) "disable clears the flag" false !enabled;
+  Alcotest.(check bool) "disable clears the flag" false (is_enabled ());
   Alcotest.(check int) "buffer still readable after disable" 1
     (List.length (events ()))
 
