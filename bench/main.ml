@@ -870,6 +870,7 @@ let micro () =
     {
       Jt_rules.Rules.rf_module = "m";
       rf_digest = "";
+      rf_stats = [];
       rf_rules =
         List.init 512 (fun i ->
             Jt_rules.Rules.make ~id:0x101 ~bb:(0x400000 + (i * 16))
@@ -903,6 +904,110 @@ let micro () =
   Printf.printf "\n== Microbenchmarks (bechamel) ==\n";
   List.iter benchmark tests
 
+(* ---- elide: dynamic-check reduction from the elision passes ----
+
+   Per mem-op-heavy workload, JASan-hybrid runs twice — elision off and
+   on — and reports the executed shadow-check counts from the c_san_checks
+   counter.  Two hard gates: the runs must be observably identical
+   (status, output, icount, and the set of (kind, addr) violations), and
+   the geomean check-count reduction must reach 20%. *)
+
+type elide_row = {
+  el_name : string;
+  el_checks_off : int;
+  el_checks_on : int;
+  el_ratio : float;  (* on / off *)
+  el_frame : int;
+  el_dom : int;
+  el_icount : int;
+  el_identical : bool;
+}
+
+let elide_bench () =
+  let subset =
+    [ "bzip2"; "hmmer"; "libquantum"; "milc"; "lbm"; "sphinx3"; "perlbench";
+      "h264ref" ]
+  in
+  let observable (r : Jt_vm.Vm.result) = (r.r_status, r.r_output, r.r_icount) in
+  let vset (r : Jt_vm.Vm.result) =
+    List.sort_uniq compare
+      (List.map
+         (fun (v : Jt_vm.Vm.violation) -> (v.v_kind, v.v_addr))
+         r.r_violations)
+  in
+  let run_once ~elide registry main =
+    let tool, _ = Jt_jasan.Jasan.create ~elide () in
+    let o = Janitizer.Driver.run ~tool ~registry ~main () in
+    let snap = Jt_metrics.Metrics.Counters.snapshot () in
+    let cnt k = Option.value ~default:0 (List.assoc_opt k snap) in
+    (o.o_result, cnt "san_checks", cnt "san_elide_frame", cnt "san_elide_dom")
+  in
+  let rows =
+    List.map
+      (fun name ->
+        Printf.eprintf "  elide: %s...\n%!" name;
+        let w = Specgen.build (Sheet.find name) in
+        let reg = w.Specgen.w_registry in
+        let r_off, c_off, _, _ = run_once ~elide:false reg name in
+        let r_on, c_on, frame, dom = run_once ~elide:true reg name in
+        {
+          el_name = name;
+          el_checks_off = c_off;
+          el_checks_on = c_on;
+          el_ratio = float_of_int c_on /. float_of_int (max c_off 1);
+          el_frame = frame;
+          el_dom = dom;
+          el_icount = r_on.Jt_vm.Vm.r_icount;
+          el_identical =
+            observable r_off = observable r_on && vset r_off = vset r_on;
+        })
+      subset
+  in
+  open_table "JASan dynamic checks: elision off vs on"
+    "executed shadow checks / static elisions"
+    [ "checks off"; "checks on"; "reduction %"; "frame"; "dom" ]
+    (List.map
+       (fun r ->
+         ( r.el_name,
+           [
+             Jt_metrics.Metrics.Value (float_of_int r.el_checks_off);
+             Jt_metrics.Metrics.Value (float_of_int r.el_checks_on);
+             Jt_metrics.Metrics.Value (100.0 *. (1.0 -. r.el_ratio));
+             Jt_metrics.Metrics.Value (float_of_int r.el_frame);
+             Jt_metrics.Metrics.Value (float_of_int r.el_dom);
+           ] ))
+       rows);
+  let geo_ratio = Jt_metrics.Metrics.geomean (List.map (fun r -> r.el_ratio) rows) in
+  let geo_reduction = 100.0 *. (1.0 -. geo_ratio) in
+  Printf.printf "\ngeomean check reduction: %.1f%% (gate: >= 20%%)\n"
+    geo_reduction;
+  let diverged = List.filter (fun r -> not r.el_identical) rows in
+  List.iter
+    (fun r ->
+      Printf.eprintf "!! elide: %s diverged with elision on\n%!" r.el_name)
+    diverged;
+  let row_json r =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"checks_off\": %d, \"checks_on\": %d, \
+       \"reduction_pct\": %.4f, \"elide_frame\": %d, \"elide_dom\": %d, \
+       \"icount\": %d, \"identical\": %b}"
+      r.el_name r.el_checks_off r.el_checks_on
+      (100.0 *. (1.0 -. r.el_ratio))
+      r.el_frame r.el_dom r.el_icount r.el_identical
+  in
+  let json =
+    Printf.sprintf
+      "{\n  \"target\": \"elide\",\n  \"gate_reduction_pct\": 20.0,\n\
+      \  \"geomean_reduction_pct\": %.4f,\n  \"workloads\": [\n%s\n  ]\n}\n"
+      geo_reduction
+      (String.concat ",\n" (List.map row_json rows))
+  in
+  let oc = open_out "BENCH_elide.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  if diverged <> [] || geo_reduction < 20.0 then exit 1
+
 (* ---- driver ---- *)
 
 let targets =
@@ -919,6 +1024,7 @@ let targets =
     ("dispatch", dispatch);
     ("shadow", shadow_bench);
     ("trace-overhead", trace_overhead);
+    ("elide", elide_bench);
     ("parallel", parallel_bench);
     ("micro", micro);
   ]

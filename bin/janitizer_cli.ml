@@ -188,6 +188,77 @@ let disasm_cmd =
 
 (* ---- analyze: offline rule generation ---- *)
 
+(* Per-function dataflow facts as JSON: value-sets at block boundaries
+   plus the elision decision (and its reason) for every load/store —
+   the debugging view for bailed-out loops and missed elisions. *)
+let dump_facts oc (closure : Jt_obj.Objfile.t list) =
+  let jstr s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\"" in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"modules\": [\n";
+  List.iteri
+    (fun mi (m : Jt_obj.Objfile.t) ->
+      let sa = Janitizer.Static_analyzer.analyze m in
+      let reports = Jt_jasan.Jasan.elision_report sa in
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"module\": %s, \"functions\": [\n" (jstr m.name));
+      List.iteri
+        (fun fi ((fa : Janitizer.Static_analyzer.fn_analysis),
+                 (r : Jt_jasan.Jasan.fn_report)) ->
+          let vsa = Lazy.force fa.fa_vsa in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      {\"entry\": %d, \"vsa_bailed\": %b, \
+                \"vsa_iterations\": %d,\n"
+               r.er_fn r.er_vsa_bailed (Jt_analysis.Vsa.iterations vsa));
+          Buffer.add_string buf "       \"blocks\": [";
+          List.iteri
+            (fun bi (b : Jt_cfg.Cfg.block) ->
+              if bi > 0 then Buffer.add_string buf ", ";
+              let regs =
+                match Jt_analysis.Vsa.block_in vsa b.b_addr with
+                | None -> []
+                | Some rs ->
+                  (* Top rows carry no information; keep the dump small *)
+                  List.filter
+                    (fun (_, v) -> v <> Jt_analysis.Vsa.Top)
+                    rs
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "{\"addr\": %d, \"regs\": {%s}}" b.b_addr
+                   (String.concat ", "
+                      (List.map
+                         (fun (reg, v) ->
+                           Printf.sprintf "%s: %s"
+                             (jstr (Format.asprintf "%a" Jt_isa.Reg.pp reg))
+                             (jstr (Jt_analysis.Vsa.value_to_string v)))
+                         regs))))
+            (Jt_cfg.Cfg.fn_blocks fa.fa_fn);
+          Buffer.add_string buf "],\n       \"accesses\": [";
+          List.iteri
+            (fun ai (addr, claim) ->
+              if ai > 0 then Buffer.add_string buf ", ";
+              let witness =
+                match claim with
+                | Jt_jasan.Jasan.Dom_elided w ->
+                  Printf.sprintf ", \"witness\": %d" w
+                | _ -> ""
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "{\"insn\": %d, \"claim\": %s%s}" addr
+                   (jstr (Jt_jasan.Jasan.claim_name claim))
+                   witness))
+            r.er_claims;
+          Buffer.add_string buf "]}";
+          if fi < List.length reports - 1 then Buffer.add_string buf ",";
+          Buffer.add_char buf '\n')
+        (List.combine sa.sa_fns reports);
+      Buffer.add_string buf "    ]}";
+      if mi < List.length closure - 1 then Buffer.add_string buf ",";
+      Buffer.add_char buf '\n')
+    closure;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.output_buffer oc buf
+
 let analyze_cmd =
   let doc =
     "Run a tool's static pass offline and persist per-module rewrite-rule \
@@ -196,7 +267,12 @@ let analyze_cmd =
   let out_arg =
     Arg.(value & opt string "_rules" & info [ "o"; "out" ] ~docv:"DIR")
   in
-  let run name tool out =
+  let facts_arg =
+    Arg.(value & opt (some string) None & info [ "facts" ] ~docv:"FILE"
+           ~doc:"Also dump per-function dataflow facts (VSA value-sets at \
+                 block boundaries, per-access elision decisions) as JSON")
+  in
+  let run name tool out facts =
     match find_workload name with
     | Error e ->
       prerr_endline e;
@@ -218,11 +294,28 @@ let analyze_cmd =
       Janitizer.Driver.save_rules ~dir:out files;
       List.iter
         (fun (n, (f : Jt_rules.Rules.file)) ->
-          Printf.printf "%-20s %5d rules -> %s/%s.jtr\n" n
-            (List.length f.rf_rules) out n)
-        files
+          let stats =
+            match f.rf_stats with
+            | [] -> ""
+            | ss ->
+              "  ("
+              ^ String.concat ", "
+                  (List.map (fun (k, v) -> Printf.sprintf "%s %d" k v) ss)
+              ^ ")"
+          in
+          Printf.printf "%-20s %5d rules -> %s/%s.jtr%s\n" n
+            (List.length f.rf_rules) out n stats)
+        files;
+      match facts with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        dump_facts oc closure;
+        close_out oc;
+        Printf.printf "dataflow facts -> %s\n" file
   in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ workload_arg $ tool_arg $ out_arg)
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ workload_arg $ tool_arg $ out_arg $ facts_arg)
 
 (* ---- trace: structured event capture ---- *)
 

@@ -44,6 +44,7 @@ let static_pass (sa : Janitizer.Static_analyzer.t) =
   {
     Jt_rules.Rules.rf_module = sa.sa_mod.Jt_obj.Objfile.name;
     rf_digest = Jt_obj.Objfile.digest sa.sa_mod;
+    rf_stats = [];
     rf_rules = Janitizer.Tool.noop_marks sa (List.rev !rules);
   }
 

@@ -81,6 +81,19 @@ let reaching_defs t addr r =
     | Some ds -> ds
     | None -> [ entry_def ])
 
+(* Do two program points agree on where a register's value comes from?
+   Equal reaching-definition sets mean no definition lies between the
+   points on a path that reaches only one of them — the confirmation the
+   dominating-check elision uses for its witness pairs.  (This is a
+   necessary check, not a sufficient one: a definition on a branch
+   between the points can reach both through a back edge.  The elision
+   pass therefore gates on the available-checks dataflow and uses this
+   only to corroborate the chosen witness.) *)
+let same_defs t r ~at_a ~at_b =
+  let a = List.sort_uniq compare (reaching_defs t at_a r) in
+  let b = List.sort_uniq compare (reaching_defs t at_b r) in
+  a = b
+
 let traces_to t addr r ~pred =
   let visited = Hashtbl.create 16 in
   let rec go addr r =

@@ -18,6 +18,15 @@ val reaching_defs : t -> int -> Reg.t -> int list
     before instruction [addr]; the pseudo-address [-1] stands for "value
     from function entry / unknown". *)
 
+val same_defs : t -> Reg.t -> at_a:int -> at_b:int -> bool
+(** Do the two program points see the same reaching-definition set for
+    [r]?  Used by the dominating-check elision to corroborate that a
+    register was not redefined between a witness check and the access it
+    subsumes.  Necessary but not sufficient on its own (a definition
+    between the points can reach both through a back edge), so callers
+    must pair it with a path-sensitive argument such as the
+    available-checks dataflow. *)
+
 val traces_to : t -> int -> Reg.t -> pred:(Insn.t -> bool) -> bool
 (** Transitively follow register-to-register dataflow backwards from the
     value of [r] before [addr]; true if any contributing definition

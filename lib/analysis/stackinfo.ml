@@ -34,3 +34,14 @@ let analyze (fn : Cfg.fn) =
       s_has_canary_pattern = !canary;
       s_push_bytes = !pushes;
     }
+
+(* The frame reservation as entry-sp-relative byte offsets: everything
+   the prologue claims below the entry stack pointer — the pushes plus
+   the [sub sp, N] locals.  [None] when no standard prologue was found:
+   callers must then treat nothing as proven in-frame. *)
+let frame_span (i : info) =
+  match i.s_frame_size with
+  | None -> None
+  | Some sz ->
+    let reserved = i.s_push_bytes + sz in
+    if reserved <= 0 then None else Some (-reserved, -1)

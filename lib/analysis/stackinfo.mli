@@ -14,3 +14,10 @@ type info = {
 }
 
 val analyze : Jt_cfg.Cfg.fn -> info
+
+val frame_span : info -> (int * int) option
+(** The prologue's stack reservation as entry-sp-relative byte offsets
+    [(lo, hi)] — [hi] is always [-1] (the byte just below the entry
+    [sp]), [lo] covers the pushes plus the [sub sp, N] locals.  [None]
+    when no standard prologue was recognized, in which case no stack
+    access may be considered proven in-frame. *)

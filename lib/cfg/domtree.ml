@@ -1,0 +1,72 @@
+(* Dominator tree over one function's blocks, derived from the iterative
+   dominator sets [Cfg.dominators].  The immediate dominator of a block b
+   is the unique strict dominator of b that every other strict dominator
+   of b also dominates — with the full dominator sets in hand it is
+   simply the strict dominator with the largest set. *)
+
+type t = {
+  dt_entry : int;
+  dt_idom : (int, int) Hashtbl.t;  (* block -> immediate dominator *)
+  dt_children : (int, int list) Hashtbl.t;
+  dt_dom : (int, Cfg.Iset.t) Hashtbl.t;  (* full dominator sets *)
+}
+
+let compute (fn : Cfg.fn) =
+  let dom = Cfg.dominators fn in
+  let idom = Hashtbl.create 16 in
+  let children = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun a doms ->
+      if a <> fn.Cfg.f_entry then begin
+        let strict = Cfg.Iset.remove a doms in
+        (* The idom is the strict dominator dominated by all the others,
+           i.e. the one whose own dominator set is the largest. *)
+        let best =
+          Cfg.Iset.fold
+            (fun d acc ->
+              let card d =
+                match Hashtbl.find_opt dom d with
+                | Some s -> Cfg.Iset.cardinal s
+                | None -> 0
+              in
+              match acc with
+              | None -> Some d
+              | Some cur -> if card d > card cur then Some d else acc)
+            strict None
+        in
+        match best with
+        | Some p ->
+          Hashtbl.replace idom a p;
+          let prev = Option.value ~default:[] (Hashtbl.find_opt children p) in
+          Hashtbl.replace children p (a :: prev)
+        | None -> ()
+      end)
+    dom;
+  Hashtbl.filter_map_inplace
+    (fun _ cs -> Some (List.sort compare cs))
+    children;
+  { dt_entry = fn.Cfg.f_entry; dt_idom = idom; dt_children = children;
+    dt_dom = dom }
+
+let entry t = t.dt_entry
+
+let idom t a = Hashtbl.find_opt t.dt_idom a
+
+let children t a =
+  Option.value ~default:[] (Hashtbl.find_opt t.dt_children a)
+
+let dominates t a b =
+  match Hashtbl.find_opt t.dt_dom b with
+  | Some doms -> Cfg.Iset.mem a doms
+  | None -> false
+
+let strictly_dominates t a b = a <> b && dominates t a b
+
+(* Walk b, idom b, idom (idom b), ... up to the entry. *)
+let dom_chain t b =
+  let rec go a acc =
+    match idom t a with
+    | Some p when p <> a -> go p (p :: acc)
+    | _ -> List.rev acc
+  in
+  go b [ b ]

@@ -1,0 +1,29 @@
+(** Dominator tree over one function's blocks.
+
+    Built from {!Cfg.dominators}; exposes immediate-dominator and
+    dominance queries for passes that need to reason about "on every
+    path" facts — e.g. the JASan dominating-check elision walks a block's
+    dominator chain to attribute each elided access to the check that
+    subsumes it. *)
+
+type t
+
+val compute : Cfg.fn -> t
+
+val entry : t -> int
+
+val idom : t -> int -> int option
+(** Immediate dominator of a block, [None] for the entry (and for blocks
+    outside the function). *)
+
+val children : t -> int -> int list
+(** Blocks immediately dominated by this one, sorted by address. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does block [a] dominate block [b]?  Reflexive. *)
+
+val strictly_dominates : t -> int -> int -> bool
+
+val dom_chain : t -> int -> int list
+(** [b; idom b; idom (idom b); ...] up to the function entry — the walk
+    order for finding the nearest dominating occurrence of a fact. *)

@@ -4,6 +4,9 @@ type fn_analysis = {
   fa_canaries : Jt_analysis.Canary.site list;
   fa_scev : Jt_analysis.Scev.summary list;
   fa_stack : Jt_analysis.Stackinfo.info;
+  fa_vsa : Jt_analysis.Vsa.t Lazy.t;
+  fa_domtree : Jt_cfg.Domtree.t Lazy.t;
+  fa_defuse : Jt_analysis.Defuse.t Lazy.t;
 }
 
 type t = {
@@ -46,6 +49,13 @@ let analyze (m : Jt_obj.Objfile.t) =
           fa_canaries = Jt_analysis.Canary.analyze fn;
           fa_scev = Jt_analysis.Scev.analyze fn;
           fa_stack = Jt_analysis.Stackinfo.analyze fn;
+          (* The heavier whole-function analyses are computed on demand:
+             only tools that elide checks (JASan) force them, and always
+             sequentially on the tool's own domain. *)
+          fa_vsa =
+            lazy (Jt_analysis.Vsa.analyze ~trust_conventions:reliable fn);
+          fa_domtree = lazy (Jt_cfg.Domtree.compute fn);
+          fa_defuse = lazy (Jt_analysis.Defuse.analyze fn);
         })
       (Jt_cfg.Cfg.functions cfg)
   in

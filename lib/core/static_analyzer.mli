@@ -13,6 +13,11 @@ type fn_analysis = {
   fa_canaries : Jt_analysis.Canary.site list;
   fa_scev : Jt_analysis.Scev.summary list;
   fa_stack : Jt_analysis.Stackinfo.info;
+  fa_vsa : Jt_analysis.Vsa.t Lazy.t;
+      (** value-set analysis, computed on first force; already bailed
+          (all-[Top]) when the module breaks calling conventions *)
+  fa_domtree : Jt_cfg.Domtree.t Lazy.t;
+  fa_defuse : Jt_analysis.Defuse.t Lazy.t;
 }
 
 type t = {

@@ -43,6 +43,8 @@ module Rt = struct
     | Shadow.Addressable, _ -> "bad-access"
 
   let check t vm ~addr ~len ~is_store =
+    let c = Jt_metrics.Metrics.Counters.current () in
+    c.c_san_checks <- c.c_san_checks + 1;
     match Shadow.first_poisoned t.shadow addr ~len with
     | Some (a, st) -> Jt_vm.Vm.report_violation vm ~kind:(kind_of st is_store) ~addr:a
     | None -> ()
@@ -69,6 +71,304 @@ let is_pcrel (m : Insn.mem) =
 let scale_log2 = function 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> 0
 
 let width_of = function Insn.W1 -> 1 | Insn.W2 -> 2 | Insn.W4 -> 4
+
+(* ---- elision passes (VSA frame bounds + dominating checks) ---- *)
+
+module Vsa = Jt_analysis.Vsa
+
+type claim =
+  | Exempt_canary
+  | Pcrel
+  | Policy_frame
+  | Vsa_frame
+  | Scev_covered
+  | Dom_elided of int  (* witness: dominating checked access *)
+  | Checked
+
+let claim_name = function
+  | Exempt_canary -> "exempt-canary"
+  | Pcrel -> "pcrel"
+  | Policy_frame -> "policy-frame"
+  | Vsa_frame -> "vsa-frame"
+  | Scev_covered -> "scev"
+  | Dom_elided _ -> "dom"
+  | Checked -> "checked"
+
+(* Syntactic address key: two accesses with equal keys whose registers
+   carry the same values compute the same address range. *)
+module Key = struct
+  type t = int * int * int * int * int
+  (* base reg (-1 none), index reg (-1 none), scale, disp, width *)
+
+  let compare = compare
+end
+
+module KS = Set.Make (Key)
+
+let key_of (m : Insn.mem) width =
+  match m.Insn.base with
+  | Some Insn.Bpc -> None
+  | base ->
+    let b = match base with Some (Insn.Breg r) -> Reg.index r | _ -> -1 in
+    let x = match m.Insn.index with Some r -> Reg.index r | None -> -1 in
+    Some (b, x, m.Insn.scale, Word.to_signed m.Insn.disp, width)
+
+let key_regs ((b, x, _, _, _) : Key.t) =
+  (if b >= 0 then [ Reg.of_index b ] else [])
+  @ if x >= 0 then [ Reg.of_index x ] else []
+
+(* Available-checks must-analysis: the set of address keys whose byte
+   ranges were shadow-checked (or statically proven in-frame) on *every*
+   path to a point, with no intervening redefinition of the key's
+   registers and no shadow-state barrier.  Join is intersection; the
+   solver's optimistic initialization plays the implicit "everything"
+   top, so the analysis converges downwards to the must-set. *)
+module Avail = struct
+  type t = KS.t
+
+  let equal = KS.equal
+  let join = KS.inter
+  let widen = KS.inter
+end
+
+module Avail_solver = Jt_analysis.Dataflow.Make (Avail)
+
+(* Frame-bounds proof: the access address is an entry-sp-relative
+   interval wholly inside the prologue's reservation, at or above the
+   current stack top (so the bytes are actually reserved here), and
+   disjoint from every canary slot — the only stack bytes JASan ever
+   poisons.  Anything weaker keeps its check. *)
+let frame_proof ~span ~canary_spans vsa (info : Jt_disasm.Disasm.insn_info)
+    (m : Insn.mem) width =
+  match span with
+  | None -> false
+  | Some (flo, fhi) -> (
+    match Vsa.mem_addr vsa info m with
+    | Vsa.Sprel { lo; hi } ->
+      let ahi = hi + width - 1 in
+      lo >= flo && ahi <= fhi
+      && (match Vsa.reg_before vsa info.d_addr Reg.sp with
+         | Vsa.Sprel s -> lo >= s.hi
+         | _ -> false)
+      && not (List.exists (fun (clo, chi) -> lo <= chi && ahi >= clo) canary_spans)
+    | _ -> false)
+
+(* Entry-sp-relative spans of the function's canary slots.  [None] when
+   any slot cannot be pinned to a single offset — frame elision is then
+   disabled for the whole function rather than risking an access that
+   overlaps a poisoned slot. *)
+let canary_slot_spans (fa : Janitizer.Static_analyzer.fn_analysis) vsa info_of =
+  let rec go acc = function
+    | [] -> Some acc
+    | (site : Jt_analysis.Canary.site) :: rest -> (
+      match Hashtbl.find_opt info_of site.c_store_addr with
+      | None -> None
+      | Some (info : Jt_disasm.Disasm.insn_info) -> (
+        match info.d_insn with
+        | Insn.Store (_, m, _) -> (
+          match Vsa.mem_addr vsa info m with
+          | Vsa.Sprel { lo; hi } when lo = hi -> go ((lo, lo + 3) :: acc) rest
+          | _ -> None)
+        | _ -> None))
+  in
+  go [] fa.fa_canaries
+
+type fn_report = {
+  er_fn : int;  (* function entry *)
+  er_vsa_bailed : bool;
+  er_claims : (int * claim) list;  (* one per load/store, address order *)
+}
+
+(* Decide, for every load/store of one function, which pass claims it.
+   Claims are disjoint by construction and the priority is fixed:
+   canary exemption > pc-relative > frame policy > VSA frame proof >
+   SCEV coverage > dominating check; whatever is left gets a shadow
+   check.  An access claimed twice is a bug in the pass ordering and
+   raises. *)
+let plan_elision ~hoist_scev ~skip_frame ~exempt_canary ~elide
+    (fa : Janitizer.Static_analyzer.fn_analysis) =
+  let exempt =
+    if exempt_canary then Jt_analysis.Canary.exempt_addrs fa.fa_canaries
+    else Hashtbl.create 1
+  in
+  let covered =
+    if hoist_scev then Jt_analysis.Scev.covered_addrs fa.fa_scev
+    else Hashtbl.create 1
+  in
+  let blocks = Jt_cfg.Cfg.fn_blocks fa.fa_fn in
+  let info_of = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Jt_cfg.Cfg.block) ->
+      Array.iter
+        (fun (i : Jt_disasm.Disasm.insn_info) ->
+          Hashtbl.replace info_of i.d_addr i)
+        b.b_insns)
+    blocks;
+  (* Every memory access, in block/instruction order, with its block and
+     in-block index. *)
+  let accesses =
+    List.concat_map
+      (fun (b : Jt_cfg.Cfg.block) ->
+        Array.to_list b.b_insns
+        |> List.mapi (fun k i -> (b, k, i))
+        |> List.filter_map (fun (b, k, (info : Jt_disasm.Disasm.insn_info)) ->
+               match info.d_insn with
+               | Insn.Load (w, _, m) -> Some (b, k, info, width_of w, m)
+               | Insn.Store (w, m, _) -> Some (b, k, info, width_of w, m)
+               | _ -> None))
+      blocks
+  in
+  let claims : (int, claim) Hashtbl.t = Hashtbl.create 64 in
+  let claim addr c =
+    (* the overlap regression guard: no two passes may take credit for
+       the same access *)
+    if Hashtbl.mem claims addr then
+      invalid_arg
+        (Printf.sprintf "Jasan.plan_elision: access 0x%x claimed twice" addr);
+    Hashtbl.replace claims addr c
+  in
+  let vsa =
+    if elide then
+      let v = Lazy.force fa.fa_vsa in
+      if Vsa.bailed v then None else Some v
+    else None
+  in
+  let span = Jt_analysis.Stackinfo.frame_span fa.fa_stack in
+  let cspans =
+    match vsa with None -> None | Some v -> canary_slot_spans fa v info_of
+  in
+  (* Pass 1: the cheap claims, in priority order. *)
+  List.iter
+    (fun (_, _, (info : Jt_disasm.Disasm.insn_info), width, m) ->
+      let addr = info.d_addr in
+      if Hashtbl.mem exempt addr then claim addr Exempt_canary
+      else if is_pcrel m then claim addr Pcrel
+      else if skip_frame && is_frame_access m then claim addr Policy_frame
+      else
+        match (vsa, cspans) with
+        | Some v, Some spans
+          when frame_proof ~span ~canary_spans:spans v info m width ->
+          claim addr Vsa_frame
+        | _ -> if Hashtbl.mem covered addr then claim addr Scev_covered)
+    accesses;
+  (* Pass 2: dominating-check elimination over the availability
+     fixpoint.  Gen sites are accesses that will carry their own check
+     (still unclaimed here) or are frame-proven — on any path through
+     one, the key's byte range is known clean right after it. *)
+  if elide then begin
+    let gen_key = Hashtbl.create 64 in
+    let gen_by_block = Hashtbl.create 16 in
+    List.iter
+      (fun ((b : Jt_cfg.Cfg.block), k, (info : Jt_disasm.Disasm.insn_info),
+            width, m) ->
+        let eligible =
+          match Hashtbl.find_opt claims info.d_addr with
+          | None | Some Vsa_frame -> true
+          | Some _ -> false
+        in
+        match key_of m width with
+        | Some key when eligible ->
+          Hashtbl.replace gen_key info.d_addr key;
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt gen_by_block b.b_addr)
+          in
+          (* accumulated reversed: descending in-block index, so the
+             nearest earlier site is found first *)
+          Hashtbl.replace gen_by_block b.b_addr ((k, info.d_addr, key) :: prev)
+        | _ -> ())
+      accesses;
+    (* Barriers: canary poisoning rewrites stack shadow state, so no
+       earlier check survives it.  (Unpoisoning only widens what is
+       addressable and is not a barrier.)  Calls and syscalls barrier in
+       the transfer itself: the allocator may poison redzones or freed
+       blocks behind them. *)
+    let barrier = Hashtbl.create 8 in
+    List.iter
+      (fun (s : Jt_analysis.Canary.site) ->
+        Hashtbl.replace barrier s.c_after_store ())
+      fa.fa_canaries;
+    let transfer (info : Jt_disasm.Disasm.insn_info) st =
+      let st = if Hashtbl.mem barrier info.d_addr then KS.empty else st in
+      let st =
+        match Hashtbl.find_opt gen_key info.d_addr with
+        | Some k -> KS.add k st
+        | None -> st
+      in
+      match info.d_insn with
+      | Insn.Call _ | Insn.Call_ind _ | Insn.Syscall _ -> KS.empty
+      | i ->
+        let defs = Insn.defs i in
+        if defs = [] then st
+        else
+          KS.filter
+            (fun k ->
+              not
+                (List.exists
+                   (fun r -> List.exists (Reg.equal r) defs)
+                   (key_regs k)))
+            st
+    in
+    let solver = Avail_solver.solve ~entry:KS.empty ~transfer fa.fa_fn in
+    let domtree = Lazy.force fa.fa_domtree in
+    let defuse = Lazy.force fa.fa_defuse in
+    (* Witness attribution: the nearest gen site with the same key —
+       first looking backwards in the access's own block, then up the
+       dominator chain. *)
+    let witness_for (b : Jt_cfg.Cfg.block) k_idx key =
+      let in_block baddr limit =
+        match Hashtbl.find_opt gen_by_block baddr with
+        | None -> None
+        | Some sites ->
+          List.find_map
+            (fun (i, addr, k) ->
+              if i < limit && Key.compare k key = 0 then Some addr else None)
+            sites
+      in
+      match in_block b.b_addr k_idx with
+      | Some w -> Some w
+      | None ->
+        List.find_map
+          (fun baddr -> in_block baddr max_int)
+          (match Jt_cfg.Domtree.dom_chain domtree b.b_addr with
+          | _self :: chain -> chain
+          | [] -> [])
+    in
+    List.iter
+      (fun ((b : Jt_cfg.Cfg.block), k_idx, (info : Jt_disasm.Disasm.insn_info),
+            width, m) ->
+        let addr = info.d_addr in
+        if not (Hashtbl.mem claims addr) then
+          match key_of m width with
+          | None -> ()
+          | Some key ->
+            let available =
+              match Avail_solver.before solver addr with
+              | Some st -> KS.mem key st
+              | None -> false
+            in
+            if available then (
+              match witness_for b k_idx key with
+              | Some w
+                when List.for_all
+                       (fun r ->
+                         Jt_analysis.Defuse.same_defs defuse r ~at_a:w
+                           ~at_b:addr)
+                       (key_regs key) ->
+                claim addr (Dom_elided w)
+              | _ -> ()))
+      accesses
+  end;
+  {
+    er_fn = fa.fa_fn.Jt_cfg.Cfg.f_entry;
+    er_vsa_bailed = elide && Option.is_none vsa;
+    er_claims =
+      List.map
+        (fun (_, _, (info : Jt_disasm.Disasm.insn_info), _, _) ->
+          ( info.d_addr,
+            Option.value ~default:Checked
+              (Hashtbl.find_opt claims info.d_addr) ))
+        accesses;
+  }
 
 (* Pack the hoisted range-check parameters into rule data words. *)
 let pack_range (s : Jt_analysis.Scev.summary) (a : Jt_analysis.Scev.access) =
@@ -109,7 +409,13 @@ let pack_invariant (a : Jt_analysis.Scev.access) =
   in
   [ d1; a.a_mem.Insn.disp ]
 
-let static_pass ~liveness ~hoist_scev ~skip_frame ~exempt_canary
+let elision_report ?(hoist_scev = true) ?(skip_frame = true)
+    ?(exempt_canary = true) ?(elide = true)
+    (sa : Janitizer.Static_analyzer.t) =
+  List.map (plan_elision ~hoist_scev ~skip_frame ~exempt_canary ~elide)
+    sa.sa_fns
+
+let static_pass ~liveness ~hoist_scev ~skip_frame ~exempt_canary ~elide
     (sa : Janitizer.Static_analyzer.t) =
   let rules = ref [] in
   let emit r = rules := r :: !rules in
@@ -125,58 +431,60 @@ let static_pass ~liveness ~hoist_scev ~skip_frame ~exempt_canary
   let bb_addr insn_addr =
     Option.value ~default:insn_addr (Hashtbl.find_opt bb_of insn_addr)
   in
+  let n_checks = ref 0 and n_frame = ref 0 and n_dom = ref 0 in
   List.iter
     (fun (fa : Janitizer.Static_analyzer.fn_analysis) ->
-      let exempt =
-        if exempt_canary then Jt_analysis.Canary.exempt_addrs fa.fa_canaries
-        else Hashtbl.create 1
+      let report =
+        plan_elision ~hoist_scev ~skip_frame ~exempt_canary ~elide fa
       in
-      let covered =
-        if hoist_scev then Jt_analysis.Scev.covered_addrs fa.fa_scev
-        else Hashtbl.create 1
-      in
-      (* Memory-access checks. *)
+      let fn_entry = fa.fa_fn.Jt_cfg.Cfg.f_entry in
+      (* Memory-access checks, minus everything the elision plan proved
+         redundant.  SCEV preheader rules below are emitted only for
+         accesses the plan actually attributed to SCEV coverage, so an
+         access claimed by a stronger pass no longer drags a useless
+         hoisted check along. *)
+      let scev_claimed = Hashtbl.create 8 in
       List.iter
-        (fun (b : Jt_cfg.Cfg.block) ->
-          Array.iter
-            (fun (info : Jt_disasm.Disasm.insn_info) ->
-              let mem =
-                match info.d_insn with
-                | Insn.Load (w, _, m) -> Some (w, m)
-                | Insn.Store (w, m, _) -> Some (w, m)
-                | _ -> None
-              in
-              match mem with
-              | Some (_, m)
-                when Hashtbl.mem exempt info.d_addr
-                     || Hashtbl.mem covered info.d_addr
-                     || (skip_frame && is_frame_access m)
-                     || is_pcrel m ->
-                ()
-              | Some (_, _) ->
-                let dead_scratch, flags_dead =
-                  match liveness with
-                  | Live_none -> (0, 0)
-                  | Live_full ->
-                    let dead =
-                      Jt_analysis.Liveness.dead_regs_before fa.fa_liveness
-                        info.d_addr
-                    in
-                    ( min 2 (List.length dead),
-                      if
-                        Jt_analysis.Liveness.flags_dead_before fa.fa_liveness
-                          info.d_addr
-                      then 1
-                      else 0 )
+        (fun (addr, c) ->
+          match c with
+          | Checked ->
+            incr n_checks;
+            let dead_scratch, flags_dead =
+              match liveness with
+              | Live_none -> (0, 0)
+              | Live_full ->
+                let dead =
+                  Jt_analysis.Liveness.dead_regs_before fa.fa_liveness addr
                 in
-                emit
-                  (Jt_rules.Rules.make ~id:Ids.mem_check ~bb:b.b_addr
-                     ~insn:info.d_addr
-                     ~data:[ dead_scratch; flags_dead ]
-                     ())
-              | None -> ())
-            b.b_insns)
-        (Jt_cfg.Cfg.fn_blocks fa.fa_fn);
+                ( min 2 (List.length dead),
+                  if Jt_analysis.Liveness.flags_dead_before fa.fa_liveness addr
+                  then 1
+                  else 0 )
+            in
+            emit
+              (Jt_rules.Rules.make ~id:Ids.mem_check ~bb:(bb_addr addr)
+                 ~insn:addr
+                 ~data:[ dead_scratch; flags_dead ]
+                 ())
+          | Scev_covered -> Hashtbl.replace scev_claimed addr ()
+          | Vsa_frame ->
+            incr n_frame;
+            let c = Jt_metrics.Metrics.Counters.current () in
+            c.c_san_elide_frame <- c.c_san_elide_frame + 1;
+            if Jt_trace.Trace.is_enabled () then
+              Jt_trace.Trace.emit
+                (Jt_trace.Trace.Check_elide
+                   { insn = addr; fn = fn_entry; reason = "frame"; witness = 0 })
+          | Dom_elided w ->
+            incr n_dom;
+            let c = Jt_metrics.Metrics.Counters.current () in
+            c.c_san_elide_dom <- c.c_san_elide_dom + 1;
+            if Jt_trace.Trace.is_enabled () then
+              Jt_trace.Trace.emit
+                (Jt_trace.Trace.Check_elide
+                   { insn = addr; fn = fn_entry; reason = "dom"; witness = w })
+          | Exempt_canary | Pcrel | Policy_frame -> ())
+        report.er_claims;
       (* Canary poisoning: after the canary store (Figure 6), and
          unpoisoning before each check load. *)
       List.iter
@@ -193,27 +501,34 @@ let static_pass ~liveness ~hoist_scev ~skip_frame ~exempt_canary
                    ~insn:load_addr ~data:[ disp ] ()))
             site.c_check_loads)
         fa.fa_canaries;
-      (* Hoisted SCEV checks at loop preheaders. *)
+      (* Hoisted SCEV checks at loop preheaders — only for the accesses
+         the elision plan attributed to SCEV coverage. *)
       if hoist_scev then
       List.iter
         (fun (s : Jt_analysis.Scev.summary) ->
           List.iter
-            (fun a ->
-              emit
-                (Jt_rules.Rules.make ~id:Ids.range_check ~bb:s.ls_preheader
-                   ~insn:s.ls_check_at ~data:(pack_range s a) ()))
+            (fun (a : Jt_analysis.Scev.access) ->
+              if Hashtbl.mem scev_claimed a.a_addr then
+                emit
+                  (Jt_rules.Rules.make ~id:Ids.range_check ~bb:s.ls_preheader
+                     ~insn:s.ls_check_at ~data:(pack_range s a) ()))
             s.ls_affine;
           List.iter
-            (fun a ->
-              emit
-                (Jt_rules.Rules.make ~id:Ids.invariant_check ~bb:s.ls_preheader
-                   ~insn:s.ls_check_at ~data:(pack_invariant a) ()))
+            (fun (a : Jt_analysis.Scev.access) ->
+              if Hashtbl.mem scev_claimed a.a_addr then
+                emit
+                  (Jt_rules.Rules.make ~id:Ids.invariant_check ~bb:s.ls_preheader
+                     ~insn:s.ls_check_at ~data:(pack_invariant a) ()))
             s.ls_invariant)
         fa.fa_scev)
     sa.sa_fns;
   let rules = Janitizer.Tool.noop_marks sa (List.rev !rules) in
   { Jt_rules.Rules.rf_module = sa.sa_mod.Jt_obj.Objfile.name;
-    rf_digest = Jt_obj.Objfile.digest sa.sa_mod; rf_rules = rules }
+    rf_digest = Jt_obj.Objfile.digest sa.sa_mod;
+    rf_stats =
+      [ ("checks", !n_checks); ("elide_frame", !n_frame);
+        ("elide_dom", !n_dom) ];
+    rf_rules = rules }
 
 (* ---- instrumentation (dynamic modifier side) ---- *)
 
@@ -396,7 +711,7 @@ let plan_dynamic rt (b : Jt_dbt.Dbt.block) =
 
 let create ?(liveness = Live_full) ?(hoist_scev = true)
     ?(skip_frame_accesses = true) ?(exempt_canary = true)
-    ?(clean_calls = false) () =
+    ?(clean_calls = false) ?(elide = true) () =
   let rt = Rt.create () in
   (* The clean-call ablation: every handler pays a full context switch
      instead of the inlined, liveness-aware save/restore of 4.1.1. *)
@@ -426,7 +741,7 @@ let create ?(liveness = Live_full) ?(hoist_scev = true)
       t_setup = (fun vm -> Rt.attach rt vm);
       t_static =
         static_pass ~liveness ~hoist_scev ~skip_frame:skip_frame_accesses
-          ~exempt_canary;
+          ~exempt_canary ~elide;
       t_client = client;
       t_on_load = Janitizer.Tool.no_on_load;
     },

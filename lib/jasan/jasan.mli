@@ -52,12 +52,58 @@ val is_frame_access : Jt_isa.Insn.mem -> bool
 val is_pcrel : Jt_isa.Insn.mem -> bool
 (** PC-relative operands address static data and need no check. *)
 
+(** {2 Check elision}
+
+    The static pass assigns every load/store to exactly one claim — the
+    reason it does or does not carry a shadow check.  Claims are computed
+    in a fixed priority order (top to bottom below); the two [V]-prefixed
+    passes are the analysis-driven elisions built on {!Jt_analysis.Vsa},
+    {!Jt_analysis.Dataflow} and {!Jt_cfg.Domtree}. *)
+type claim =
+  | Exempt_canary  (** canary-handling access, never instrumented *)
+  | Pcrel  (** pc-relative static data *)
+  | Policy_frame
+      (** constant [sp]/[fp] offset, covered by the canary policy *)
+  | Vsa_frame
+      (** proven by VSA to fall inside the function's own frame
+          reservation, away from any canary slot *)
+  | Scev_covered  (** subsumed by a hoisted SCEV range check *)
+  | Dom_elided of int
+      (** an identical, register-stable access is checked on every path;
+          the payload is the witness access's address *)
+  | Checked  (** none of the above: gets a shadow check *)
+
+val claim_name : claim -> string
+
+type fn_report = {
+  er_fn : int;  (** function entry *)
+  er_vsa_bailed : bool;
+      (** elision was requested but the VSA answered only [Top] (bailed
+          module or convention breaker) *)
+  er_claims : (int * claim) list;
+      (** one entry per load/store, in block/instruction order *)
+}
+
+val elision_report :
+  ?hoist_scev:bool ->
+  ?skip_frame:bool ->
+  ?exempt_canary:bool ->
+  ?elide:bool ->
+  Janitizer.Static_analyzer.t ->
+  fn_report list
+(** The per-function elision decisions the static pass would make, for
+    the CLI fact dump and the differential tests.  All flags default to
+    [true], matching {!create}'s defaults.
+    @raise Invalid_argument if two passes claim the same access — the
+    overlap regression the plan guards against. *)
+
 val create :
   ?liveness:liveness_mode ->
   ?hoist_scev:bool ->
   ?skip_frame_accesses:bool ->
   ?exempt_canary:bool ->
   ?clean_calls:bool ->
+  ?elide:bool ->
   unit ->
   Janitizer.Tool.t * Rt.t
 (** A fresh JASan instance.  One instance per program run: the runtime
@@ -76,7 +122,11 @@ val create :
     [clean_calls] (default false) routes every check through a
     full-context-switch clean call instead of inlined meta-instructions —
     the DynamoRIO default that section 4.1.1 explicitly engineers away
-    with hand-written inline assembly; useful as an ablation. *)
+    with hand-written inline assembly; useful as an ablation.
+
+    [elide] (default true) enables the two analysis-driven elision
+    passes (VSA frame bounds and dominating-check elimination); turn it
+    off for the differential safety harness's baseline. *)
 
 (** Rule identifiers emitted by the static pass (for tests). *)
 module Ids : sig

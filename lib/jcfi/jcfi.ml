@@ -225,7 +225,7 @@ let static_pass ~config (sa : Janitizer.Static_analyzer.t) =
     sa.sa_disasm.Jt_disasm.Disasm.jump_tables;
   let rules = Janitizer.Tool.noop_marks sa (List.rev !rules) in
   { Jt_rules.Rules.rf_module = m.Jt_obj.Objfile.name;
-    rf_digest = Jt_obj.Objfile.digest m; rf_rules = rules }
+    rf_digest = Jt_obj.Objfile.digest m; rf_stats = []; rf_rules = rules }
 
 (* ---- runtime table construction from static hints ---- *)
 

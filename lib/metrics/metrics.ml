@@ -24,6 +24,9 @@ module Counters = struct
     mutable c_lookup_probes : int;
     mutable c_flush_visits : int;
     mutable c_flush_drops : int;
+    mutable c_san_checks : int;
+    mutable c_san_elide_frame : int;
+    mutable c_san_elide_dom : int;
   }
 
   let fresh () =
@@ -38,6 +41,9 @@ module Counters = struct
       c_lookup_probes = 0;
       c_flush_visits = 0;
       c_flush_drops = 0;
+      c_san_checks = 0;
+      c_san_elide_frame = 0;
+      c_san_elide_dom = 0;
     }
 
   (* One instance per domain: concurrent driver runs on separate domains
@@ -58,7 +64,10 @@ module Counters = struct
     c.c_module_lookups <- 0;
     c.c_lookup_probes <- 0;
     c.c_flush_visits <- 0;
-    c.c_flush_drops <- 0
+    c.c_flush_drops <- 0;
+    c.c_san_checks <- 0;
+    c.c_san_elide_frame <- 0;
+    c.c_san_elide_dom <- 0
 
   let snapshot_of c =
     [
@@ -72,6 +81,9 @@ module Counters = struct
       ("lookup_probes", c.c_lookup_probes);
       ("flush_visits", c.c_flush_visits);
       ("flush_drops", c.c_flush_drops);
+      ("san_checks", c.c_san_checks);
+      ("san_elide_frame", c.c_san_elide_frame);
+      ("san_elide_dom", c.c_san_elide_dom);
     ]
 
   let snapshot () = snapshot_of (current ())

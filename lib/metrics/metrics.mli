@@ -35,6 +35,12 @@ module Counters : sig
         (** cache entries examined by range invalidations *)
     mutable c_flush_drops : int;
         (** cache entries actually invalidated *)
+    mutable c_san_checks : int;
+        (** JASan shadow-memory checks actually executed at run time *)
+    mutable c_san_elide_frame : int;
+        (** accesses statically elided by the VSA frame-bounds proof *)
+    mutable c_san_elide_dom : int;
+        (** accesses statically elided by the dominating-check pass *)
   }
 
   val current : unit -> t

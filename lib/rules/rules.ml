@@ -6,14 +6,19 @@ let make ~id ~bb ~insn ?(data = []) () =
   if List.length data > 4 then invalid_arg "Rules.make: at most 4 data words";
   { rule_id = id; bb; insn; data = Array.of_list data }
 
-type file = { rf_module : string; rf_digest : string; rf_rules : t list }
+type file = {
+  rf_module : string;
+  rf_digest : string;
+  rf_stats : (string * int) list;
+  rf_rules : t list;
+}
 
-(* Format v2 ("JTR2", was "JTRR"): the header gains a content digest of
-   the module the rules were computed from, so a stale cache written for
-   an older build of a module is detected instead of silently planting
-   checks at addresses that no longer mean anything.  v1 files fail the
-   magic check and degrade to re-analysis. *)
-let magic = "JTR2"
+(* Format v3 ("JTR3"): the header gains a small key/value stats section
+   (per-module static-pass accounting such as elision counts), so the
+   "what did the analyzer decide and why" record travels with the rules
+   under the same digest scheme.  v2 ("JTR2") and v1 ("JTRR") files fail
+   the magic check and degrade to re-analysis. *)
+let magic = "JTR3"
 
 let u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
 
@@ -34,6 +39,17 @@ let encode_file f =
   Buffer.add_string b f.rf_digest;
   u16 b (String.length f.rf_module);
   Buffer.add_string b f.rf_module;
+  if List.length f.rf_stats > 0xFF then
+    invalid_arg "Rules.encode_file: more than 255 stats";
+  u8 b (List.length f.rf_stats);
+  List.iter
+    (fun (k, v) ->
+      if String.length k > 0xFF then
+        invalid_arg "Rules.encode_file: stat key longer than 255 bytes";
+      u8 b (String.length k);
+      Buffer.add_string b k;
+      u32 b v)
+    f.rf_stats;
   u32 b (List.length f.rf_rules);
   List.iter
     (fun r ->
@@ -72,6 +88,17 @@ let decode_file s =
   if !pos + nlen > String.length s then fail "bad name";
   let name = String.sub s !pos nlen in
   pos := !pos + nlen;
+  let nstats = byte () in
+  let stats = ref [] in
+  for _ = 1 to nstats do
+    let klen = byte () in
+    if !pos + klen > String.length s then fail "bad stat key";
+    let k = String.sub s !pos klen in
+    pos := !pos + klen;
+    let v = r32 () in
+    stats := (k, v) :: !stats
+  done;
+  let stats = List.rev !stats in
   let count = r32 () in
   (* A rule occupies at least 11 bytes (u16 id + u32 bb + u32 insn +
      u8 nd); validating the declared count against the bytes actually
@@ -96,7 +123,8 @@ let decode_file s =
     done;
     rules := { rule_id = id; bb; insn; data } :: !rules
   done;
-  { rf_module = name; rf_digest = digest; rf_rules = List.rev !rules }
+  { rf_module = name; rf_digest = digest; rf_stats = stats;
+    rf_rules = List.rev !rules }
 
 module Table = struct
   type rule = t

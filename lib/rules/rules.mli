@@ -32,18 +32,26 @@ type file = {
           (16-byte MD5 from [Jt_obj.Objfile.digest]), or [""] when
           unknown; serialized into the file header so a consumer can
           reject a cache written for a different build of the module *)
+  rf_stats : (string * int) list;
+      (** per-module static-pass accounting (e.g. ["elide_frame"],
+          ["elide_dom"], ["checks"]): key/value pairs serialized into the
+          v3 header so the analyzer's decisions travel with the rules
+          under the same digest scheme.  At most 255 entries, keys at
+          most 255 bytes.  [[]] when a producer has nothing to report. *)
   rf_rules : t list;
 }
 
 val encode_file : file -> string
-(** Serialize in format v2 (magic "JTR2", digest in the header).
-    @raise Invalid_argument if the digest exceeds 255 bytes. *)
+(** Serialize in format v3 (magic "JTR3": digest and stats in the
+    header).
+    @raise Invalid_argument if the digest or a stat key exceeds 255
+    bytes, or there are more than 255 stats. *)
 
 val decode_file : string -> file
-(** @raise Failure on malformed input: bad magic (including v1 "JTRR"
-    files), truncation, or a declared rule count that exceeds what the
-    remaining bytes could possibly hold (rejected up front, before the
-    decode loop). *)
+(** @raise Failure on malformed input: bad magic (including v2 "JTR2"
+    and v1 "JTRR" files, which degrade to re-analysis), truncation, or a
+    declared rule count that exceeds what the remaining bytes could
+    possibly hold (rejected up front, before the decode loop). *)
 
 (** Run-time rule table for one loaded module: addresses adjusted by the
     load base (for PIC modules) and hashed for block- and

@@ -46,6 +46,12 @@ type event =
   | Plt_resolve of { caller : int; target : int }
   | Shadow_poison of { addr : int; len : int; state : int }
   | Shadow_unpoison of { addr : int; len : int }
+  | Check_elide of {
+      insn : int;  (** address of the access whose check was elided *)
+      fn : int;  (** entry address of the containing function *)
+      reason : string;  (** "frame" or "dom" *)
+      witness : int;  (** dominating checked access for "dom", else 0 *)
+    }
   | Violation of {
       kind : string;
       addr : int;
@@ -325,6 +331,10 @@ let event_to_json ev =
     obj [ ("ev", s "shadow_poison"); ("addr", i addr); ("len", i len); ("state", i state) ]
   | Shadow_unpoison { addr; len } ->
     obj [ ("ev", s "shadow_unpoison"); ("addr", i addr); ("len", i len) ]
+  | Check_elide { insn; fn; reason; witness } ->
+    obj
+      [ ("ev", s "check_elide"); ("insn", i insn); ("fn", i fn);
+        ("reason", s reason); ("witness", i witness) ]
   | Violation { kind; addr; pc; vmodule; origin } ->
     obj
       [ ("ev", s "violation"); ("kind", s kind); ("addr", i addr); ("pc", i pc);
@@ -527,6 +537,12 @@ let event_of_json line =
       let* addr = num "addr" in
       let* len = num "len" in
       Some (Shadow_unpoison { addr; len })
+    | "check_elide" ->
+      let* insn = num "insn" in
+      let* fn = num "fn" in
+      let* reason = str "reason" in
+      let* witness = num "witness" in
+      Some (Check_elide { insn; fn; reason; witness })
     | "violation" ->
       let* kind = str "kind" in
       let* addr = num "addr" in
@@ -574,6 +590,7 @@ let kind_name = function
   | Plt_resolve _ -> "plt_resolve"
   | Shadow_poison _ -> "shadow_poison"
   | Shadow_unpoison _ -> "shadow_unpoison"
+  | Check_elide _ -> "check_elide"
   | Violation _ -> "violation"
   | Cfi_table _ -> "cfi_table"
   | Phase_begin _ -> "phase_begin"

@@ -50,6 +50,16 @@ type event =
   | Plt_resolve of { caller : int; target : int }
   | Shadow_poison of { addr : int; len : int; state : int }
   | Shadow_unpoison of { addr : int; len : int }
+  | Check_elide of {
+      insn : int;  (** address of the access whose check was elided *)
+      fn : int;  (** entry address of the containing function *)
+      reason : string;
+          (** which static proof removed the check: ["frame"]
+              (VSA frame-bounds) or ["dom"] (dominating identical check) *)
+      witness : int;
+          (** for ["dom"], the address of the dominating checked access
+              that subsumes this one; [0] otherwise *)
+    }
   | Violation of {
       kind : string;
       addr : int;

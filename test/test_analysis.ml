@@ -279,6 +279,286 @@ let test_stackinfo () =
   Alcotest.(check bool) "canary" true info.s_has_canary_pattern;
   Alcotest.(check bool) "push bytes" true (info.s_push_bytes >= 4)
 
+(* -- dominator tree -- *)
+
+let diamond_fn () =
+  let _, _, fa =
+    analyze_main
+      [
+        func "main"
+          [
+            cmpi Reg.r0 0;
+            jcc Insn.Eq "else_";
+            movi Reg.r1 5;
+            movi Reg.r3 1;
+            jmp "join";
+            label "else_";
+            movi Reg.r2 6;
+            movi Reg.r3 2;
+            label "join";
+            movi Reg.r0 0;
+            syscall Sysno.exit_;
+          ];
+      ]
+  in
+  fa
+
+let diamond_blocks fa =
+  match
+    List.sort compare
+      (List.map
+         (fun (b : Jt_cfg.Cfg.block) -> b.b_addr)
+         (Jt_cfg.Cfg.fn_blocks fa.Janitizer.Static_analyzer.fa_fn))
+  with
+  | [ e; t; el; j ] -> (e, t, el, j)
+  | l -> Alcotest.failf "expected 4 blocks, got %d" (List.length l)
+
+let test_domtree_diamond () =
+  let fa = diamond_fn () in
+  let e, t, el, j = diamond_blocks fa in
+  let dt = Jt_cfg.Domtree.compute fa.fa_fn in
+  Alcotest.(check int) "entry" e (Jt_cfg.Domtree.entry dt);
+  Alcotest.(check (option int)) "idom then" (Some e) (Jt_cfg.Domtree.idom dt t);
+  Alcotest.(check (option int)) "idom else" (Some e) (Jt_cfg.Domtree.idom dt el);
+  (* the join is dominated by the entry, not by either branch arm *)
+  Alcotest.(check (option int)) "idom join" (Some e) (Jt_cfg.Domtree.idom dt j);
+  Alcotest.(check (option int)) "entry has no idom" None (Jt_cfg.Domtree.idom dt e);
+  Alcotest.(check bool) "entry dominates join" true (Jt_cfg.Domtree.dominates dt e j);
+  Alcotest.(check bool) "dominates is reflexive" true (Jt_cfg.Domtree.dominates dt j j);
+  Alcotest.(check bool)
+    "then does not dominate join" false
+    (Jt_cfg.Domtree.dominates dt t j);
+  Alcotest.(check bool)
+    "strict dominance is irreflexive" false
+    (Jt_cfg.Domtree.strictly_dominates dt j j);
+  Alcotest.(check (list int)) "chain from join" [ j; e ] (Jt_cfg.Domtree.dom_chain dt j);
+  Alcotest.(check (list int))
+    "children of entry" (List.sort compare [ t; el; j ])
+    (List.sort compare (Jt_cfg.Domtree.children dt e))
+
+(* -- generic dataflow solver -- *)
+
+(* Definitely-/possibly-defined registers as bitmask lattices: union join
+   gives the may-analysis, intersection the must-analysis (relying on the
+   solver's optimistic initialization for the implicit top). *)
+module Bits_may = struct
+  type t = int
+
+  let equal = Int.equal
+  let join = ( lor )
+  let widen = ( lor )
+end
+
+module Bits_must = struct
+  type t = int
+
+  let equal = Int.equal
+  let join = ( land )
+  let widen = ( land )
+end
+
+module May = Jt_analysis.Dataflow.Make (Bits_may)
+module Must = Jt_analysis.Dataflow.Make (Bits_must)
+
+let def_transfer (i : Jt_disasm.Disasm.insn_info) s =
+  match i.d_insn with
+  | Insn.Mov (rd, Insn.Imm _) -> s lor Jt_analysis.Liveness.reg_mask [ rd ]
+  | _ -> s
+
+let test_dataflow_may_vs_must () =
+  let fa = diamond_fn () in
+  let _, _, _, j = diamond_blocks fa in
+  let mask rs = Jt_analysis.Liveness.reg_mask rs in
+  let may = May.solve ~entry:0 ~transfer:def_transfer fa.fa_fn in
+  let must = Must.solve ~entry:0 ~transfer:def_transfer fa.fa_fn in
+  (* r1 defined on the then arm only, r2 on the else arm only, r3 on
+     both: the may-join sees all three, the must-join only r3 *)
+  let got_may = Option.get (May.block_in may j) in
+  let got_must = Option.get (Must.block_in must j) in
+  Alcotest.(check int)
+    "may = union" (mask [ Reg.r1; Reg.r2; Reg.r3 ])
+    got_may;
+  Alcotest.(check int) "must = intersection" (mask [ Reg.r3 ]) got_must;
+  (* out of the join block adds its own def of r0 *)
+  Alcotest.(check int)
+    "block_out replays the block"
+    (mask [ Reg.r3; Reg.r0 ])
+    (Option.get (Must.block_out must j));
+  Alcotest.(check bool) "terminated" true (May.iterations may >= 4)
+
+let test_dataflow_loop_fixpoint () =
+  (* a loop must reach a fixpoint, and facts established before it
+     survive it when nothing inside redefines them *)
+  let _, _, fa =
+    analyze_main
+      [
+        func "main"
+          [
+            movi Reg.r6 42;
+            movi Reg.r1 0;
+            label "head";
+            cmpi Reg.r1 4;
+            jcc Insn.Ge "done";
+            addi Reg.r1 1;
+            jmp "head";
+            label "done";
+            movi Reg.r0 0;
+            syscall Sysno.exit_;
+          ];
+      ]
+  in
+  let mask rs = Jt_analysis.Liveness.reg_mask rs in
+  let must = Must.solve ~entry:0 ~transfer:def_transfer fa.fa_fn in
+  let exit_block =
+    List.fold_left max 0
+      (List.map
+         (fun (b : Jt_cfg.Cfg.block) -> b.b_addr)
+         (Jt_cfg.Cfg.fn_blocks fa.fa_fn))
+  in
+  let got = Option.get (Must.block_in must exit_block) in
+  Alcotest.(check int)
+    "defs reach through the loop"
+    (mask [ Reg.r6; Reg.r1 ])
+    (got land mask [ Reg.r6; Reg.r1 ])
+
+(* -- value-set analysis -- *)
+
+let vsa_for funcs fname =
+  let m =
+    build ~name:"vsat" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+      ~entry:"main" funcs
+  in
+  let sa = Janitizer.Static_analyzer.analyze m in
+  let addr = (Jt_obj.Objfile.find_symbol m fname |> Option.get).vaddr in
+  let fa =
+    List.find
+      (fun (fa : Janitizer.Static_analyzer.fn_analysis) ->
+        fa.fa_fn.Jt_cfg.Cfg.f_entry = addr)
+      sa.sa_fns
+  in
+  (fa, Jt_analysis.Vsa.analyze fa.fa_fn)
+
+let test_vsa_sp_tracking () =
+  let fa, v =
+    vsa_for
+      [
+        func "victim"
+          (Abi.frame_enter ~locals:16 ()
+          @ [ sti (mem_b ~disp:(-8) Reg.fp) 7 ]
+          @ Abi.frame_leave ~locals:16 ());
+        func "main" ([ call "victim" ] @ Progs.exit0);
+      ]
+      "victim"
+  in
+  let addrs = insn_addrs fa in
+  (* at function entry, sp is exactly the entry stack pointer *)
+  (match Jt_analysis.Vsa.reg_before v (List.hd addrs) Reg.sp with
+  | Jt_analysis.Vsa.Sprel { lo = 0; hi = 0 } -> ()
+  | x -> Alcotest.failf "entry sp: %s" (Jt_analysis.Vsa.value_to_string x));
+  (* the frame store's address is a singleton sp-relative offset below
+     the entry sp *)
+  let store =
+    List.concat_map
+      (fun (b : Jt_cfg.Cfg.block) -> Array.to_list b.b_insns)
+      (Jt_cfg.Cfg.fn_blocks fa.fa_fn)
+    |> List.find_map (fun (i : Jt_disasm.Disasm.insn_info) ->
+           match i.d_insn with
+           | Insn.Store (_, m, Insn.Imm _) -> Some (i, m)
+           | _ -> None)
+    |> Option.get
+  in
+  (match Jt_analysis.Vsa.mem_addr v (fst store) (snd store) with
+  | Jt_analysis.Vsa.Sprel { lo; hi } ->
+    Alcotest.(check bool) "singleton below entry sp" true (lo = hi && lo < 0)
+  | x -> Alcotest.failf "store addr: %s" (Jt_analysis.Vsa.value_to_string x));
+  Alcotest.(check bool) "not bailed" false (Jt_analysis.Vsa.bailed v);
+  Alcotest.(check bool) "iterated" true (Jt_analysis.Vsa.iterations v > 0)
+
+let test_vsa_and_mask_bounds () =
+  let fa, v =
+    vsa_for
+      [
+        func "main"
+          ([
+             call_import "read_int";
+             mov Reg.r3 Reg.r0;
+             andi Reg.r3 7;
+             mov Reg.r4 Reg.r3;
+           ]
+          @ Progs.exit0);
+      ]
+      "main"
+  in
+  let addrs = insn_addrs fa in
+  (* before the andi (3rd insn) r3 is unknown; after it (4th insn) the
+     mask bounds it in [0,7] *)
+  (match Jt_analysis.Vsa.reg_before v (List.nth addrs 2) Reg.r3 with
+  | Jt_analysis.Vsa.Top -> ()
+  | x -> Alcotest.failf "pre-mask: %s" (Jt_analysis.Vsa.value_to_string x));
+  match Jt_analysis.Vsa.reg_before v (List.nth addrs 3) Reg.r3 with
+  | Jt_analysis.Vsa.Cst { lo = 0; hi = 7 } -> ()
+  | x -> Alcotest.failf "post-mask: %s" (Jt_analysis.Vsa.value_to_string x)
+
+let test_vsa_loop_widens () =
+  let fa, v =
+    vsa_for
+      [
+        func "main"
+          [
+            movi Reg.r6 0x5000_0000;
+            movi Reg.r1 0;
+            label "head";
+            cmpi Reg.r1 8;
+            jcc Insn.Ge "done";
+            st (mem_bi ~scale:4 Reg.r6 Reg.r1) Reg.r1;
+            addi Reg.r1 1;
+            jmp "head";
+            label "done";
+            movi Reg.r0 0;
+            syscall Sysno.exit_;
+          ]
+      ]
+      "main"
+  in
+  let addrs = insn_addrs fa in
+  let sp0 = Word.of_int 0x7000_0000 in
+  (* at the store (5th insn): the loop counter has been widened to an
+     over-approximation covering values far past the bound, while the
+     loop-invariant base keeps its exact value *)
+  let r1 = Jt_analysis.Vsa.reg_before v (List.nth addrs 4) Reg.r1 in
+  Alcotest.(check bool)
+    "widened counter covers 0" true
+    (Jt_analysis.Vsa.contains ~sp0 r1 (Word.of_int 0));
+  Alcotest.(check bool)
+    "widened counter covers 1_000_000" true
+    (Jt_analysis.Vsa.contains ~sp0 r1 (Word.of_int 1_000_000));
+  match Jt_analysis.Vsa.reg_before v (List.nth addrs 4) Reg.r6 with
+  | Jt_analysis.Vsa.Cst { lo; hi } ->
+    Alcotest.(check bool) "base stays exact" true
+      (lo = 0x5000_0000 && hi = 0x5000_0000)
+  | x -> Alcotest.failf "base: %s" (Jt_analysis.Vsa.value_to_string x)
+
+let test_vsa_bails_without_conventions () =
+  let m =
+    build ~name:"vsab" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+      ~entry:"main"
+      [ func "main" ([ movi Reg.r1 3 ] @ Progs.exit0) ]
+  in
+  let sa = Janitizer.Static_analyzer.analyze m in
+  let main_addr = (Jt_obj.Objfile.find_symbol m "main" |> Option.get).vaddr in
+  let fa =
+    List.find
+      (fun (fa : Janitizer.Static_analyzer.fn_analysis) ->
+        fa.fa_fn.Jt_cfg.Cfg.f_entry = main_addr)
+      sa.sa_fns
+  in
+  let v = Jt_analysis.Vsa.analyze ~trust_conventions:false fa.fa_fn in
+  Alcotest.(check bool) "bailed" true (Jt_analysis.Vsa.bailed v);
+  let addrs = insn_addrs fa in
+  match Jt_analysis.Vsa.reg_before v (List.nth addrs 1) Reg.r1 with
+  | Jt_analysis.Vsa.Top -> ()
+  | x -> Alcotest.failf "bailed query: %s" (Jt_analysis.Vsa.value_to_string x)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -295,6 +575,19 @@ let () =
           Alcotest.test_case "bails" `Quick test_scev_bails;
         ] );
       ("defuse", [ Alcotest.test_case "malloc chain" `Quick test_defuse_traces_malloc ]);
+      ("domtree", [ Alcotest.test_case "diamond" `Quick test_domtree_diamond ]);
+      ( "dataflow",
+        [
+          Alcotest.test_case "may vs must" `Quick test_dataflow_may_vs_must;
+          Alcotest.test_case "loop fixpoint" `Quick test_dataflow_loop_fixpoint;
+        ] );
+      ( "vsa",
+        [
+          Alcotest.test_case "sp tracking" `Quick test_vsa_sp_tracking;
+          Alcotest.test_case "and mask" `Quick test_vsa_and_mask_bounds;
+          Alcotest.test_case "loop widening" `Quick test_vsa_loop_widens;
+          Alcotest.test_case "convention bail" `Quick test_vsa_bails_without_conventions;
+        ] );
       ("interproc", [ Alcotest.test_case "summaries" `Quick test_interproc_summaries ]);
       ("stack", [ Alcotest.test_case "info" `Quick test_stackinfo ]);
     ]

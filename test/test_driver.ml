@@ -24,6 +24,7 @@ let sample_file name =
   {
     Jt_rules.Rules.rf_module = name;
     rf_digest = "";
+    rf_stats = [];
     rf_rules =
       List.init 5 (fun i ->
           Jt_rules.Rules.make ~id:0x101 ~bb:(0x400000 + (i * 16))

@@ -38,6 +38,174 @@ let word_props =
         Word.of_int (Word.to_signed a) = a);
   ]
 
+(* -- VSA interval lattice -- *)
+
+module Vsa = Jt_analysis.Vsa
+
+let gen_vsa_value =
+  let open QCheck2.Gen in
+  let itv =
+    let* a = int_range (-1000) 1000 in
+    let* w = int_bound 1000 in
+    return { Vsa.lo = a; hi = a + w }
+  in
+  oneof
+    [
+      return Vsa.Bot;
+      return Vsa.Top;
+      map (fun i -> Vsa.Cst i) itv;
+      map (fun i -> Vsa.Sprel i) itv;
+    ]
+
+let vsa_lattice_props =
+  let open QCheck2 in
+  let pair2 = Gen.pair gen_vsa_value gen_vsa_value in
+  [
+    Test.make ~name:"vsa leq reflexive, join idempotent" ~count:1000
+      gen_vsa_value (fun a ->
+        Vsa.leq_value a a && Vsa.equal_value (Vsa.join_value a a) a);
+    Test.make ~name:"vsa join is an upper bound" ~count:1000 pair2
+      (fun (a, b) ->
+        let j = Vsa.join_value a b in
+        Vsa.leq_value a j && Vsa.leq_value b j);
+    Test.make ~name:"vsa join commutes" ~count:1000 pair2 (fun (a, b) ->
+        Vsa.equal_value (Vsa.join_value a b) (Vsa.join_value b a));
+    Test.make ~name:"vsa widen bounds both arguments" ~count:1000 pair2
+      (fun (prev, next) ->
+        let w = Vsa.widen_value prev next in
+        Vsa.leq_value prev w && Vsa.leq_value next w);
+    Test.make ~name:"vsa join dominated by widen" ~count:1000 pair2
+      (fun (a, b) ->
+        Vsa.leq_value (Vsa.join_value a b) (Vsa.widen_value a b));
+    Test.make ~name:"vsa join monotone" ~count:1000
+      (Gen.triple gen_vsa_value gen_vsa_value gen_vsa_value)
+      (fun (a, b, c) ->
+        (not (Vsa.leq_value a b))
+        || Vsa.leq_value (Vsa.join_value a c) (Vsa.join_value b c));
+    Test.make ~name:"vsa contains preserved by join" ~count:1000
+      (Gen.triple gen_vsa_value gen_vsa_value (Gen.pair gen_word gen_word))
+      (fun (a, b, (w, sp0)) ->
+        (not (Vsa.contains ~sp0 a w))
+        || Vsa.contains ~sp0 (Vsa.join_value a b) w);
+  ]
+
+(* -- VSA transfer soundness against concrete replays --
+
+   Random straight-line code, random initial register file: after every
+   instruction, the abstract register file from [transfer_regs] must
+   contain the concretely computed one.  The concrete step mirrors the
+   VM's word semantics (wrap mod 2^32); memory reads are modelled as an
+   arbitrary value, which the abstract side must cover with Top. *)
+
+let gen_vsa_reg = QCheck2.Gen.(map Reg.of_index (int_bound 7))
+
+let gen_vsa_operand =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun v -> Insn.Imm (Word.of_int v)) (int_range (-512) 512);
+      map (fun r -> Insn.Reg r) gen_vsa_reg;
+    ]
+
+let gen_vsa_insn =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map2 (fun r s -> Insn.Mov (r, s)) gen_vsa_reg gen_vsa_operand;
+      (let* op =
+         oneofl Insn.[ Add; Sub; And; Or; Xor; Mul ]
+       in
+       let* rd = gen_vsa_reg in
+       let* src = gen_vsa_operand in
+       return (Insn.Binop (op, rd, src)));
+      map (fun r -> Insn.Neg r) gen_vsa_reg;
+      map (fun r -> Insn.Not r) gen_vsa_reg;
+      (let* rd = gen_vsa_reg in
+       let* b = gen_vsa_reg in
+       let* d = int_range (-64) 64 in
+       return (Insn.Lea (rd, Insn.mem_base ~disp:(Word.of_int d) b)));
+      return (Insn.Push (Insn.Reg Reg.r0));
+      map (fun r -> Insn.Pop r) gen_vsa_reg;
+      map (fun r -> Insn.Load (Insn.W4, r, Insn.mem_base Reg.r6)) gen_vsa_reg;
+    ]
+
+let concrete_step regs i =
+  let get r = regs.(Reg.index r) in
+  let set r v =
+    let a = Array.copy regs in
+    a.(Reg.index r) <- v;
+    a
+  in
+  let operand = function Insn.Imm v -> v | Insn.Reg r -> get r in
+  let mem_addr (m : Insn.mem) =
+    let base =
+      match m.Insn.base with
+      | Some (Insn.Breg r) -> get r
+      | Some Insn.Bpc -> Word.of_int 4
+      | None -> Word.of_int 0
+    in
+    let idx =
+      match m.Insn.index with
+      | Some r -> Word.mul (get r) (Word.of_int m.Insn.scale)
+      | None -> Word.of_int 0
+    in
+    Word.add (Word.add base idx) m.Insn.disp
+  in
+  match i with
+  | Insn.Mov (rd, src) -> set rd (operand src)
+  | Insn.Lea (rd, m) -> set rd (mem_addr m)
+  | Insn.Binop (op, rd, src) ->
+    let a = get rd and b = operand src in
+    let v =
+      match op with
+      | Insn.Add -> Word.add a b
+      | Insn.Sub -> Word.sub a b
+      | Insn.And -> Word.logand a b
+      | Insn.Or -> Word.logor a b
+      | Insn.Xor -> Word.logxor a b
+      | Insn.Mul -> Word.mul a b
+      | Insn.Shl | Insn.Shr | Insn.Sar -> assert false (* not generated *)
+    in
+    set rd v
+  | Insn.Neg rd -> set rd (Word.neg (get rd))
+  | Insn.Not rd -> set rd (Word.lognot (get rd))
+  | Insn.Push _ -> set Reg.sp (Word.sub (get Reg.sp) (Word.of_int 4))
+  | Insn.Pop rd ->
+    (* the popped value is whatever memory holds: model it as an
+       arbitrary word the abstract side must absorb as Top *)
+    let regs = set rd (Word.of_int 0x1bad_cafe) in
+    let get r = regs.(Reg.index r) in
+    let a = Array.copy regs in
+    a.(Reg.index Reg.sp) <- Word.add (get Reg.sp) (Word.of_int 4);
+    a
+  | Insn.Load (_, rd, _) -> set rd (Word.of_int 0x0dea_db0b)
+  | _ -> regs
+
+let prop_vsa_transfer_sound =
+  QCheck2.Test.make ~name:"vsa transfer sound on concrete replays" ~count:500
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 30) gen_vsa_insn)
+        (list_size (return Reg.count) gen_word))
+    (fun (prog, regs0l) ->
+      let regs0 = Array.of_list regs0l in
+      let sp0 = regs0.(Reg.index Reg.sp) in
+      let covers st regs =
+        let ok = ref true in
+        for k = 0 to Reg.count - 1 do
+          if not (Vsa.contains ~sp0 st.(k) regs.(k)) then ok := false
+        done;
+        !ok
+      in
+      let rec go st regs = function
+        | [] -> true
+        | i :: rest ->
+          let st = Vsa.transfer_regs ~trust:true ~at:0 ~len:4 i st in
+          let regs = concrete_step regs i in
+          covers st regs && go st regs rest
+      in
+      go (Vsa.entry_state ()) regs0 prog)
+
 (* -- shadow memory invariants -- *)
 
 type shadow_op = Poison of int * int | Unpoison of int * int
@@ -154,6 +322,9 @@ let () =
   Alcotest.run "properties"
     [
       ("word", List.map QCheck_alcotest.to_alcotest word_props);
+      ( "vsa",
+        List.map QCheck_alcotest.to_alcotest
+          (vsa_lattice_props @ [ prop_vsa_transfer_sound ]) );
       ( "shadow",
         [
           QCheck_alcotest.to_alcotest prop_shadow_matches_model;

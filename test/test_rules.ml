@@ -12,8 +12,16 @@ let gen_rule =
 let gen_file =
   let open QCheck2.Gen in
   let* name = string_size ~gen:(char_range 'a' 'z') (int_range 1 20) in
+  let* stats =
+    list_size (int_bound 5)
+      (let* k = string_size ~gen:(char_range 'a' 'z') (int_range 1 12) in
+       let* v = int_bound Jt_isa.Word.mask in
+       return (k, v))
+  in
   let* rules = list_size (int_bound 200) gen_rule in
-  return { Jt_rules.Rules.rf_module = name; rf_digest = ""; rf_rules = rules }
+  return
+    { Jt_rules.Rules.rf_module = name; rf_digest = ""; rf_stats = stats;
+      rf_rules = rules }
 
 let prop_roundtrip =
   QCheck2.Test.make ~name:"file encode/decode roundtrip" ~count:300 gen_file
@@ -26,6 +34,7 @@ let test_table_lookup () =
     {
       Jt_rules.Rules.rf_module = "m";
       rf_digest = "";
+      rf_stats = [];
       rf_rules =
         [
           mk ~id:Jt_rules.Rules.no_op ~bb:0x100 ~insn:0x100 ();
@@ -49,6 +58,7 @@ let test_pic_adjustment () =
   let f =
     { Jt_rules.Rules.rf_module = "m";
       rf_digest = "";
+      rf_stats = [];
       rf_rules = [ mk ~id:0x101 ~bb:0x40 ~insn:0x48 () ] }
   in
   let t = Jt_rules.Rules.Table.load f ~base:0x1000_0000 ~pic:true in
@@ -69,7 +79,8 @@ let test_decode_failures () =
   Alcotest.check_raises "bad magic" (Failure "Rules.decode_file: bad magic")
     (fun () -> ignore (Jt_rules.Rules.decode_file "NOPE"));
   let good =
-    Jt_rules.Rules.encode_file { rf_module = "m"; rf_digest = ""; rf_rules = [] }
+    Jt_rules.Rules.encode_file
+      { rf_module = "m"; rf_digest = ""; rf_stats = []; rf_rules = [] }
   in
   let truncated = String.sub good 0 (String.length good - 1) in
   Alcotest.check_raises "truncated" (Failure "Rules.decode_file: truncated")
@@ -84,6 +95,7 @@ let test_data_word_order () =
     {
       Jt_rules.Rules.rf_module = "m";
       rf_digest = "";
+      rf_stats = [];
       rf_rules =
         [ mk ~id:0x7 ~bb:0x100 ~insn:0x104 ~data:[ 0xAA; 0xBB; 0xCC; 0xDD ] () ];
     }
@@ -99,8 +111,9 @@ let test_data_word_order () =
    the decode loop until a byte-level "truncated" failure. *)
 let test_corrupt_count_bound () =
   let corrupt =
-    (* magic, empty digest, name "m", count 0xFFFFFFFF, no rule bytes *)
-    "JTR2" ^ "\x00" ^ "\x01\x00" ^ "m" ^ "\xff\xff\xff\xff"
+    (* magic, empty digest, name "m", no stats, count 0xFFFFFFFF, no
+       rule bytes *)
+    "JTR3" ^ "\x00" ^ "\x01\x00" ^ "m" ^ "\x00" ^ "\xff\xff\xff\xff"
   in
   Alcotest.check_raises "count bound"
     (Failure "Rules.decode_file: rule count exceeds file size") (fun () ->
@@ -114,6 +127,7 @@ let test_table_same_insn_order () =
     {
       Jt_rules.Rules.rf_module = "m";
       rf_digest = "";
+      rf_stats = [];
       rf_rules =
         List.init 40 (fun i -> mk ~id:(0x100 + i) ~bb:0x200 ~insn:0x208 ());
     }
@@ -125,19 +139,26 @@ let test_table_same_insn_order () =
        (fun (r : Jt_rules.Rules.t) -> r.rule_id)
        (Jt_rules.Rules.Table.at_insn t 0x208))
 
-(* v2 header: the module content digest survives the round trip, and the
-   old v1 magic is rejected rather than misparsed. *)
+(* v3 header: digest and stats survive the round trip, and the old v1/v2
+   magics are rejected rather than misparsed. *)
 let test_digest_roundtrip () =
   let digest = Digest.string "some module contents" in
+  let stats = [ ("checks", 12); ("elide_frame", 3); ("elide_dom", 4) ] in
   let f =
-    { Jt_rules.Rules.rf_module = "m"; rf_digest = digest;
+    { Jt_rules.Rules.rf_module = "m"; rf_digest = digest; rf_stats = stats;
       rf_rules = [ mk ~id:1 ~bb:0 ~insn:0 () ] }
   in
   let f' = Jt_rules.Rules.(decode_file (encode_file f)) in
   Alcotest.(check string) "digest round trip" digest f'.rf_digest;
+  Alcotest.(check (list (pair string int))) "stats round trip" stats f'.rf_stats;
   Alcotest.check_raises "v1 magic rejected"
     (Failure "Rules.decode_file: bad magic") (fun () ->
-      ignore (Jt_rules.Rules.decode_file "JTRR\x01\x00m\x00\x00\x00\x00"))
+      ignore (Jt_rules.Rules.decode_file "JTRR\x01\x00m\x00\x00\x00\x00"));
+  Alcotest.check_raises "v2 magic rejected"
+    (Failure "Rules.decode_file: bad magic") (fun () ->
+      ignore
+        (Jt_rules.Rules.decode_file
+           ("JTR2" ^ "\x00" ^ "\x01\x00" ^ "m" ^ "\x00\x00\x00\x00")))
 
 let test_data_limit () =
   match Jt_rules.Rules.make ~id:1 ~bb:0 ~insn:0 ~data:[ 1; 2; 3; 4; 5 ] () with

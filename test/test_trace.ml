@@ -84,6 +84,8 @@ let all_constructors =
     Plt_resolve { caller = 0x400120; target = 0x10000010 };
     Shadow_poison { addr = 0x50000000; len = 32; state = 1 };
     Shadow_unpoison { addr = 0x50000000; len = 32 };
+    Check_elide
+      { insn = 0x400120; fn = 0x400100; reason = "dom"; witness = 0x400110 };
     Violation
       {
         kind = "heap-overflow";
