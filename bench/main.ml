@@ -806,7 +806,14 @@ let parallel_bench () =
     Jt_pool.Pool.run ~jobs:n_jobs parallel_eval Sheet.all
   in
   let par_s = wall () -. t1 in
-  let speedup = seq_s /. max par_s 1e-9 in
+  (* A 1-core host cannot speed anything up: the pool only adds domain
+     scheduling on top of the same serial work, so the measured ratio is
+     noise (historically reported as a bogus 0.4x "speedup").  Report
+     null with a reason instead of a misleading number, and only gate on
+     the ratio when real parallelism was possible. *)
+  let speedup =
+    if cores < 2 then None else Some (seq_s /. max par_s 1e-9)
+  in
   let mismatches =
     List.filter_map
       (fun (a, b) -> if a = b then None else Some a.pr_name)
@@ -822,7 +829,10 @@ let parallel_bench () =
       ("host cores", string_of_int cores);
       ("sequential wall", Printf.sprintf "%.2f s" seq_s);
       ("parallel wall", Printf.sprintf "%.2f s" par_s);
-      ("speedup", Printf.sprintf "%.2fx" speedup);
+      ( "speedup",
+        match speedup with
+        | Some s -> Printf.sprintf "%.2fx" s
+        | None -> "n/a (single-core host)" );
       ( "bit-identical",
         if mismatches = [] then "yes" else "NO (" ^ String.concat "," mismatches ^ ")" );
     ];
@@ -833,20 +843,30 @@ let parallel_bench () =
       r.pr_name (String.escaped r.pr_status) r.pr_icount r.pr_cycles
       r.pr_violations r.pr_rules
   in
+  let speedup_json =
+    match speedup with
+    | Some s -> Printf.sprintf "%.3f" s
+    | None -> "null,\n  \"speedup_reason\": \"single-core host\""
+  in
   let json =
     Printf.sprintf
       "{\n  \"target\": \"parallel\",\n  \"jobs\": %d,\n  \"host_cores\": %d,\n\
       \  \"sequential_wall_s\": %.3f,\n  \"parallel_wall_s\": %.3f,\n\
-      \  \"speedup\": %.3f,\n  \"bit_identical\": %b,\n\
+      \  \"speedup\": %s,\n  \"bit_identical\": %b,\n\
       \  \"workloads\": [\n%s\n  ]\n}\n"
-      n_jobs cores seq_s par_s speedup (mismatches = [])
+      n_jobs cores seq_s par_s speedup_json (mismatches = [])
       (String.concat ",\n" (List.map row_json seq))
   in
   let oc = open_out "BENCH_parallel.json" in
   output_string oc json;
   close_out oc;
   print_string json;
-  if mismatches <> [] then exit 1
+  (* the bit-identical contract always gates; the wall-clock ratio gates
+     only where the host could actually parallelize *)
+  let slow = match speedup with Some s -> s < 1.0 | None -> false in
+  if slow then
+    Printf.printf "!! parallel: pool sweep slower than sequential\n";
+  if mismatches <> [] || slow then exit 1
 
 (* ---- bechamel microbenchmarks of the framework's own primitives ---- *)
 
@@ -908,9 +928,12 @@ let micro () =
 
    Per mem-op-heavy workload, JASan-hybrid runs twice — elision off and
    on — and reports the executed shadow-check counts from the c_san_checks
-   counter.  Two hard gates: the runs must be observably identical
-   (status, output, icount, and the set of (kind, addr) violations), and
-   the geomean check-count reduction must reach 20%. *)
+   counter.  The on-run includes the full stack: the static per-block
+   passes (VSA frame bounds, dominating checks, SCEV hoisting) plus the
+   trace-spine elision the DBT performs on hot superblocks.  Two hard
+   gates: the runs must be observably identical (status, output, icount,
+   and the set of (kind, addr) violations), and the geomean check-count
+   reduction must reach 45%. *)
 
 type elide_row = {
   el_name : string;
@@ -919,6 +942,7 @@ type elide_row = {
   el_ratio : float;  (* on / off *)
   el_frame : int;
   el_dom : int;
+  el_trace : int;  (* executed-check elisions by the trace layer *)
   el_icount : int;
   el_identical : bool;
 }
@@ -940,7 +964,12 @@ let elide_bench () =
     let o = Janitizer.Driver.run ~tool ~registry ~main () in
     let snap = Jt_metrics.Metrics.Counters.snapshot () in
     let cnt k = Option.value ~default:0 (List.assoc_opt k snap) in
-    (o.o_result, cnt "san_checks", cnt "san_elide_frame", cnt "san_elide_dom")
+    let trace =
+      cnt "san_trace_elide_dom" + cnt "san_trace_elide_canary"
+      + cnt "san_trace_elide_streak" + cnt "san_trace_elide_ind"
+    in
+    (o.o_result, cnt "san_checks", cnt "san_elide_frame", cnt "san_elide_dom",
+     trace)
   in
   let rows =
     List.map
@@ -948,8 +977,8 @@ let elide_bench () =
         Printf.eprintf "  elide: %s...\n%!" name;
         let w = Specgen.build (Sheet.find name) in
         let reg = w.Specgen.w_registry in
-        let r_off, c_off, _, _ = run_once ~elide:false reg name in
-        let r_on, c_on, frame, dom = run_once ~elide:true reg name in
+        let r_off, c_off, _, _, _ = run_once ~elide:false reg name in
+        let r_on, c_on, frame, dom, trace = run_once ~elide:true reg name in
         {
           el_name = name;
           el_checks_off = c_off;
@@ -957,6 +986,7 @@ let elide_bench () =
           el_ratio = float_of_int c_on /. float_of_int (max c_off 1);
           el_frame = frame;
           el_dom = dom;
+          el_trace = trace;
           el_icount = r_on.Jt_vm.Vm.r_icount;
           el_identical =
             observable r_off = observable r_on && vset r_off = vset r_on;
@@ -964,8 +994,8 @@ let elide_bench () =
       subset
   in
   open_table "JASan dynamic checks: elision off vs on"
-    "executed shadow checks / static elisions"
-    [ "checks off"; "checks on"; "reduction %"; "frame"; "dom" ]
+    "executed shadow checks / static elisions / trace-layer elisions"
+    [ "checks off"; "checks on"; "reduction %"; "frame"; "dom"; "trace" ]
     (List.map
        (fun r ->
          ( r.el_name,
@@ -975,11 +1005,12 @@ let elide_bench () =
              Jt_metrics.Metrics.Value (100.0 *. (1.0 -. r.el_ratio));
              Jt_metrics.Metrics.Value (float_of_int r.el_frame);
              Jt_metrics.Metrics.Value (float_of_int r.el_dom);
+             Jt_metrics.Metrics.Value (float_of_int r.el_trace);
            ] ))
        rows);
   let geo_ratio = Jt_metrics.Metrics.geomean (List.map (fun r -> r.el_ratio) rows) in
   let geo_reduction = 100.0 *. (1.0 -. geo_ratio) in
-  Printf.printf "\ngeomean check reduction: %.1f%% (gate: >= 20%%)\n"
+  Printf.printf "\ngeomean check reduction: %.1f%% (gate: >= 45%%)\n"
     geo_reduction;
   let diverged = List.filter (fun r -> not r.el_identical) rows in
   List.iter
@@ -990,14 +1021,14 @@ let elide_bench () =
     Printf.sprintf
       "    {\"name\": \"%s\", \"checks_off\": %d, \"checks_on\": %d, \
        \"reduction_pct\": %.4f, \"elide_frame\": %d, \"elide_dom\": %d, \
-       \"icount\": %d, \"identical\": %b}"
+       \"elide_trace\": %d, \"icount\": %d, \"identical\": %b}"
       r.el_name r.el_checks_off r.el_checks_on
       (100.0 *. (1.0 -. r.el_ratio))
-      r.el_frame r.el_dom r.el_icount r.el_identical
+      r.el_frame r.el_dom r.el_trace r.el_icount r.el_identical
   in
   let json =
     Printf.sprintf
-      "{\n  \"target\": \"elide\",\n  \"gate_reduction_pct\": 20.0,\n\
+      "{\n  \"target\": \"elide\",\n  \"gate_reduction_pct\": 45.0,\n\
       \  \"geomean_reduction_pct\": %.4f,\n  \"workloads\": [\n%s\n  ]\n}\n"
       geo_reduction
       (String.concat ",\n" (List.map row_json rows))
@@ -1006,7 +1037,122 @@ let elide_bench () =
   output_string oc json;
   close_out oc;
   print_string json;
-  if diverged <> [] || geo_reduction < 20.0 then exit 1
+  if diverged <> [] || geo_reduction < 45.0 then exit 1
+
+(* ---- trace-elide: the trace layer's own contribution ----
+
+   Same eight mem-op-heavy workloads, JASan-hybrid with the static
+   elision passes on in both runs; only the DBT's trace-spine elision is
+   toggled.  This isolates what the superblock availability analysis
+   removes *on top of* the per-block static passes (the per-block vs
+   per-trace row of EXPERIMENTS.md).  Differential gate as for `elide`:
+   status, output, icount and the (kind, addr) violation set must be
+   bit-identical. *)
+
+type trace_elide_row = {
+  te_name : string;
+  te_checks_off : int;  (* trace elision off (static passes still on) *)
+  te_checks_on : int;
+  te_dom : int;
+  te_canary : int;
+  te_streak : int;
+  te_ind : int;  (* hoisted to the streak-onset induction guard *)
+  te_identical : bool;
+}
+
+let trace_elide_bench () =
+  let subset =
+    [ "bzip2"; "hmmer"; "libquantum"; "milc"; "lbm"; "sphinx3"; "perlbench";
+      "h264ref" ]
+  in
+  let observable (r : Jt_vm.Vm.result) = (r.r_status, r.r_output, r.r_icount) in
+  let vset (r : Jt_vm.Vm.result) =
+    List.sort_uniq compare
+      (List.map
+         (fun (v : Jt_vm.Vm.violation) -> (v.v_kind, v.v_addr))
+         r.r_violations)
+  in
+  let run_once ~trace_elide registry main =
+    let tool, _ = Jt_jasan.Jasan.create () in
+    let o = Janitizer.Driver.run ~trace_elide ~tool ~registry ~main () in
+    let snap = Jt_metrics.Metrics.Counters.snapshot () in
+    let cnt k = Option.value ~default:0 (List.assoc_opt k snap) in
+    ( o.o_result,
+      cnt "san_checks",
+      cnt "san_trace_elide_dom",
+      cnt "san_trace_elide_canary",
+      cnt "san_trace_elide_streak",
+      cnt "san_trace_elide_ind" )
+  in
+  let rows =
+    List.map
+      (fun name ->
+        Printf.eprintf "  trace-elide: %s...\n%!" name;
+        let w = Specgen.build (Sheet.find name) in
+        let reg = w.Specgen.w_registry in
+        let r_off, c_off, _, _, _, _ = run_once ~trace_elide:false reg name in
+        let r_on, c_on, dom, canary, streak, ind =
+          run_once ~trace_elide:true reg name
+        in
+        {
+          te_name = name;
+          te_checks_off = c_off;
+          te_checks_on = c_on;
+          te_dom = dom;
+          te_canary = canary;
+          te_streak = streak;
+          te_ind = ind;
+          te_identical =
+            observable r_off = observable r_on && vset r_off = vset r_on;
+        })
+      subset
+  in
+  open_table "JASan trace-level elision: off vs on (static passes on in both)"
+    "executed shadow checks / elided executions by reason"
+    [ "checks off"; "checks on"; "reduction %"; "dom"; "canary"; "streak";
+      "ind" ]
+    (List.map
+       (fun r ->
+         ( r.te_name,
+           [
+             Jt_metrics.Metrics.Value (float_of_int r.te_checks_off);
+             Jt_metrics.Metrics.Value (float_of_int r.te_checks_on);
+             Jt_metrics.Metrics.Value
+               (100.0
+               *. (1.0
+                  -. float_of_int r.te_checks_on
+                     /. float_of_int (max r.te_checks_off 1)));
+             Jt_metrics.Metrics.Value (float_of_int r.te_dom);
+             Jt_metrics.Metrics.Value (float_of_int r.te_canary);
+             Jt_metrics.Metrics.Value (float_of_int r.te_streak);
+             Jt_metrics.Metrics.Value (float_of_int r.te_ind);
+           ] ))
+       rows);
+  let diverged = List.filter (fun r -> not r.te_identical) rows in
+  List.iter
+    (fun r ->
+      Printf.eprintf "!! trace-elide: %s diverged with trace elision on\n%!"
+        r.te_name)
+    diverged;
+  let row_json r =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"checks_off\": %d, \"checks_on\": %d, \
+       \"trace_dom\": %d, \"trace_canary\": %d, \"trace_streak\": %d, \
+       \"trace_ind\": %d, \"identical\": %b}"
+      r.te_name r.te_checks_off r.te_checks_on r.te_dom r.te_canary
+      r.te_streak r.te_ind r.te_identical
+  in
+  let json =
+    Printf.sprintf
+      "{\n  \"target\": \"trace-elide\",\n  \"workloads\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" (List.map row_json rows))
+  in
+  let oc = open_out "BENCH_trace_elide.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  if diverged <> [] then exit 1
+
 
 (* ---- driver ---- *)
 
@@ -1025,6 +1171,7 @@ let targets =
     ("shadow", shadow_bench);
     ("trace-overhead", trace_overhead);
     ("elide", elide_bench);
+    ("trace-elide", trace_elide_bench);
     ("parallel", parallel_bench);
     ("micro", micro);
   ]

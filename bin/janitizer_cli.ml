@@ -190,8 +190,12 @@ let disasm_cmd =
 
 (* Per-function dataflow facts as JSON: value-sets at block boundaries
    plus the elision decision (and its reason) for every load/store —
-   the debugging view for bailed-out loops and missed elisions. *)
-let dump_facts oc (closure : Jt_obj.Objfile.t list) =
+   the debugging view for bailed-out loops and missed elisions.
+   [traces] is the runtime complement: the per-trace elision decisions
+   the DBT's spine analysis made on the workload's hot superblocks
+   (reasons "trace-dom", "trace-canary", "trace-streak", "trace-ind"),
+   collected from one instrumented run. *)
+let dump_facts oc ?(traces = []) (closure : Jt_obj.Objfile.t list) =
   let jstr s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\"" in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"modules\": [\n";
@@ -256,6 +260,21 @@ let dump_facts oc (closure : Jt_obj.Objfile.t list) =
       if mi < List.length closure - 1 then Buffer.add_string buf ",";
       Buffer.add_char buf '\n')
     closure;
+  Buffer.add_string buf "  ],\n  \"traces\": [\n";
+  List.iteri
+    (fun ti (head, decisions) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"head\": %d, \"decisions\": [%s]}" head
+           (String.concat ", "
+              (List.map
+                 (fun (insn, reason, witness) ->
+                   Printf.sprintf
+                     "{\"insn\": %d, \"reason\": %s, \"witness\": %d}" insn
+                     (jstr reason) witness)
+                 decisions)));
+      if ti < List.length traces - 1 then Buffer.add_string buf ",";
+      Buffer.add_char buf '\n')
+    traces;
   Buffer.add_string buf "  ]\n}\n";
   Buffer.output_buffer oc buf
 
@@ -309,10 +328,24 @@ let analyze_cmd =
       match facts with
       | None -> ()
       | Some file ->
+        (* A tool instance is one-run state; the run that collects the
+           per-trace elision decisions gets its own. *)
+        let run_tool =
+          match tool with
+          | `Jasan -> fst (Jt_jasan.Jasan.create ())
+          | `Jcfi -> fst (Jt_jcfi.Jcfi.create ())
+          | `Taint -> fst (Jt_taint.Taint.create ())
+          | `Valgrind | `Null -> assert false
+        in
+        let o =
+          Janitizer.Driver.run ~tool:run_tool ~registry:w.w_registry
+            ~main:name ()
+        in
         let oc = open_out file in
-        dump_facts oc closure;
+        dump_facts oc ~traces:o.o_trace_elisions closure;
         close_out oc;
-        Printf.printf "dataflow facts -> %s\n" file
+        Printf.printf "dataflow facts -> %s (%d live traces)\n" file
+          (List.length o.o_trace_elisions)
   in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const run $ workload_arg $ tool_arg $ out_arg $ facts_arg)
@@ -445,7 +478,8 @@ let batch_cmd =
               Jt_baselines.Valgrind_like.run ~registry:w.w_registry ~main:name ()
             in
             { Janitizer.Driver.o_result = r; o_dbt = None;
-              o_dynamic_fraction = 0.0; o_rule_count = 0 }
+              o_dynamic_fraction = 0.0; o_rule_count = 0;
+              o_trace_elisions = [] }
           | `Jasan ->
             let t, _ = Jt_jasan.Jasan.create () in
             Janitizer.Driver.run ~tool:t ~registry:w.w_registry ~main:name ()

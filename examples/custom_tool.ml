@@ -71,6 +71,7 @@ let client =
                     {
                       Jt_dbt.Dbt.m_cost = 1;
                       m_action = Some (fun _ -> incr tainted_executions);
+                      m_kind = Jt_dbt.Dbt.M_opaque;
                     };
                   ])
             b.insns
@@ -86,6 +87,7 @@ let client =
                     {
                       Jt_dbt.Dbt.m_cost = 2;
                       m_action = Some (fun _ -> incr tainted_executions);
+                      m_kind = Jt_dbt.Dbt.M_opaque;
                     };
                   ]
               | _ -> ())

@@ -1,0 +1,57 @@
+open Jt_isa
+
+(* Syntactic address key: two accesses with equal keys whose registers
+   carry the same values compute the same address range.  Shared by the
+   JASan per-function availability pass and the DBT's trace-spine
+   elision, which must agree exactly on what "same address" means. *)
+module Key = struct
+  type t = int * int * int * int * int
+  (* base reg (-1 none), index reg (-1 none), scale, disp, width *)
+
+  let compare = compare
+end
+
+module Set = Stdlib.Set.Make (Key)
+
+let key_of (m : Insn.mem) width =
+  match m.Insn.base with
+  | Some Insn.Bpc -> None
+  | base ->
+    let b = match base with Some (Insn.Breg r) -> Reg.index r | _ -> -1 in
+    let x = match m.Insn.index with Some r -> Reg.index r | None -> -1 in
+    Some (b, x, m.Insn.scale, Word.to_signed m.Insn.disp, width)
+
+let key_regs ((b, x, _, _, _) : Key.t) =
+  (if b >= 0 then [ Reg.of_index b ] else [])
+  @ if x >= 0 then [ Reg.of_index x ] else []
+
+(* Available-checks must-lattice: the set of address keys whose byte
+   ranges were shadow-checked (or statically proven safe) on *every*
+   path to a point.  Join is intersection; the solver's optimistic
+   initialization plays the implicit "everything" top, so the analysis
+   converges downwards to the must-set. *)
+module Lattice = struct
+  type t = Set.t
+
+  let equal = Set.equal
+  let join = Set.inter
+  let widen = Set.inter
+end
+
+(* The instruction-shape part of the availability transfer function:
+   calls and syscalls are shadow-state barriers (the allocator may
+   poison redzones or freed blocks behind them), and any definition of
+   a key's address registers invalidates the key.  Clients layer their
+   own gen sites and extra barriers (canary stores) around this. *)
+let insn_transfer (i : Insn.t) st =
+  match i with
+  | Insn.Call _ | Insn.Call_ind _ | Insn.Syscall _ -> Set.empty
+  | i ->
+    let defs = Insn.defs i in
+    if defs = [] then st
+    else
+      Set.filter
+        (fun k ->
+          not
+            (List.exists (fun r -> List.exists (Reg.equal r) defs) (key_regs k)))
+        st

@@ -1,0 +1,41 @@
+(** Address-key availability machinery shared by the JASan per-function
+    availability must-analysis ([Jt_jasan.Jasan.plan_elision]) and the
+    DBT's trace-spine elision pass.  Both sides must agree exactly on
+    what "same address" means and on which instructions act as shadow
+    barriers, so the definitions live here once. *)
+
+(** Syntactic address key [(base, index, scale, disp, width)] with
+    register operands as [Reg.index] values ([-1] for absent).  Two
+    accesses with equal keys whose registers carry the same values
+    compute the same address range. *)
+module Key : sig
+  type t = int * int * int * int * int
+
+  val compare : t -> t -> int
+end
+
+module Set : Stdlib.Set.S with type elt = Key.t
+
+val key_of : Jt_isa.Insn.mem -> int -> Key.t option
+(** The key of a memory operand at a given access width; [None] for
+    pc-relative bases (those are handled by the pcrel claim, not by
+    availability). *)
+
+val key_regs : Key.t -> Jt_isa.Reg.t list
+(** The guest registers an address key reads (base and/or index). *)
+
+(** The must-lattice of available keys: intersection join, optimistic
+    top implicit in the solver. *)
+module Lattice : sig
+  type t = Set.t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+end
+
+val insn_transfer : Jt_isa.Insn.t -> Set.t -> Set.t
+(** The instruction-shape part of the transfer function: calls and
+    syscalls clear the set (shadow-state barriers); a definition of a
+    key's address registers kills that key.  Clients add their own gen
+    sites and extra barriers (canary stores) around this. *)

@@ -134,6 +134,7 @@ let client rt =
                   m_action =
                     Some
                       (fun _vm -> Jt_jcfi.Shadow_stack.push rt.sstack (at + len));
+                  m_kind = Jt_dbt.Dbt.M_opaque;
                 }
                 :: !metas
             | Some Insn.Cti_call_ind ->
@@ -152,6 +153,7 @@ let client rt =
                           Jt_vm.Vm.report_violation vm ~kind:"lockdown-icall"
                             ~addr:tgt;
                         Jt_jcfi.Shadow_stack.push rt.sstack (at + len));
+                  m_kind = Jt_dbt.Dbt.M_opaque;
                 }
                 :: !metas
             | Some Insn.Cti_jmp_ind ->
@@ -171,6 +173,7 @@ let client rt =
                         then
                           Jt_vm.Vm.report_violation vm ~kind:"lockdown-ijmp"
                             ~addr:tgt);
+                  m_kind = Jt_dbt.Dbt.M_opaque;
                 }
                 :: !metas
             | Some Insn.Cti_ret ->
@@ -196,6 +199,7 @@ let client rt =
                           then
                             Jt_vm.Vm.report_violation vm ~kind:"lockdown-ret"
                               ~addr:tgt);
+                    m_kind = Jt_dbt.Dbt.M_opaque;
                   }
                   :: !metas
             | Some

@@ -3,6 +3,7 @@ type outcome = {
   o_dbt : Jt_dbt.Dbt.stats option;
   o_dynamic_fraction : float;
   o_rule_count : int;
+  o_trace_elisions : (int * (int * string * int) list) list;
 }
 
 (* Per-module static analysis is independent work, so with a pool it
@@ -121,8 +122,8 @@ let static_closure ~registry ~main =
   go main;
   List.rev !order
 
-let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?(precomputed = []) ?pool
-    ~tool ~registry ~main () =
+let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?trace_elide
+    ?(precomputed = []) ?pool ~tool ~registry ~main () =
   (* Each driver run reports its own (domain-local) counters; without
      this, numbers from a previous run on the same domain leak into the
      next one's snapshot. *)
@@ -146,7 +147,8 @@ let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?(precomputed = []) ?pool
   in
   let vm = Jt_vm.Vm.make ~registry in
   let engine =
-    Jt_dbt.Dbt.create ~vm ?profile ?ibl ?trace ~client:tool.Tool.t_client
+    Jt_dbt.Dbt.create ~vm ?profile ?ibl ?trace ?trace_elide
+      ~client:tool.Tool.t_client
       ~rules_for:(fun name -> List.assoc_opt name rule_files)
       ()
   in
@@ -175,6 +177,7 @@ let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?(precomputed = []) ?pool
     o_dbt = Some (Jt_dbt.Dbt.stats engine);
     o_dynamic_fraction = Jt_dbt.Dbt.dynamic_block_fraction engine;
     o_rule_count = rule_count;
+    o_trace_elisions = Jt_dbt.Dbt.trace_elisions engine;
   }
 
 let run_null ?fuel ?profile ?ibl ?trace ~registry ~main () =
@@ -188,8 +191,15 @@ let run_null ?fuel ?profile ?ibl ?trace ~registry ~main () =
     o_dbt = Some (Jt_dbt.Dbt.stats engine);
     o_dynamic_fraction = Jt_dbt.Dbt.dynamic_block_fraction engine;
     o_rule_count = 0;
+    o_trace_elisions = [];
   }
 
 let run_native ?fuel ~registry ~main () =
   let r = Jt_vm.Vm.run_native ?fuel ~registry ~main () in
-  { o_result = r; o_dbt = None; o_dynamic_fraction = 0.0; o_rule_count = 0 }
+  {
+    o_result = r;
+    o_dbt = None;
+    o_dynamic_fraction = 0.0;
+    o_rule_count = 0;
+    o_trace_elisions = [];
+  }

@@ -2,7 +2,32 @@ open Jt_isa
 
 type block = { bb_addr : int; insns : (int * Insn.t * int) array }
 
-type meta = { m_cost : int; m_action : (Jt_vm.Vm.t -> unit) option }
+(* What a piece of instrumentation does to shadow state, as far as the
+   trace-spine elision pass is concerned.  [M_check]/[M_unpoison] carry
+   the syntactic address key of the access they guard; [M_shadow_write]
+   marks a poisoning write (a barrier: no earlier check survives it);
+   [M_opaque] is anything the pass cannot reason about — an opaque meta
+   with an action is treated as a conservative barrier, one without an
+   action (pure cost) is transparent.
+
+   Contract for [M_check]: the meta's action must be a pure, read-only
+   shadow check of the keyed address range (reporting aside, no state
+   changes).  The trace pass relies on this in both directions — it
+   drops such actions when a dominating check witnesses them, and the
+   induction-range guard *re-executes* them with the key's index
+   register temporarily rebound to an endpoint trip value, turning the
+   per-iteration check into two endpoint checks at streak onset. *)
+type meta_kind =
+  | M_opaque
+  | M_check of Jt_analysis.Avail.Key.t
+  | M_unpoison of Jt_analysis.Avail.Key.t
+  | M_shadow_write
+
+type meta = {
+  m_cost : int;
+  m_action : (Jt_vm.Vm.t -> unit) option;
+  m_kind : meta_kind;
+}
 
 type plan = meta list array
 
@@ -64,6 +89,54 @@ type stats = {
   mutable st_decode_faults : int;
 }
 
+(* The trace-level induction guard (dynamic SCEV).  When a trace is the
+   body of a counted loop — head pattern [cmp ivar, bound; jcc {>=,>}],
+   a single unit-increment definition of [ivar], a bound that is
+   spine-invariant — every check whose key is affine in [ivar] over a
+   spine-invariant base can be hoisted out of the steady-state plans and
+   replaced by one pair of endpoint checks run at streak onset, when the
+   remaining trip range [i0, last] is known from the live register file.
+   This is the static SCEV range check's runtime twin: the static pass
+   refuses register-held bounds (it cannot prove them stable to the
+   preheader), but along a streak the bound register is *observed*
+   stable — it is never written on the spine and nothing else runs.
+   [ig_checks] pairs each hoisted check meta with the number of [ivar]
+   increments that precede it on the spine (its index offset). *)
+type ind_bound = Ib_imm of int | Ib_reg of Reg.t
+
+type ind_guard = {
+  ig_ivar : Reg.t;
+  ig_bound : ind_bound;
+  ig_incl : bool;  (* exit on [>]: the last executed trip value is bound *)
+  ig_checks : (meta * int) list;
+}
+
+(* Per-trace elision overlay, computed once at trace-build time by the
+   spine availability analysis.  [ov_plans] replaces the constituents'
+   own plans on a cold entry of the trace; [ov_plans_streak] is the
+   steady-state variant used when the trace re-enters its own head
+   immediately after a completed execution (so checks made available by
+   the previous trip — loop-invariant ones — are elided too).  The
+   constituents' [cb_plan]s are never modified: a side exit, teardown or
+   ordinary block execution structurally restores every check.  The
+   [ov_*] count arrays record, per constituent position, how many checks
+   each plan variant dropped, for the runtime counters. *)
+type overlay = {
+  ov_plans : plan array;
+  ov_plans_streak : plan array;
+  ov_ind : ind_guard option;
+      (* endpoint guard justifying the streak plans' "trace-ind" drops;
+         executed once when a streak begins *)
+  ov_dom : int array;  (* base-plan drops: dominated within the trace *)
+  ov_canary : int array;  (* base-plan drops: redundant canary unpoison *)
+  ov_s_dom : int array;  (* streak-plan drops with a same-trip witness *)
+  ov_s_canary : int array;
+  ov_s_streak : int array;  (* streak-only drops (previous-trip witness) *)
+  ov_s_ind : int array;  (* streak-only drops hoisted to the onset guard *)
+  ov_decisions : (int * string * int) list;
+      (* (insn addr, reason, witness addr), for tracing and --facts *)
+}
+
 (* A code-cache entry.  Blocks ending in a direct transfer record their
    static successor address(es); once a successor is itself translated,
    the dispatcher installs a chain link so the next execution follows the
@@ -89,6 +162,10 @@ type cached = {
   mutable cb_ibl_rr : int;  (* round-robin victim when all ways are live *)
   mutable cb_hot : int;  (* dispatcher-level entries, for trace heads *)
   cb_origin : Jt_trace.Trace.origin;  (* static rules vs dynamic discovery *)
+  (* Back-pointers to every live trace this block is a constituent of,
+     so invalidation tears dependent traces down eagerly (and the live
+     count stays O(1) to read). *)
+  mutable cb_traces : trace list;
 }
 
 (* A NET-style superblock trace: the tail of blocks that actually
@@ -96,12 +173,15 @@ type cached = {
    dispatcher once per trip instead of once per block.  Constituents are
    ordinary code-cache entries, so PR 1's page-bucketed range
    invalidation reaches them without knowing about traces: a trace is
-   alive only while every constituent still is, and execution re-checks
-   each constituent before entering it (a flush mid-trace side-exits). *)
-type trace = {
+   alive only while every constituent still is: invalidating any
+   constituent eagerly drops the trace through the block's [cb_traces]
+   back-pointers, and execution still re-checks each constituent before
+   entering it (a flush mid-trace side-exits). *)
+and trace = {
   tr_head : int;
   tr_blocks : cached array;
   mutable tr_valid : bool;
+  tr_overlay : overlay option;  (* trace-level elision plans, if any *)
 }
 
 type t = {
@@ -111,6 +191,7 @@ type t = {
   chain : bool;
   ibl : bool;
   trace : bool;
+  trace_elide : bool;
   cache : (int, cached) Hashtbl.t;
   (* 4KiB-page index over [cache]: every block is registered under each
      page its byte span overlaps, so a range invalidation visits only the
@@ -121,6 +202,9 @@ type t = {
      [module_at] instead of a linear scan. *)
   tables : (int, Jt_rules.Rules.Table.t) Hashtbl.t;
   traces : (int, trace) Hashtbl.t;
+  mutable n_traces_live : int;
+      (* incremental live-trace count; [traces_live_scan] is the full
+         recount it must always agree with (asserted after every run) *)
   mutable recording : (int * cached list) option;
       (* trace being recorded: head address, constituents in reverse *)
   stats : stats;
@@ -160,8 +244,34 @@ let index_remove t (c : cached) =
     | None -> ()
   done
 
+(* Tear a trace down: mark it dead, keep the live count in step, unhook
+   it from its constituents' back-pointer lists and drop it from the
+   head table.  Idempotent — the eager path (invalidate) and the lazy
+   path (a side exit noticing a dead constituent) may both reach the
+   same trace. *)
+let drop_trace t tr =
+  if tr.tr_valid then begin
+    tr.tr_valid <- false;
+    t.n_traces_live <- t.n_traces_live - 1;
+    Array.iter
+      (fun (c : cached) ->
+        c.cb_traces <- List.filter (fun o -> o != tr) c.cb_traces)
+      tr.tr_blocks;
+    if Jt_trace.Trace.is_enabled () then
+      Jt_trace.Trace.emit (Jt_trace.Trace.Trace_teardown { head = tr.tr_head });
+    match Hashtbl.find_opt t.traces tr.tr_head with
+    | Some cur when cur == tr -> Hashtbl.remove t.traces tr.tr_head
+    | Some _ | None -> ()
+  end
+
 let invalidate t (c : cached) =
   c.cb_valid <- false;
+  (* any trace built over this block dies with it — eagerly, so that a
+     severed trace can never be entered with its elision overlay active
+     and so the live count stays exact *)
+  (let trs = c.cb_traces in
+   c.cb_traces <- [];
+   List.iter (fun tr -> drop_trace t tr) trs);
   if Jt_trace.Trace.is_enabled () then begin
     let sever = function
       | Some (o : cached) ->
@@ -211,7 +321,7 @@ let flush_blocks t start len =
   end
 
 let create ~vm ?(profile = dynamorio) ?client ?(chain = true) ?(ibl = true)
-    ?(trace = true) ?(rules_for = fun _ -> None) () =
+    ?(trace = true) ?(trace_elide = true) ?(rules_for = fun _ -> None) () =
   let t =
     {
       vm;
@@ -220,10 +330,12 @@ let create ~vm ?(profile = dynamorio) ?client ?(chain = true) ?(ibl = true)
       chain;
       ibl;
       trace;
+      trace_elide;
       cache = Hashtbl.create 4096;
       pages = Hashtbl.create 256;
       tables = Hashtbl.create 8;
       traces = Hashtbl.create 64;
+      n_traces_live = 0;
       recording = None;
       stats =
         {
@@ -369,6 +481,7 @@ let translate t addr =
       cb_hot = 0;
       cb_origin =
         (if static_hit then Jt_trace.Trace.Static else Jt_trace.Trace.Dynamic);
+      cb_traces = [];
     }
   in
   if Jt_trace.Trace.is_enabled () then
@@ -427,7 +540,7 @@ let ibl_install (p : cached) (c : cached) =
    plan).  The fuel budget is checked before every instruction, not just
    between blocks, so Out_of_fuel fires within one instruction of the
    budget even inside a maximal 256-instruction block or a long chain. *)
-let exec_insns t ~budget (c : cached) =
+let exec_insns t ~budget ~(plan : plan) (c : cached) =
   let vm = t.vm in
   let n = Array.length c.cb.insns in
   let k = ref 0 in
@@ -440,7 +553,7 @@ let exec_insns t ~budget (c : cached) =
         (fun m ->
           Jt_vm.Vm.charge vm m.m_cost;
           match m.m_action with Some f -> f vm | None -> ())
-        c.cb_plan.(!k);
+        plan.(!k);
       Jt_vm.Vm.step_decoded vm ~at i len;
       incr k
     end
@@ -458,25 +571,28 @@ let exec_block t ~budget (c : cached) =
     Jt_trace.Trace.emit (Jt_trace.Trace.Block_exec { pc = c.cb.bb_addr })
   end;
   if t.profile.p_per_block > 0 then Jt_vm.Vm.charge vm t.profile.p_per_block;
-  exec_insns t ~budget c;
+  exec_insns t ~budget ~plan:c.cb_plan c;
   if c.cb_indirect_end && vm.Jt_vm.Vm.status = Jt_vm.Vm.Running then begin
     t.stats.st_indirects <- t.stats.st_indirects + 1;
     if not t.ibl then Jt_vm.Vm.charge vm t.profile.p_indirect
   end
 
-let trace_alive tr =
-  tr.tr_valid && Array.for_all (fun c -> c.cb_valid) tr.tr_blocks
+(* Eager teardown maintains the invariant "[tr_valid] implies every
+   constituent is valid", so liveness is a field read on the dispatch
+   hot path instead of an O(len) scan. *)
+let trace_alive tr = tr.tr_valid
 
-let traces_live t =
-  Hashtbl.fold (fun _ tr n -> if trace_alive tr then n + 1 else n) t.traces 0
+let traces_live t = t.n_traces_live
 
-let drop_trace t tr =
-  tr.tr_valid <- false;
-  if Jt_trace.Trace.is_enabled () then
-    Jt_trace.Trace.emit (Jt_trace.Trace.Trace_teardown { head = tr.tr_head });
-  match Hashtbl.find_opt t.traces tr.tr_head with
-  | Some cur when cur == tr -> Hashtbl.remove t.traces tr.tr_head
-  | Some _ | None -> ()
+(* The pre-invariant recount — O(traces · len) — kept as the debug
+   oracle the incremental count is asserted against after every run. *)
+let traces_live_scan t =
+  Hashtbl.fold
+    (fun _ tr n ->
+      if tr.tr_valid && Array.for_all (fun c -> c.cb_valid) tr.tr_blocks then
+        n + 1
+      else n)
+    t.traces 0
 
 (* Execute a superblock trace.  Constituents run back to back with their
    instrumentation plans; after each one, control stays inside the trace
@@ -486,14 +602,63 @@ let drop_trace t tr =
    the dispatcher, which re-resolves from scratch).  An in-trace
    indirect transition pays only the inlined-comparison price
    [p_ibl_hit]; the final block's exit is resolved by the dispatcher
-   exactly like a plain block's.  Returns the last constituent that
-   executed, for the dispatcher's chain/IBL bookkeeping. *)
-let exec_trace t ~budget (tr : trace) =
+   exactly like a plain block's.  [streak] selects the steady-state
+   elision plans — legal only when this very trace completed head to
+   tail on the immediately preceding dispatch, so the availability
+   carried across the back-edge is real.  [streak_onset] marks the first
+   streak-mode execution of a consecutive run: that is when the
+   induction guard (if any) pays for the hoisted per-iteration checks
+   with its one pair of endpoint checks.  Returns the last constituent
+   that executed (for the dispatcher's chain/IBL bookkeeping) and
+   whether the trace ran to completion (to arm the next streak). *)
+
+(* Run the endpoint checks that justify a trace's "trace-ind" drops.
+   The remaining trip range is read off the live register file: [i0] is
+   the induction register's current value (control is at the loop head),
+   [last] comes from the bound operand.  Each hoisted check's own action
+   is re-executed with the induction register rebound to the endpoint
+   trip values — legal by the [M_check] purity contract — so the guard
+   checks exactly the first and last addresses the elided per-iteration
+   checks would have touched.  Interior trips are covered by the same
+   heap-object contiguity argument as the static SCEV range check: with
+   redzones only at object boundaries, a poisoned byte between two clean
+   endpoints of a unit-stride walk cannot exist.  The guard charges each
+   check's inline cost twice; the per-iteration copies it replaces
+   charge nothing while elided. *)
+let run_ind_guard vm (ig : ind_guard) =
+  let i0 = Word.to_signed (Jt_vm.Vm.get vm ig.ig_ivar) in
+  let bound =
+    match ig.ig_bound with
+    | Ib_imm v -> v
+    | Ib_reg r -> Word.to_signed (Jt_vm.Vm.get vm r)
+  in
+  let last = if ig.ig_incl then bound else bound - 1 in
+  if last >= i0 then begin
+    let saved = Jt_vm.Vm.get vm ig.ig_ivar in
+    List.iter
+      (fun ((m : meta), off) ->
+        match m.m_action with
+        | None -> ()
+        | Some act ->
+          Jt_vm.Vm.set vm ig.ig_ivar (Word.of_int (i0 + off));
+          act vm;
+          Jt_vm.Vm.set vm ig.ig_ivar (Word.of_int (last + off));
+          act vm;
+          Jt_vm.Vm.charge vm (2 * m.m_cost))
+      ig.ig_checks;
+    Jt_vm.Vm.set vm ig.ig_ivar saved
+  end
+
+let exec_trace t ~budget ~streak ~streak_onset (tr : trace) =
   let vm = t.vm in
   let s = t.stats in
   s.st_trace_execs <- s.st_trace_execs + 1;
-  (let m = Jt_metrics.Metrics.Counters.current () in
-   m.c_trace_execs <- m.c_trace_execs + 1);
+  let m = Jt_metrics.Metrics.Counters.current () in
+  m.c_trace_execs <- m.c_trace_execs + 1;
+  (if streak && streak_onset then
+     match tr.tr_overlay with
+     | Some { ov_ind = Some ig; _ } -> run_ind_guard vm ig
+     | Some _ | None -> ());
   if t.profile.p_per_block > 0 then Jt_vm.Vm.charge vm t.profile.p_per_block;
   let n = Array.length tr.tr_blocks in
   let i = ref 0 in
@@ -508,7 +673,27 @@ let exec_trace t ~budget (tr : trace) =
       Jt_trace.Trace.set_exec_origin c.cb_origin;
       Jt_trace.Trace.emit (Jt_trace.Trace.Block_exec { pc = c.cb.bb_addr })
     end;
-    exec_insns t ~budget c;
+    let plan =
+      match tr.tr_overlay with
+      | None -> c.cb_plan
+      | Some ov ->
+        if streak then begin
+          m.c_san_trace_elide_dom <- m.c_san_trace_elide_dom + ov.ov_s_dom.(!i);
+          m.c_san_trace_elide_canary <-
+            m.c_san_trace_elide_canary + ov.ov_s_canary.(!i);
+          m.c_san_trace_elide_streak <-
+            m.c_san_trace_elide_streak + ov.ov_s_streak.(!i);
+          m.c_san_trace_elide_ind <- m.c_san_trace_elide_ind + ov.ov_s_ind.(!i);
+          ov.ov_plans_streak.(!i)
+        end
+        else begin
+          m.c_san_trace_elide_dom <- m.c_san_trace_elide_dom + ov.ov_dom.(!i);
+          m.c_san_trace_elide_canary <-
+            m.c_san_trace_elide_canary + ov.ov_canary.(!i);
+          ov.ov_plans.(!i)
+        end
+    in
+    exec_insns t ~budget ~plan c;
     let running = vm.Jt_vm.Vm.status = Jt_vm.Vm.Running in
     if c.cb_indirect_end && running then s.st_indirects <- s.st_indirects + 1;
     if (not running) || !i = n - 1 then begin
@@ -528,13 +713,354 @@ let exec_trace t ~budget (tr : trace) =
         (if c.cb_indirect_end && not t.ibl then
            Jt_vm.Vm.charge vm t.profile.p_indirect);
         (* a dead constituent means a flush hit the trace: tear it down
-           so the head can re-form over the regenerated code *)
+           (the eager path normally already has) so the head can re-form
+           over the regenerated code; the side exit re-enters the
+           dispatcher, where the constituents' own untouched [cb_plan]s
+           govern — every trace-elided check is back in force *)
         if not next.cb_valid then drop_trace t tr;
         continue_ := false
       end
     end
   done;
-  !last
+  let completed =
+    !i = n - 1 && vm.Jt_vm.Vm.status = Jt_vm.Vm.Running && tr.tr_valid
+  in
+  (!last, completed)
+
+(* ---- trace-spine elision ----
+
+   A trace is a single-entry straight line, so the JASan availability
+   must-analysis becomes exact along it: a check whose address key is
+   already available when control reaches it (no barrier, no redefinition
+   of the key's registers since an earlier identical check) is redundant
+   for this path, across constituent-block boundaries the per-block
+   static pass cannot see.  The analysis runs once at trace-build time
+   over the flattened spine; its product is an overlay of thinned plans,
+   never a mutation of the constituents' own [cb_plan]s. *)
+
+module KS = Jt_analysis.Avail.Set
+
+(* Pair lattice: (keys with an available check, keys with an available
+   unpoison).  Both are must-sets; join is pointwise intersection. *)
+module Avail2 = struct
+  type t = KS.t * KS.t
+
+  let equal (c1, u1) (c2, u2) = KS.equal c1 c2 && KS.equal u1 u2
+  let join (c1, u1) (c2, u2) = (KS.inter c1 c2, KS.inter u1 u2)
+  let widen = join
+end
+
+module Spine_solver = Jt_analysis.Dataflow.Make (Avail2)
+
+type spine_el = {
+  se_bi : int;  (* constituent position within the trace *)
+  se_k : int;  (* instruction slot within the constituent *)
+  se_addr : int;
+  se_insn : Insn.t;
+  se_metas : meta list;
+}
+
+(* A check gens check-availability; an unpoison gens unpoison-
+   availability (it only widens what is addressable, so it is not a
+   barrier for checks); a poisoning shadow write clears both, as does
+   any opaque action the pass cannot see through. *)
+let meta_transfer m ((chk, unp) as st) =
+  match m.m_kind with
+  | M_check k -> (KS.add k chk, unp)
+  | M_unpoison k -> (chk, KS.add k unp)
+  | M_shadow_write -> (KS.empty, KS.empty)
+  | M_opaque -> (
+    match m.m_action with Some _ -> (KS.empty, KS.empty) | None -> st)
+
+let spine_transfer el st =
+  let chk, unp =
+    List.fold_left (fun st m -> meta_transfer m st) st el.se_metas
+  in
+  ( Jt_analysis.Avail.insn_transfer el.se_insn chk,
+    Jt_analysis.Avail.insn_transfer el.se_insn unp )
+
+(* One decision walk from a given entry state: which metas may be
+   dropped, each with the earlier site that witnesses it.  The witness
+   tables map an available key to the address of the meta that made it
+   available; passing a walk's final tables into the next walk carries
+   witnesses across the back-edge for the streak variant. *)
+let decide_spine ~entry ~wit_chk ~wit_unp spine =
+  let drops = Hashtbl.create 16 in
+  let st = ref entry in
+  Array.iter
+    (fun el ->
+      let chk = ref (fst !st) and unp = ref (snd !st) in
+      List.iteri
+        (fun j (m : meta) ->
+          match m.m_kind with
+          | M_check k ->
+            if KS.mem k !chk then
+              Hashtbl.replace drops (el.se_bi, el.se_k, j)
+                ( "trace-dom",
+                  Option.value ~default:0 (Hashtbl.find_opt wit_chk k),
+                  el.se_addr )
+            else begin
+              Hashtbl.replace wit_chk k el.se_addr;
+              chk := KS.add k !chk
+            end
+          | M_unpoison k ->
+            if KS.mem k !unp then
+              Hashtbl.replace drops (el.se_bi, el.se_k, j)
+                ( "trace-canary",
+                  Option.value ~default:0 (Hashtbl.find_opt wit_unp k),
+                  el.se_addr )
+            else begin
+              Hashtbl.replace wit_unp k el.se_addr;
+              unp := KS.add k !unp
+            end
+          | M_shadow_write ->
+            chk := KS.empty;
+            unp := KS.empty
+          | M_opaque -> (
+            match m.m_action with
+            | Some _ ->
+              chk := KS.empty;
+              unp := KS.empty
+            | None -> ()))
+        el.se_metas;
+      st :=
+        ( Jt_analysis.Avail.insn_transfer el.se_insn !chk,
+          Jt_analysis.Avail.insn_transfer el.se_insn !unp ))
+    spine;
+  drops
+
+(* Recognize the counted-loop shape on a spine and collect the affine
+   checks the induction guard can hoist.  Mirrors the static SCEV
+   recognizer ([cmp ivar, bound; jcc {>=,>} exit] at the head, exactly
+   one definition of [ivar] and it is [add ivar, 1]) but accepts a
+   register-held bound, provided that register is never written on the
+   spine — the streak re-entry condition makes "never written on the
+   spine" equivalent to "stable for the remaining trips".  The whole
+   spine is disqualified if anything on it can change shadow state
+   (calls/syscalls, poisoning or unpoisoning metas, opaque actions):
+   the guard checks shadow once at onset, so shadow must be frozen for
+   the streak's duration.  Returns the guard plus the plan positions of
+   the hoisted checks (with their instruction addresses, for the
+   decision log). *)
+let detect_induction ~drops_streak (spine : spine_el array) =
+  let n = Array.length spine in
+  if n < 3 then None
+  else begin
+    (* The [cmp ivar, bound; jcc {>=,>}] exit test sits at the spine's
+       head when the trace was recorded from the loop-head block, or at
+       its tail when NET picked the (hotter) body block and the spine is
+       the same iteration rotated.  Either way the trip-range math is
+       identical: under a streak, re-entry came through the test's
+       fall-through, so the onset value [i0] is a trip the body really
+       runs (tail form) or is gated before any access (head form).  The
+       trace must stay on the fall-through path: a taken target that
+       re-enters the spine would invert the exit semantics. *)
+    let pair_at p =
+      match (spine.(p).se_insn, spine.(p + 1).se_insn) with
+      | Insn.Cmp (ivar, bnd), Insn.Jcc (cond, target) -> (
+        let stays_in_trace =
+          if p + 2 < n then target = spine.(p + 2).se_addr
+          else target = spine.(0).se_addr
+        in
+        match cond with
+        | _ when stays_in_trace -> None
+        | Insn.Gt | Insn.Ugt -> Some (ivar, bnd, true)
+        | Insn.Ge | Insn.Uge -> Some (ivar, bnd, false)
+        | _ -> None)
+      | _ -> None
+    in
+    let pair =
+      match pair_at (n - 2) with
+      | Some (i, b, inc) -> Some (i, b, inc, n - 2)
+      | None -> (
+        match pair_at 0 with
+        | Some (i, b, inc) -> Some (i, b, inc, 0)
+        | None -> None)
+    in
+    match pair with
+    | None -> None
+    | Some (ivar, bnd, ig_incl, cmp_pos) ->
+      let defined r =
+        Array.exists
+          (fun el -> List.exists (Reg.equal r) (Insn.defs el.se_insn))
+          spine
+      in
+      let ivar_defs = ref [] in
+      Array.iter
+        (fun el ->
+          if List.exists (Reg.equal ivar) (Insn.defs el.se_insn) then
+            ivar_defs := el.se_insn :: !ivar_defs)
+        spine;
+      let unit_step =
+        match !ivar_defs with
+        | [ Insn.Binop (Insn.Add, r, Insn.Imm 1) ] -> Reg.equal r ivar
+        | _ -> false
+      in
+      let bound =
+        match bnd with
+        | Insn.Imm v -> Some (Ib_imm (Word.to_signed v))
+        | Insn.Reg r ->
+          if Reg.equal r ivar || defined r then None else Some (Ib_reg r)
+      in
+      let shadow_frozen =
+        not
+          (Array.exists
+             (fun el ->
+               (match el.se_insn with
+               | Insn.Call _ | Insn.Call_ind _ | Insn.Syscall _ -> true
+               | _ -> false)
+               || List.exists
+                    (fun (m : meta) ->
+                      match (m.m_kind, m.m_action) with
+                      | (M_shadow_write | M_unpoison _), _ -> true
+                      | M_opaque, Some _ -> true
+                      | (M_opaque | M_check _), _ -> false)
+                    el.se_metas)
+             spine)
+      in
+      if not (unit_step && shadow_frozen) then None
+      else (
+        match bound with
+        | None -> None
+        | Some ig_bound ->
+          let inc_seen = ref 0 in
+          let checks = ref [] and sites = ref [] in
+          Array.iter
+            (fun el ->
+              List.iteri
+                (fun j (m : meta) ->
+                  match m.m_kind with
+                  | M_check (b, x, _s, _d, _w)
+                    when x = Reg.index ivar
+                         && b <> Reg.index ivar
+                         && (b < 0 || not (defined (Reg.of_index b)))
+                         && not (Hashtbl.mem drops_streak (el.se_bi, el.se_k, j))
+                    ->
+                    checks := (m, !inc_seen) :: !checks;
+                    sites := ((el.se_bi, el.se_k, j), el.se_addr) :: !sites
+                  | _ -> ())
+                el.se_metas;
+              if List.exists (Reg.equal ivar) (Insn.defs el.se_insn) then
+                incr inc_seen)
+            spine;
+          if !checks = [] then None
+          else
+            Some
+              ( { ig_ivar = ivar; ig_bound; ig_incl; ig_checks = List.rev !checks },
+                spine.(cmp_pos).se_addr,
+                List.rev !sites ))
+  end
+
+let build_overlay (blocks : cached array) =
+  let n = Array.length blocks in
+  let has_tagged =
+    Array.exists
+      (fun (c : cached) ->
+        Array.exists
+          (List.exists (fun (m : meta) ->
+               match m.m_kind with
+               | M_check _ | M_unpoison _ -> true
+               | M_opaque | M_shadow_write -> false))
+          c.cb_plan)
+      blocks
+  in
+  if not has_tagged then None
+  else begin
+    let spine =
+      Array.concat
+        (Array.to_list
+           (Array.mapi
+              (fun bi (c : cached) ->
+                Array.mapi
+                  (fun k (addr, insn, _len) ->
+                    {
+                      se_bi = bi;
+                      se_k = k;
+                      se_addr = addr;
+                      se_insn = insn;
+                      se_metas = c.cb_plan.(k);
+                    })
+                  c.cb.insns)
+              blocks))
+    in
+    let empty2 = (KS.empty, KS.empty) in
+    (* One forward pass is the fixpoint on a spine; the out-state seeds
+       the steady-state (streak) walk: for a straight line,
+       out(out(bot)) = out(bot), so this is also the back-edge fixpoint. *)
+    let _pre, out =
+      Spine_solver.solve_spine ~entry:empty2 ~transfer:spine_transfer spine
+    in
+    let wit_chk = Hashtbl.create 16 and wit_unp = Hashtbl.create 16 in
+    let drops_base = decide_spine ~entry:empty2 ~wit_chk ~wit_unp spine in
+    (* the base walk's final witness tables describe exactly the keys in
+       [out] — the availability a streak entry inherits from the
+       previous trip around the trace *)
+    let drops_streak = decide_spine ~entry:out ~wit_chk ~wit_unp spine in
+    (* a streak drop the base walk also made keeps its reason; one only
+       the carried-over availability justifies is a loop-invariant
+       (streak) elision *)
+    Hashtbl.iter
+      (fun key (reason, wit, addr) ->
+        if not (Hashtbl.mem drops_base key) then
+          Hashtbl.replace drops_streak key ("trace-streak", wit, addr)
+        else ignore reason)
+      (Hashtbl.copy drops_streak);
+    (* induction-range hoisting is streak-only: the cold plans keep the
+       per-iteration checks, the steady-state plans trade them for the
+       onset guard.  The witness recorded for a "trace-ind" drop is the
+       loop-head compare whose bound the guard reads. *)
+    let ind = detect_induction ~drops_streak spine in
+    (match ind with
+    | Some (_, cmp_addr, sites) ->
+      List.iter
+        (fun (key, addr) ->
+          Hashtbl.replace drops_streak key ("trace-ind", cmp_addr, addr))
+        sites
+    | None -> ());
+    if Hashtbl.length drops_base = 0 && Hashtbl.length drops_streak = 0 then
+      None
+    else begin
+      let filter_plans drops =
+        Array.mapi
+          (fun bi (c : cached) ->
+            Array.mapi
+              (fun k metas ->
+                List.filteri
+                  (fun j _ -> not (Hashtbl.mem drops (bi, k, j)))
+                  metas)
+              c.cb_plan)
+          blocks
+      in
+      let counts drops reason =
+        let a = Array.make n 0 in
+        Hashtbl.iter
+          (fun (bi, _, _) (r, _, _) -> if r = reason then a.(bi) <- a.(bi) + 1)
+          drops;
+        a
+      in
+      let decisions =
+        Hashtbl.fold (fun _ (r, w, a) acc -> (a, r, w) :: acc) drops_base []
+        @ Hashtbl.fold
+            (fun key (r, w, a) acc ->
+              if Hashtbl.mem drops_base key then acc else (a, r, w) :: acc)
+            drops_streak []
+        |> List.sort compare
+      in
+      Some
+        {
+          ov_plans = filter_plans drops_base;
+          ov_plans_streak = filter_plans drops_streak;
+          ov_ind = Option.map (fun (g, _, _) -> g) ind;
+          ov_dom = counts drops_base "trace-dom";
+          ov_canary = counts drops_base "trace-canary";
+          ov_s_dom = counts drops_streak "trace-dom";
+          ov_s_canary = counts drops_streak "trace-canary";
+          ov_s_streak = counts drops_streak "trace-streak";
+          ov_s_ind = counts drops_streak "trace-ind";
+          ov_decisions = decisions;
+        }
+    end
+  end
 
 (* ---- trace recording (NET) ---- *)
 
@@ -551,14 +1077,38 @@ let finalize_recording t =
     in
     let blocks = prefix (List.rev acc) in
     if List.length blocks >= 2 then begin
-      Hashtbl.replace t.traces head
-        { tr_head = head; tr_blocks = Array.of_list blocks; tr_valid = true };
+      let arr = Array.of_list blocks in
+      let overlay = if t.trace_elide then build_overlay arr else None in
+      (* a dead predecessor may still sit in the table under this head;
+         retire it cleanly so the live count stays exact *)
+      (match Hashtbl.find_opt t.traces head with
+      | Some old -> drop_trace t old
+      | None -> ());
+      let tr =
+        { tr_head = head; tr_blocks = arr; tr_valid = true; tr_overlay = overlay }
+      in
+      Hashtbl.replace t.traces head tr;
+      t.n_traces_live <- t.n_traces_live + 1;
+      Array.iter
+        (fun (c : cached) ->
+          if not (List.memq tr c.cb_traces) then
+            c.cb_traces <- tr :: c.cb_traces)
+        arr;
       t.stats.st_traces_built <- t.stats.st_traces_built + 1;
       (let m = Jt_metrics.Metrics.Counters.current () in
        m.c_traces_built <- m.c_traces_built + 1);
-      if Jt_trace.Trace.is_enabled () then
+      if Jt_trace.Trace.is_enabled () then begin
         Jt_trace.Trace.emit
-          (Jt_trace.Trace.Trace_build { head; blocks = List.length blocks })
+          (Jt_trace.Trace.Trace_build { head; blocks = Array.length arr });
+        match overlay with
+        | Some ov ->
+          List.iter
+            (fun (insn, reason, witness) ->
+              Jt_trace.Trace.emit
+                (Jt_trace.Trace.Trace_elide { head; insn; reason; witness }))
+            ov.ov_decisions
+        | None -> ()
+      end
     end
 
 (* Head-execution counting and recording bookkeeping for one
@@ -605,6 +1155,17 @@ let run ?(fuel = 200_000_000) t =
   let budget = vm.Jt_vm.Vm.icount + fuel in
   let m = Jt_metrics.Metrics.Counters.current () in
   let prev : cached option ref = ref None in
+  (* The streak: the trace that completed head-to-tail on the immediately
+     preceding dispatch.  If the very next dispatch re-enters that same
+     trace, only host dispatcher code ran in between, so the availability
+     its spine analysis computed at the tail really holds at the head —
+     the steady-state plan variant is legal.  Anything else (a plain
+     block, a phase change, a side exit) breaks the streak. *)
+  let streak : trace option ref = ref None in
+  (* Whether the previous dispatch's trace execution already ran in
+     streak mode: the induction guard fires only on the transition into
+     a streak (onset), never on its continuation trips. *)
+  let was_streak = ref false in
   (try
      while vm.Jt_vm.Vm.status = Jt_vm.Vm.Running do
        if vm.Jt_vm.Vm.icount >= budget then
@@ -619,6 +1180,8 @@ let run ?(fuel = 200_000_000) t =
            Jt_vm.Vm.charge vm t.profile.p_indirect
          | Some _ | None -> ());
          prev := None;
+         streak := None;
+         was_streak := false;
          Jt_vm.Vm.advance_phase vm
        end
        else begin
@@ -727,8 +1290,19 @@ let run ?(fuel = 200_000_000) t =
              | Some tr ->
                (* reaching a live trace head ends any recording *)
                finalize_recording t;
-               exec_trace t ~budget tr
+               let use_streak =
+                 match !streak with Some s -> s == tr | None -> false
+               in
+               let last, completed =
+                 exec_trace t ~budget ~streak:use_streak
+                   ~streak_onset:(use_streak && not !was_streak) tr
+               in
+               streak := (if completed then Some tr else None);
+               was_streak := use_streak;
+               last
              | None ->
+               streak := None;
+               was_streak := false;
                if t.trace then note_entry t cached pc;
                exec_block t ~budget cached;
                cached
@@ -757,7 +1331,10 @@ let run ?(fuel = 200_000_000) t =
   Jt_trace.Trace.entry_accounting ~dispatch:s.st_dispatch_entries
     ~chain:s.st_chain_hits ~ibl:s.st_ibl_hits
     ~trace_interior:s.st_trace_interior ~decode_faults:s.st_decode_faults
-    ~block_execs:s.st_block_execs
+    ~block_execs:s.st_block_execs;
+  (* debug oracle for the incremental live count: eager teardown must
+     keep it equal to a full recount at every quiescent point *)
+  assert (t.n_traces_live = traces_live_scan t)
 
 let stats t = t.stats
 
@@ -780,6 +1357,19 @@ let reset_stats t =
   s.st_trace_execs <- 0;
   s.st_trace_interior <- 0;
   s.st_decode_faults <- 0
+
+(* Elision decisions of the live traces, sorted by head address:
+   [(head, [(insn, reason, witness)])].  Diagnostics for the CLI's
+   [analyze --facts] dump; reasons are ["trace-dom"], ["trace-canary"],
+   ["trace-streak"] and ["trace-ind"]. *)
+let trace_elisions t =
+  Hashtbl.fold
+    (fun head tr acc ->
+      match tr.tr_overlay with
+      | Some ov when tr.tr_valid -> (head, ov.ov_decisions) :: acc
+      | Some _ | None -> acc)
+    t.traces []
+  |> List.sort compare
 
 let dynamic_block_fraction t =
   let s = t.stats in

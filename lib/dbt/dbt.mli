@@ -20,10 +20,27 @@ type block = {
   insns : (int * Insn.t * int) array;  (** (address, instruction, length) *)
 }
 
+(** What a piece of instrumentation does to shadow state, as far as the
+    trace-spine elision pass can tell.  Tools that want their checks
+    considered for trace-level elision tag them [M_check]/[M_unpoison]
+    with the access's {!Jt_analysis.Avail.Key.t}; everything else stays
+    [M_opaque] (an opaque meta with an action is treated as a
+    conservative barrier) or [M_shadow_write] (a poisoning write —
+    always a barrier). *)
+type meta_kind =
+  | M_opaque
+  | M_check of Jt_analysis.Avail.Key.t
+  | M_unpoison of Jt_analysis.Avail.Key.t
+  | M_shadow_write
+
 (** One piece of inserted instrumentation, executed immediately before
     its anchor instruction.  [m_cost] is the full cycle price including
     whatever save/restore traffic the tool decided it needs. *)
-type meta = { m_cost : int; m_action : (Jt_vm.Vm.t -> unit) option }
+type meta = {
+  m_cost : int;
+  m_action : (Jt_vm.Vm.t -> unit) option;
+  m_kind : meta_kind;
+}
 
 type plan = meta list array
 (** Per-instruction instrumentation, indexed like [block.insns].  Use
@@ -94,6 +111,7 @@ val create :
   ?chain:bool ->
   ?ibl:bool ->
   ?trace:bool ->
+  ?trace_elide:bool ->
   ?rules_for:(string -> Jt_rules.Rules.file option) ->
   unit ->
   t
@@ -125,7 +143,19 @@ val create :
     code cache: any range invalidation (dlopen unload, [flush_range],
     self-modifying code) that kills a constituent block kills the trace,
     which is then re-formed on demand.  Like [ibl], observable program
-    behavior is bit-identical with it off. *)
+    behavior is bit-identical with it off.
+
+    [trace_elide] (default true) runs the JASan availability
+    must-analysis along each newly recorded trace spine and builds an
+    overlay of thinned instrumentation plans: checks dominated within
+    the trace by an earlier check of the same address key are elided, as
+    are redundant canary unpoisons, and a steady-state plan variant
+    additionally elides loop-invariant checks when the trace re-enters
+    its own head immediately after a completed trip.  The constituents'
+    own plans are never modified, so side exits, teardown and ordinary
+    block execution structurally restore every check.  Exit status,
+    output, instruction counts and the deduplicated violation set are
+    identical with it off; only simulated cycles (check work) drop. *)
 
 val run : ?fuel:int -> t -> unit
 (** Execute the booted program to completion under the engine.  On the
@@ -147,7 +177,21 @@ val reset_stats : t -> unit
 
 val traces_live : t -> int
 (** Number of built traces whose constituent blocks are all still valid
-    (i.e. would still execute if their head is reached). *)
+    (i.e. would still execute if their head is reached).  O(1): the count
+    is maintained incrementally by trace build and teardown, which is
+    exact because invalidating any constituent eagerly tears its traces
+    down. *)
+
+val traces_live_scan : t -> int
+(** The full-recount oracle for {!traces_live} — walks every trace and
+    validates every constituent.  O(traces · length); for debug
+    assertions and tests only.  {!run} asserts the two agree on exit. *)
+
+val trace_elisions : t -> (int * (int * string * int) list) list
+(** Elision decisions of the live traces, sorted by head address:
+    [(head, [(insn, reason, witness)])] with reasons ["trace-dom"],
+    ["trace-canary"] and ["trace-streak"].  Diagnostics (the CLI's
+    [analyze --facts] dump). *)
 
 val dynamic_block_fraction : t -> float
 (** Fraction of executed unique blocks that were only discovered

@@ -94,28 +94,15 @@ let claim_name = function
   | Dom_elided _ -> "dom"
   | Checked -> "checked"
 
-(* Syntactic address key: two accesses with equal keys whose registers
-   carry the same values compute the same address range. *)
-module Key = struct
-  type t = int * int * int * int * int
-  (* base reg (-1 none), index reg (-1 none), scale, disp, width *)
+(* Syntactic address keys and the available-checks must-lattice are
+   shared with the DBT's trace-spine elision pass (which must agree
+   exactly on what "same address" means), so they live in
+   [Jt_analysis.Avail]. *)
+module Key = Jt_analysis.Avail.Key
+module KS = Jt_analysis.Avail.Set
 
-  let compare = compare
-end
-
-module KS = Set.Make (Key)
-
-let key_of (m : Insn.mem) width =
-  match m.Insn.base with
-  | Some Insn.Bpc -> None
-  | base ->
-    let b = match base with Some (Insn.Breg r) -> Reg.index r | _ -> -1 in
-    let x = match m.Insn.index with Some r -> Reg.index r | None -> -1 in
-    Some (b, x, m.Insn.scale, Word.to_signed m.Insn.disp, width)
-
-let key_regs ((b, x, _, _, _) : Key.t) =
-  (if b >= 0 then [ Reg.of_index b ] else [])
-  @ if x >= 0 then [ Reg.of_index x ] else []
+let key_of = Jt_analysis.Avail.key_of
+let key_regs = Jt_analysis.Avail.key_regs
 
 (* Available-checks must-analysis: the set of address keys whose byte
    ranges were shadow-checked (or statically proven in-frame) on *every*
@@ -123,15 +110,7 @@ let key_regs ((b, x, _, _, _) : Key.t) =
    registers and no shadow-state barrier.  Join is intersection; the
    solver's optimistic initialization plays the implicit "everything"
    top, so the analysis converges downwards to the must-set. *)
-module Avail = struct
-  type t = KS.t
-
-  let equal = KS.equal
-  let join = KS.inter
-  let widen = KS.inter
-end
-
-module Avail_solver = Jt_analysis.Dataflow.Make (Avail)
+module Avail_solver = Jt_analysis.Dataflow.Make (Jt_analysis.Avail.Lattice)
 
 (* Frame-bounds proof: the access address is an entry-sp-relative
    interval wholly inside the prologue's reservation, at or above the
@@ -181,10 +160,15 @@ type fn_report = {
 
 (* Decide, for every load/store of one function, which pass claims it.
    Claims are disjoint by construction and the priority is fixed:
-   canary exemption > pc-relative > frame policy > VSA frame proof >
+   canary exemption > pc-relative > VSA frame proof > frame policy >
    SCEV coverage > dominating check; whatever is left gets a shadow
-   check.  An access claimed twice is a bug in the pass ordering and
-   raises. *)
+   check.  The VSA proof is consulted *before* the frame policy: both
+   remove the check, but only a proven access is a gen site for the
+   dominating-check pass (and only honest attribution keeps the
+   elide_frame statistic meaningful — with the order flipped the
+   policy, which also claims every frame access, starves the proof into
+   dead code).  An access claimed twice is a bug in the pass ordering
+   and raises. *)
 let plan_elision ~hoist_scev ~skip_frame ~exempt_canary ~elide
     (fa : Janitizer.Static_analyzer.fn_analysis) =
   let exempt =
@@ -243,13 +227,14 @@ let plan_elision ~hoist_scev ~skip_frame ~exempt_canary ~elide
       let addr = info.d_addr in
       if Hashtbl.mem exempt addr then claim addr Exempt_canary
       else if is_pcrel m then claim addr Pcrel
-      else if skip_frame && is_frame_access m then claim addr Policy_frame
       else
         match (vsa, cspans) with
         | Some v, Some spans
           when frame_proof ~span ~canary_spans:spans v info m width ->
           claim addr Vsa_frame
-        | _ -> if Hashtbl.mem covered addr then claim addr Scev_covered)
+        | _ ->
+          if skip_frame && is_frame_access m then claim addr Policy_frame
+          else if Hashtbl.mem covered addr then claim addr Scev_covered)
     accesses;
   (* Pass 2: dominating-check elimination over the availability
      fixpoint.  Gen sites are accesses that will carry their own check
@@ -294,19 +279,9 @@ let plan_elision ~hoist_scev ~skip_frame ~exempt_canary ~elide
         | Some k -> KS.add k st
         | None -> st
       in
-      match info.d_insn with
-      | Insn.Call _ | Insn.Call_ind _ | Insn.Syscall _ -> KS.empty
-      | i ->
-        let defs = Insn.defs i in
-        if defs = [] then st
-        else
-          KS.filter
-            (fun k ->
-              not
-                (List.exists
-                   (fun r -> List.exists (Reg.equal r) defs)
-                   (key_regs k)))
-            st
+      (* calls/syscalls barrier and register-def kills: the shared
+         instruction-shape transfer, identical to the trace pass's *)
+      Jt_analysis.Avail.insn_transfer info.d_insn st
     in
     let solver = Avail_solver.solve ~entry:KS.empty ~transfer fa.fa_fn in
     let domtree = Lazy.force fa.fa_domtree in
@@ -538,7 +513,16 @@ let mem_operand (i : Insn.t) =
   | Insn.Store (w, m, _) -> Some (width_of w, m, true)
   | _ -> None
 
-let check_meta rt ~cost ~len ~is_store (m : Insn.mem) ~next_pc =
+(* With [elide] on, checks advertise their address key so the DBT's
+   trace-spine pass can elide ones dominated within a trace; with it off
+   they stay opaque, keeping the trace layer inert for the ablation
+   (elide:false is the all-checks baseline of the differential gate).
+   Advertising [M_check] also signs up for the kind's purity contract:
+   the action below only reads shadow state (and reports), so the trace
+   layer may drop it or re-execute it with the key's index register
+   rebound — that is how the induction guard turns these per-iteration
+   checks into two endpoint checks at streak onset. *)
+let check_meta rt ~cost ~len ~is_store ~elide (m : Insn.mem) ~next_pc =
   {
     Jt_dbt.Dbt.m_cost = cost;
     m_action =
@@ -546,6 +530,12 @@ let check_meta rt ~cost ~len ~is_store (m : Insn.mem) ~next_pc =
         (fun vm ->
           let addr = Jt_vm.Vm.eval_mem vm ~next_pc m in
           Rt.check rt vm ~addr ~len ~is_store);
+    m_kind =
+      (if not elide then Jt_dbt.Dbt.M_opaque
+       else
+         match key_of m len with
+         | Some k -> Jt_dbt.Dbt.M_check k
+         | None -> Jt_dbt.Dbt.M_opaque);
   }
 
 let hybrid_check_cost ~dead_scratch ~flags_dead =
@@ -590,6 +580,9 @@ let range_meta rt (r : Jt_rules.Rules.t) =
             Rt.check rt vm ~addr:lo ~len:width ~is_store:false;
             Rt.check rt vm ~addr:hi ~len:width ~is_store:false
           end);
+    (* shadow-reading only, but the trace pass has no key for a hoisted
+       range; opaque-with-action is the conservative barrier *)
+    m_kind = Jt_dbt.Dbt.M_opaque;
   }
 
 let invariant_meta rt (r : Jt_rules.Rules.t) =
@@ -608,9 +601,14 @@ let invariant_meta rt (r : Jt_rules.Rules.t) =
           let i = if has_idx then Jt_vm.Vm.get vm idx * scale else 0 in
           let addr = Word.of_int (b + i + unpack_signed disp) in
           Rt.check rt vm ~addr ~len:width ~is_store:false);
+    m_kind = Jt_dbt.Dbt.M_opaque;
   }
 
-let canary_meta rt ~unpoison disp =
+(* A poisoning canary store is always a shadow-write barrier for the
+   trace pass; a canary unpoison advertises its fp-relative slot key
+   (when [elide]) so a re-unpoison with no intervening poison, call or
+   fp redefinition can be deduplicated along a trace spine. *)
+let canary_meta rt ~unpoison ~elide disp =
   let slot_disp = unpack_signed disp in
   {
     Jt_dbt.Dbt.m_cost = Jt_vm.Cost.asan_canary_op;
@@ -619,10 +617,15 @@ let canary_meta rt ~unpoison disp =
         (fun vm ->
           if unpoison then Rt.unpoison_canary rt vm ~slot_disp
           else Rt.poison_canary rt vm ~slot_disp);
+    m_kind =
+      (if not unpoison then Jt_dbt.Dbt.M_shadow_write
+       else if elide then
+         Jt_dbt.Dbt.M_unpoison (Reg.index Reg.fp, -1, 1, slot_disp, 4)
+       else Jt_dbt.Dbt.M_opaque);
   }
 
 (* Static-rules path: interpret each rule into a meta op. *)
-let plan_static rt (b : Jt_dbt.Dbt.block) ~rules_at =
+let plan_static rt ~elide (b : Jt_dbt.Dbt.block) ~rules_at =
   let plan = Jt_dbt.Dbt.no_plan b in
   Array.iteri
     (fun k (at, insn, len) ->
@@ -637,12 +640,13 @@ let plan_static rt (b : Jt_dbt.Dbt.block) ~rules_at =
                     ~flags_dead:r.data.(1)
                 in
                 Some
-                  (check_meta rt ~cost ~len:width ~is_store m ~next_pc:(at + len))
+                  (check_meta rt ~cost ~len:width ~is_store ~elide m
+                     ~next_pc:(at + len))
               | None -> None
             else if r.rule_id = Ids.poison_canary then
-              Some (canary_meta rt ~unpoison:false r.data.(0))
+              Some (canary_meta rt ~unpoison:false ~elide r.data.(0))
             else if r.rule_id = Ids.unpoison_canary then
-              Some (canary_meta rt ~unpoison:true r.data.(0))
+              Some (canary_meta rt ~unpoison:true ~elide r.data.(0))
             else if r.rule_id = Ids.range_check then Some (range_meta rt r)
             else if r.rule_id = Ids.invariant_check then Some (invariant_meta rt r)
             else None)
@@ -654,7 +658,7 @@ let plan_static rt (b : Jt_dbt.Dbt.block) ~rules_at =
 
 (* Dynamic fallback: per-block only — check every load/store with
    conservative save/restore; recognize the canary idiom locally. *)
-let plan_dynamic rt (b : Jt_dbt.Dbt.block) =
+let plan_dynamic rt ~elide (b : Jt_dbt.Dbt.block) =
   let plan = Jt_dbt.Dbt.no_plan b in
   (* Local canary recognition: a ldcanary in the block makes fp-relative
      4-byte stores of the canary register canary-stores, and fp-relative
@@ -693,17 +697,17 @@ let plan_dynamic rt (b : Jt_dbt.Dbt.block) =
     (fun k (at, insn, len) ->
       if Hashtbl.mem canary_stores k then
         let disp = Hashtbl.find canary_stores k in
-        plan.(k) <- [ canary_meta rt ~unpoison:false (disp land Word.mask) ]
+        plan.(k) <- [ canary_meta rt ~unpoison:false ~elide (disp land Word.mask) ]
       else if Hashtbl.mem canary_checks k then
         let disp = Hashtbl.find canary_checks k in
-        plan.(k) <- [ canary_meta rt ~unpoison:true (disp land Word.mask) ]
+        plan.(k) <- [ canary_meta rt ~unpoison:true ~elide (disp land Word.mask) ]
       else
         match mem_operand insn with
         | Some (width, m, is_store) when not (is_pcrel m) ->
           plan.(k) <-
             [
-              check_meta rt ~cost:conservative_check_cost ~len:width ~is_store m
-                ~next_pc:(at + len);
+              check_meta rt ~cost:conservative_check_cost ~len:width ~is_store
+                ~elide m ~next_pc:(at + len);
             ]
         | Some _ | None -> ())
     b.insns;
@@ -729,8 +733,8 @@ let create ?(liveness = Live_full) ?(hoist_scev = true)
       cl_on_block =
         (fun _vm b prov ~rules_at ->
           match prov with
-          | Jt_dbt.Dbt.Static_rules -> costing (plan_static rt b ~rules_at)
-          | Jt_dbt.Dbt.Dynamic_only -> costing (plan_dynamic rt b));
+          | Jt_dbt.Dbt.Static_rules -> costing (plan_static rt ~elide b ~rules_at)
+          | Jt_dbt.Dbt.Dynamic_only -> costing (plan_dynamic rt ~elide b));
     }
   in
   ( {

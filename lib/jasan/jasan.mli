@@ -56,9 +56,15 @@ val is_pcrel : Jt_isa.Insn.mem -> bool
 
     The static pass assigns every load/store to exactly one claim — the
     reason it does or does not carry a shadow check.  Claims are computed
-    in a fixed priority order (top to bottom below); the two [V]-prefixed
-    passes are the analysis-driven elisions built on {!Jt_analysis.Vsa},
-    {!Jt_analysis.Dataflow} and {!Jt_cfg.Domtree}. *)
+    in a fixed priority order: canary exemption, pc-relative, VSA frame
+    proof, frame policy, SCEV coverage, dominating check.  The VSA proof
+    outranks the frame policy even though both remove the check: a
+    proven access is a gen site for the dominating-check pass and is
+    reported honestly as [Vsa_frame] (consulting the policy first would
+    starve the proof into dead code — [elide_frame] permanently 0).
+    [Vsa_frame] and [Dom_elided] are the analysis-driven elisions built
+    on {!Jt_analysis.Vsa}, {!Jt_analysis.Dataflow} and
+    {!Jt_cfg.Domtree}. *)
 type claim =
   | Exempt_canary  (** canary-handling access, never instrumented *)
   | Pcrel  (** pc-relative static data *)

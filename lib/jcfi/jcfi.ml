@@ -287,6 +287,7 @@ let plan_static rt (b : Jt_dbt.Dbt.block) ~rules_at vm0 =
                       (fun vm ->
                         let tgt = target_of_call_operand insn ~at ~len vm in
                         Rt.check_icall rt vm ~site:at tgt);
+                  m_kind = Jt_dbt.Dbt.M_opaque;
                 }
             else if r.rule_id = Ids.ijmp then begin
               let entry = r.data.(0) + pic_base at in
@@ -298,6 +299,7 @@ let plan_static rt (b : Jt_dbt.Dbt.block) ~rules_at vm0 =
                       (fun vm ->
                         let tgt = target_of_call_operand insn ~at ~len vm in
                         Rt.check_ijmp rt vm ~site:at ~fn_entry:(Some entry) tgt);
+                  m_kind = Jt_dbt.Dbt.M_opaque;
                 }
             end
             else if r.rule_id = Ids.shadow_push then
@@ -305,18 +307,21 @@ let plan_static rt (b : Jt_dbt.Dbt.block) ~rules_at vm0 =
                 {
                   Jt_dbt.Dbt.m_cost = Jt_vm.Cost.cfi_shadow_push;
                   m_action = Some (fun vm -> Rt.push_shadow rt vm (at + len));
+                  m_kind = Jt_dbt.Dbt.M_opaque;
                 }
             else if r.rule_id = Ids.ret_check then
               Some
                 {
                   Jt_dbt.Dbt.m_cost = Jt_vm.Cost.cfi_shadow_pop;
                   m_action = Some (fun vm -> Rt.check_ret rt vm ~site:at);
+                  m_kind = Jt_dbt.Dbt.M_opaque;
                 }
             else if r.rule_id = Ids.resolver_ret then
               Some
                 {
                   Jt_dbt.Dbt.m_cost = hybrid_fwd_cost;
                   m_action = Some (fun vm -> Rt.check_resolver_ret rt vm ~site:at);
+                  m_kind = Jt_dbt.Dbt.M_opaque;
                 }
             else None)
           (rules_at at)
@@ -345,6 +350,7 @@ let plan_dynamic rt (b : Jt_dbt.Dbt.block) vm0 =
                     Jt_vm.Cost.cfi_shadow_push + (2 * Jt_vm.Cost.spill_reg)
                     + Jt_vm.Cost.save_restore_flags;
               m_action = Some (fun vm -> Rt.push_shadow rt vm (at + len));
+              m_kind = Jt_dbt.Dbt.M_opaque;
             }
             :: !metas
       | Some Insn.Cti_call_ind ->
@@ -357,6 +363,7 @@ let plan_dynamic rt (b : Jt_dbt.Dbt.block) vm0 =
                   (fun vm ->
                     let tgt = target_of_call_operand insn ~at ~len vm in
                     Rt.check_icall rt vm ~site:at tgt);
+              m_kind = Jt_dbt.Dbt.M_opaque;
             }
             :: !metas;
         if config.cf_backward then
@@ -366,6 +373,7 @@ let plan_dynamic rt (b : Jt_dbt.Dbt.block) vm0 =
                     Jt_vm.Cost.cfi_shadow_push + (2 * Jt_vm.Cost.spill_reg)
                     + Jt_vm.Cost.save_restore_flags;
               m_action = Some (fun vm -> Rt.push_shadow rt vm (at + len));
+              m_kind = Jt_dbt.Dbt.M_opaque;
             }
             :: !metas
       | Some Insn.Cti_jmp_ind ->
@@ -379,6 +387,7 @@ let plan_dynamic rt (b : Jt_dbt.Dbt.block) vm0 =
                     let tgt = target_of_call_operand insn ~at ~len vm in
                     (* No static function extents here: weaker policy. *)
                     Rt.check_ijmp rt vm ~site:at ~fn_entry:None tgt);
+              m_kind = Jt_dbt.Dbt.M_opaque;
             }
             :: !metas
       | Some Insn.Cti_ret ->
@@ -388,6 +397,7 @@ let plan_dynamic rt (b : Jt_dbt.Dbt.block) vm0 =
               {
                 Jt_dbt.Dbt.m_cost = dyn_fwd_cost;
                 m_action = Some (fun vm -> Rt.check_resolver_ret rt vm ~site:at);
+                m_kind = Jt_dbt.Dbt.M_opaque;
               }
               :: !metas
         end
@@ -398,6 +408,7 @@ let plan_dynamic rt (b : Jt_dbt.Dbt.block) vm0 =
                     Jt_vm.Cost.cfi_shadow_pop + (2 * Jt_vm.Cost.spill_reg)
                     + Jt_vm.Cost.save_restore_flags;
               m_action = Some (fun vm -> Rt.check_ret rt vm ~site:at);
+              m_kind = Jt_dbt.Dbt.M_opaque;
             }
             :: !metas
       | Some (Insn.Cti_jmp _ | Insn.Cti_jcc _ | Insn.Cti_halt | Insn.Cti_syscall)

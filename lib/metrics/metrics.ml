@@ -27,6 +27,10 @@ module Counters = struct
     mutable c_san_checks : int;
     mutable c_san_elide_frame : int;
     mutable c_san_elide_dom : int;
+    mutable c_san_trace_elide_dom : int;
+    mutable c_san_trace_elide_canary : int;
+    mutable c_san_trace_elide_streak : int;
+    mutable c_san_trace_elide_ind : int;
   }
 
   let fresh () =
@@ -44,6 +48,10 @@ module Counters = struct
       c_san_checks = 0;
       c_san_elide_frame = 0;
       c_san_elide_dom = 0;
+      c_san_trace_elide_dom = 0;
+      c_san_trace_elide_canary = 0;
+      c_san_trace_elide_streak = 0;
+      c_san_trace_elide_ind = 0;
     }
 
   (* One instance per domain: concurrent driver runs on separate domains
@@ -67,7 +75,11 @@ module Counters = struct
     c.c_flush_drops <- 0;
     c.c_san_checks <- 0;
     c.c_san_elide_frame <- 0;
-    c.c_san_elide_dom <- 0
+    c.c_san_elide_dom <- 0;
+    c.c_san_trace_elide_dom <- 0;
+    c.c_san_trace_elide_canary <- 0;
+    c.c_san_trace_elide_streak <- 0;
+    c.c_san_trace_elide_ind <- 0
 
   let snapshot_of c =
     [
@@ -84,6 +96,10 @@ module Counters = struct
       ("san_checks", c.c_san_checks);
       ("san_elide_frame", c.c_san_elide_frame);
       ("san_elide_dom", c.c_san_elide_dom);
+      ("san_trace_elide_dom", c.c_san_trace_elide_dom);
+      ("san_trace_elide_canary", c.c_san_trace_elide_canary);
+      ("san_trace_elide_streak", c.c_san_trace_elide_streak);
+      ("san_trace_elide_ind", c.c_san_trace_elide_ind);
     ]
 
   let snapshot () = snapshot_of (current ())

@@ -41,6 +41,20 @@ module Counters : sig
         (** accesses statically elided by the VSA frame-bounds proof *)
     mutable c_san_elide_dom : int;
         (** accesses statically elided by the dominating-check pass *)
+    mutable c_san_trace_elide_dom : int;
+        (** dynamic check instances elided by the trace-spine
+            dominating-check pass *)
+    mutable c_san_trace_elide_canary : int;
+        (** dynamic canary-unpoison instances deduplicated along a
+            trace spine *)
+    mutable c_san_trace_elide_streak : int;
+        (** dynamic check instances elided by the steady-state (streak)
+            trace plans: availability carried across the trace's own
+            back-edge *)
+    mutable c_san_trace_elide_ind : int;
+        (** dynamic check instances elided by the trace induction-range
+            guard: affine accesses covered by the endpoint check run
+            once at streak onset *)
   }
 
   val current : unit -> t

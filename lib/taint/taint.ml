@@ -151,6 +151,7 @@ let metas_for rt insn ~at ~len ~conservative ~want_prop ~want_check =
        {
          Jt_dbt.Dbt.m_cost = prop_cost + extra;
          m_action = Some (fun vm -> Rt.propagate rt vm insn ~at ~len);
+         m_kind = Jt_dbt.Dbt.M_opaque;
        };
      ]
    else [])
@@ -160,6 +161,7 @@ let metas_for rt insn ~at ~len ~conservative ~want_prop ~want_check =
       {
         Jt_dbt.Dbt.m_cost = check_cost + extra;
         m_action = Some (fun vm -> Rt.check_target rt vm insn ~at ~len);
+        m_kind = Jt_dbt.Dbt.M_opaque;
       };
     ]
   else []

@@ -38,6 +38,18 @@ type event =
   | Ibl_miss of { site : int; target : int }
   | Trace_build of { head : int; blocks : int }
   | Trace_teardown of { head : int }
+  | Trace_elide of {
+      head : int;  (** head address of the trace the decision belongs to *)
+      insn : int;  (** address of the access whose check the trace elides *)
+      reason : string;
+          (** ["trace-dom"] (dominated within the trace by an identical
+              check), ["trace-canary"] (redundant canary unpoison) or
+              ["trace-streak"] (loop-invariant, justified by the trace's
+              own back-edge) *)
+      witness : int;
+          (** address of the earlier access whose check subsumes this
+              one; [0] if unknown *)
+    }
   | Flush_range of { start : int; len : int }
   | Module_load of { name : string; base : int }
   | Module_unload of { name : string }
@@ -320,6 +332,10 @@ let event_to_json ev =
   | Trace_build { head; blocks } ->
     obj [ ("ev", s "trace_build"); ("head", i head); ("blocks", i blocks) ]
   | Trace_teardown { head } -> obj [ ("ev", s "trace_teardown"); ("head", i head) ]
+  | Trace_elide { head; insn; reason; witness } ->
+    obj
+      [ ("ev", s "trace_elide"); ("head", i head); ("insn", i insn);
+        ("reason", s reason); ("witness", i witness) ]
   | Flush_range { start; len } -> obj [ ("ev", s "flush_range"); ("start", i start); ("len", i len) ]
   | Module_load { name; base } -> obj [ ("ev", s "module_load"); ("name", s name); ("base", i base) ]
   | Module_unload { name } -> obj [ ("ev", s "module_unload"); ("name", s name) ]
@@ -505,6 +521,12 @@ let event_of_json line =
     | "trace_teardown" ->
       let* head = num "head" in
       Some (Trace_teardown { head })
+    | "trace_elide" ->
+      let* head = num "head" in
+      let* insn = num "insn" in
+      let* reason = str "reason" in
+      let* witness = num "witness" in
+      Some (Trace_elide { head; insn; reason; witness })
     | "flush_range" ->
       let* start = num "start" in
       let* len = num "len" in
@@ -582,6 +604,7 @@ let kind_name = function
   | Ibl_miss _ -> "ibl_miss"
   | Trace_build _ -> "trace_build"
   | Trace_teardown _ -> "trace_teardown"
+  | Trace_elide _ -> "trace_elide"
   | Flush_range _ -> "flush_range"
   | Module_load _ -> "module_load"
   | Module_unload _ -> "module_unload"

@@ -42,6 +42,18 @@ type event =
   | Ibl_miss of { site : int; target : int }
   | Trace_build of { head : int; blocks : int }
   | Trace_teardown of { head : int }
+  | Trace_elide of {
+      head : int;  (** head address of the trace the decision belongs to *)
+      insn : int;  (** address of the access whose check the trace elides *)
+      reason : string;
+          (** ["trace-dom"] (dominated within the trace by an identical
+              check), ["trace-canary"] (redundant canary unpoison) or
+              ["trace-streak"] (loop-invariant, justified by the trace's
+              own back-edge) *)
+      witness : int;
+          (** address of the earlier access whose check subsumes this
+              one; [0] if unknown *)
+    }
   | Flush_range of { start : int; len : int }
   | Module_load of { name : string; base : int }
   | Module_unload of { name : string }

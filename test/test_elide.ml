@@ -168,6 +168,33 @@ let test_vsa_frame_elided () =
     "masked frame store claimed by Vsa_frame" true
     (List.exists (fun (_, c) -> c = Jt_jasan.Jasan.Vsa_frame) r.er_claims)
 
+(* End-to-end regression for the dead-pass bug: on a whole run of the
+   crafted frame workload, the VSA frame-bounds pass must actually claim
+   something — [san_elide_frame] > 0 in the run's counters and
+   ["elide_frame"] > 0 in the emitted rule-file stats.  Before the
+   claim-priority fix the frame *policy* swallowed every provable access
+   first and this counter was permanently 0. *)
+let test_vsa_frame_fires_end_to_end () =
+  let m =
+    build ~name:"elfr" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+      ~entry:"main" (frame_prog ())
+  in
+  let registry = Progs.registry_for m in
+  let o = check_differential "frame workload" ~registry ~main:"elfr" in
+  Alcotest.(check bool)
+    "run completed" true
+    (o.o_result.r_status = Jt_vm.Vm.Exited 0);
+  let snap = Jt_metrics.Metrics.Counters.(snapshot_of (current ())) in
+  Alcotest.(check bool)
+    "san_elide_frame > 0 after the run" true
+    (List.assoc "san_elide_frame" snap > 0);
+  let tool, _ = Jt_jasan.Jasan.create () in
+  let files = Janitizer.Driver.analyze_all ~tool registry in
+  let f = List.assoc "elfr" files in
+  Alcotest.(check bool)
+    "elide_frame stat > 0" true
+    (List.assoc "elide_frame" f.Jt_rules.Rules.rf_stats > 0)
+
 (* The stack-smash store indexes past the array into the canary; its
    index is data-dependent across iterations, so no static pass may
    claim it away from the dynamic checks that catch the smash. *)
@@ -212,6 +239,9 @@ let test_claims_are_a_partition () =
             lea Reg.r2 (mem_b ~disp:(-32) Reg.fp);
             st (mem_bi ~scale:2 Reg.r2 Reg.r3) Reg.r3;
             sti (mem_b ~disp:(-12) Reg.fp) 9;
+            (* above the frame reservation (caller's frame): the VSA
+               proof cannot cover it, so the frame *policy* claims it *)
+            ld Reg.r4 (mem_b ~disp:8 Reg.fp);
             movi Reg.r0 3;
           ]
         @ Abi.frame_leave ~canary:true ~locals:32 ());
@@ -314,6 +344,8 @@ let () =
           Alcotest.test_case "dominating check" `Quick test_dominating_check_elided;
           Alcotest.test_case "call barrier" `Quick test_call_is_barrier;
           Alcotest.test_case "vsa frame" `Quick test_vsa_frame_elided;
+          Alcotest.test_case "vsa frame end to end" `Quick
+            test_vsa_frame_fires_end_to_end;
           Alcotest.test_case "smash not elided" `Quick test_smash_store_not_elided;
           Alcotest.test_case "partition" `Quick test_claims_are_a_partition;
           Alcotest.test_case "stats match" `Quick test_stats_match_claims;
