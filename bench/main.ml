@@ -1154,6 +1154,181 @@ let trace_elide_bench () =
   if diverged <> [] then exit 1
 
 
+(* ---- warmstart: cold vs warm static analysis through the IR store ----
+
+   The full workload sweep runs twice against one on-disk IR store: a
+   cold arm over an empty store (every module analyzed and persisted)
+   and a warm arm with a fresh store handle over the same directory
+   (every module reconstructed from disk).  The deterministic contract
+   gates, not wall clock: the warm arm must perform *zero*
+   [Static_analyzer.compute] runs (counter-verified across pool
+   domains), its rule files must be byte-identical to the cold arm's,
+   its run observables (status, output, icount, violations) must be
+   bit-identical, and its store hit rate must be 100%.  Wall times are
+   recorded in BENCH_warmstart.json for trajectory only. *)
+
+type warm_eval = {
+  we_name : string;
+  we_rules : (string * string) list;  (* module -> encoded rule bytes *)
+  we_status : string;
+  we_output : string;
+  we_icount : int;
+  we_violations : (string * int * int) list;
+  we_analysis_s : float;
+}
+
+let warmstart_eval ~store (s : Sheet.t) =
+  let name = s.Sheet.s_name in
+  let w = Specgen.build s in
+  let registry = w.Specgen.w_registry in
+  let closure = Janitizer.Driver.static_closure ~registry ~main:name in
+  let tool, _ = Jt_jasan.Jasan.create () in
+  let t0 = Unix.gettimeofday () in
+  let files = Janitizer.Driver.analyze_all ~store ~tool closure in
+  let analysis_s = Unix.gettimeofday () -. t0 in
+  (* The simulated run consumes the rules just generated ([precomputed]
+     covers the whole closure, so the run itself analyzes nothing); its
+     observables depend only on those rule bytes. *)
+  let run_tool, _ = Jt_jasan.Jasan.create () in
+  let o =
+    Janitizer.Driver.run ~store ~precomputed:files ~tool:run_tool ~registry
+      ~main:name ()
+  in
+  let r = o.Janitizer.Driver.o_result in
+  {
+    we_name = name;
+    we_rules =
+      List.map (fun (n, f) -> (n, Jt_rules.Rules.encode_file f)) files;
+    we_status = Format.asprintf "%a" Jt_vm.Vm.pp_status r.r_status;
+    we_output = r.r_output;
+    we_icount = r.r_icount;
+    we_violations =
+      List.map
+        (fun (v : Jt_vm.Vm.violation) -> (v.v_kind, v.v_addr, v.v_pc))
+        r.r_violations;
+    we_analysis_s = analysis_s;
+  }
+
+let warmstart () =
+  let n_jobs = if !jobs > 1 then !jobs else 2 in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "jt_warmstart_%d" (Unix.getpid ()))
+  in
+  (* make sure the cold arm really is cold *)
+  ignore (Jt_ir.Store.clear (Jt_ir.Store.create ~dir ()));
+  let arm label =
+    (* a fresh store handle per arm: the warm arm's memory LRU starts
+       empty, so every warm hit exercises the disk decode path *)
+    let store = Jt_ir.Store.create ~dir () in
+    let a0 = Janitizer.Static_analyzer.analyses_performed () in
+    Printf.eprintf "  warmstart: %s sweep (%d workloads, %d jobs)...\n%!"
+      label (List.length Sheet.all) n_jobs;
+    let t0 = Unix.gettimeofday () in
+    let evals =
+      if n_jobs > 1 then
+        Jt_pool.Pool.run ~jobs:n_jobs (warmstart_eval ~store) Sheet.all
+      else List.map (warmstart_eval ~store) Sheet.all
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let analyses = Janitizer.Static_analyzer.analyses_performed () - a0 in
+    (evals, wall, analyses, Jt_ir.Store.stats store)
+  in
+  let cold, cold_wall, cold_analyses, cold_stats = arm "cold" in
+  let warm, warm_wall, warm_analyses, warm_stats = arm "warm" in
+  let analysis_wall evals =
+    List.fold_left (fun acc e -> acc +. e.we_analysis_s) 0.0 evals
+  in
+  let cold_analysis_s = analysis_wall cold and warm_analysis_s = analysis_wall warm in
+  let observable e = (e.we_status, e.we_output, e.we_icount, e.we_violations) in
+  let pairs = List.combine cold warm in
+  let rule_mismatches =
+    List.filter_map
+      (fun (c, w) -> if c.we_rules = w.we_rules then None else Some c.we_name)
+      pairs
+  in
+  let obs_mismatches =
+    List.filter_map
+      (fun (c, w) ->
+        if observable c = observable w then None else Some c.we_name)
+      pairs
+  in
+  let warm_rate = Jt_ir.Store.hit_rate warm_stats in
+  let arm_kv label (st : Jt_ir.Store.stats) analyses a_wall wall =
+    [
+      (label ^ " compute runs", string_of_int analyses);
+      (label ^ " analysis wall", Printf.sprintf "%.3f s" a_wall);
+      (label ^ " total wall", Printf.sprintf "%.3f s" wall);
+      ( label ^ " store",
+        Printf.sprintf "%d mem + %d disk hits, %d misses (hit rate %.1f%%)"
+          st.Jt_ir.Store.st_mem_hits st.st_disk_hits st.st_misses
+          (100.0 *. Jt_ir.Store.hit_rate st) );
+    ]
+  in
+  Jt_metrics.Metrics.print_kv
+    "Warm start: cold vs warm static analysis through the IR store"
+    (arm_kv "cold" cold_stats cold_analyses cold_analysis_s cold_wall
+    @ arm_kv "warm" warm_stats warm_analyses warm_analysis_s warm_wall
+    @ [
+        ( "analysis speedup",
+          Printf.sprintf "%.2fx" (cold_analysis_s /. max warm_analysis_s 1e-9) );
+        ( "rules byte-identical",
+          if rule_mismatches = [] then "yes"
+          else "NO (" ^ String.concat "," rule_mismatches ^ ")" );
+        ( "observables bit-identical",
+          if obs_mismatches = [] then "yes"
+          else "NO (" ^ String.concat "," obs_mismatches ^ ")" );
+      ]);
+  let arm_json (st : Jt_ir.Store.stats) analyses a_wall wall =
+    Printf.sprintf
+      "{\"compute_runs\": %d, \"analysis_wall_s\": %.6f, \"wall_s\": %.6f, \
+       \"mem_hits\": %d, \"disk_hits\": %d, \"misses\": %d, \
+       \"corrupt\": %d, \"hit_rate\": %.4f}"
+      analyses a_wall wall st.Jt_ir.Store.st_mem_hits st.st_disk_hits
+      st.st_misses st.st_corrupt
+      (Jt_ir.Store.hit_rate st)
+  in
+  let row_json (c, w) =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"cold_analysis_s\": %.6f, \
+       \"warm_analysis_s\": %.6f, \"rules_identical\": %b, \
+       \"observables_identical\": %b}"
+      c.we_name c.we_analysis_s w.we_analysis_s (c.we_rules = w.we_rules)
+      (observable c = observable w)
+  in
+  let json =
+    Printf.sprintf
+      "{\n  \"target\": \"warmstart\",\n  \"jobs\": %d,\n\
+      \  \"workloads\": %d,\n  \"cold\": %s,\n  \"warm\": %s,\n\
+      \  \"warm_compute_runs\": %d,\n  \"warm_hit_rate\": %.4f,\n\
+      \  \"rules_identical\": %b,\n  \"observables_identical\": %b,\n\
+      \  \"analysis_speedup\": %.3f,\n  \"per_workload\": [\n%s\n  ]\n}\n"
+      n_jobs (List.length cold)
+      (arm_json cold_stats cold_analyses cold_analysis_s cold_wall)
+      (arm_json warm_stats warm_analyses warm_analysis_s warm_wall)
+      warm_analyses warm_rate (rule_mismatches = []) (obs_mismatches = [])
+      (cold_analysis_s /. max warm_analysis_s 1e-9)
+      (String.concat ",\n" (List.map row_json pairs))
+  in
+  let oc = open_out "BENCH_warmstart.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  (* best-effort cleanup of the temp store *)
+  ignore (Jt_ir.Store.clear (Jt_ir.Store.create ~dir ()));
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  let failed =
+    warm_analyses <> 0 || warm_stats.Jt_ir.Store.st_misses <> 0
+    || warm_rate < 1.0 || rule_mismatches <> [] || obs_mismatches <> []
+  in
+  if warm_analyses <> 0 then
+    Printf.eprintf "!! warmstart: warm arm performed %d analyses (want 0)\n%!"
+      warm_analyses;
+  if warm_stats.Jt_ir.Store.st_misses <> 0 || warm_rate < 1.0 then
+    Printf.eprintf "!! warmstart: warm hit rate %.4f (want 1.0)\n%!" warm_rate;
+  if failed then exit 1
+
 (* ---- driver ---- *)
 
 let targets =
@@ -1173,6 +1348,7 @@ let targets =
     ("elide", elide_bench);
     ("trace-elide", trace_elide_bench);
     ("parallel", parallel_bench);
+    ("warmstart", warmstart);
     ("micro", micro);
   ]
 

@@ -440,6 +440,12 @@ let batch_cmd =
     Arg.(value & opt string "batch.json" & info [ "o"; "out" ] ~docv:"FILE"
            ~doc:"Where to write the JSON report")
   in
+  let store_arg =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+           ~doc:"Route the static-analysis phase through a persistent IR \
+                 store at DIR: modules already in the store skip \
+                 re-analysis, and the report gains the store hit rate")
+  in
   let tool_name = function
     | `Jasan -> "jasan"
     | `Jcfi -> "jcfi"
@@ -447,7 +453,8 @@ let batch_cmd =
     | `Valgrind -> "valgrind"
     | `Null -> "null"
   in
-  let run names tools jobs out =
+  let run names tools jobs out store_dir =
+    let store = Option.map (fun dir -> Jt_ir.Store.create ~dir ()) store_dir in
     let names = if names = [] then List.map (fun (s : Sheet.t) -> s.s_name) Sheet.all else names in
     List.iter
       (fun n ->
@@ -482,13 +489,13 @@ let batch_cmd =
               o_trace_elisions = [] }
           | `Jasan ->
             let t, _ = Jt_jasan.Jasan.create () in
-            Janitizer.Driver.run ~tool:t ~registry:w.w_registry ~main:name ()
+            Janitizer.Driver.run ?store ~tool:t ~registry:w.w_registry ~main:name ()
           | `Jcfi ->
             let t, _ = Jt_jcfi.Jcfi.create () in
-            Janitizer.Driver.run ~tool:t ~registry:w.w_registry ~main:name ()
+            Janitizer.Driver.run ?store ~tool:t ~registry:w.w_registry ~main:name ()
           | `Taint ->
             let t, _ = Jt_taint.Taint.create () in
-            Janitizer.Driver.run ~tool:t ~registry:w.w_registry ~main:name ()
+            Janitizer.Driver.run ?store ~tool:t ~registry:w.w_registry ~main:name ()
         in
         (name, tool, o)
     in
@@ -498,8 +505,17 @@ let batch_cmd =
     in
     let wall = Unix.gettimeofday () -. t0 in
     let oc = open_out out in
-    Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"wall_s\": %.3f,\n  \"runs\": [\n"
-      jobs wall;
+    Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"wall_s\": %.3f,\n" jobs wall;
+    (match store with
+    | None -> ()
+    | Some st ->
+      let s = Jt_ir.Store.stats st in
+      Printf.fprintf oc
+        "  \"store\": {\"mem_hits\": %d, \"disk_hits\": %d, \"misses\": %d, \
+         \"evictions\": %d, \"corrupt\": %d, \"hit_rate\": %.4f},\n"
+        s.st_mem_hits s.st_disk_hits s.st_misses s.st_evictions s.st_corrupt
+        (Jt_ir.Store.hit_rate s));
+    output_string oc "  \"runs\": [\n";
     List.iteri
       (fun i (name, tool, (o : Janitizer.Driver.outcome)) ->
         Printf.fprintf oc
@@ -518,7 +534,111 @@ let batch_cmd =
       (List.length results) (List.length names) (List.length tools) jobs wall out
   in
   Cmd.v (Cmd.info "batch" ~doc)
-    Term.(const run $ workloads_arg $ tools_arg $ jobs_arg $ out_arg)
+    Term.(const run $ workloads_arg $ tools_arg $ jobs_arg $ out_arg
+          $ store_arg)
+
+(* ---- cache: rule-cache and IR-store maintenance ---- *)
+
+let cache_cmd =
+  let doc =
+    "Inspect and maintain the on-disk caches: the rewrite-rule cache \
+     (.jtr files) and the content-addressed IR store (.jtir files)."
+  in
+  let action_conv =
+    Arg.enum [ ("stats", `Stats); ("gc", `Gc); ("clear", `Clear) ]
+  in
+  let action_arg =
+    Arg.(required & pos 0 (some action_conv) None & info [] ~docv:"ACTION"
+           ~doc:"$(b,stats) reports entries, bytes and this process's \
+                 hit/miss counts; $(b,gc) evicts oldest-accessed entries \
+                 until each cache fits --max-bytes; $(b,clear) removes \
+                 every entry.")
+  in
+  let rules_dir_arg =
+    Arg.(value & opt string "_rules" & info [ "rules-dir" ] ~docv:"DIR"
+           ~doc:"Rewrite-rule cache directory")
+  in
+  let store_dir_arg =
+    Arg.(value & opt string "_irstore" & info [ "store-dir" ] ~docv:"DIR"
+           ~doc:"IR store directory")
+  in
+  let max_bytes_arg =
+    Arg.(value & opt (some int) None & info [ "max-bytes" ] ~docv:"N"
+           ~doc:"gc budget, applied to each cache independently")
+  in
+  (* The rule cache shares the store's maintenance policy (oldest mtime
+     first) but has no module of its own — it is a plain directory of
+     .jtr files, enumerated here. *)
+  let rule_entries dir =
+    (match Sys.readdir dir with
+    | files -> Array.to_list files
+    | exception Sys_error _ -> [])
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f ".jtr" then begin
+             let path = Filename.concat dir f in
+             match Unix.stat path with
+             | st -> Some (path, st.Unix.st_size, st.Unix.st_mtime)
+             | exception Unix.Unix_error _ -> None
+           end
+           else None)
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+  in
+  let total entries = List.fold_left (fun a (_, b, _) -> a + b) 0 entries in
+  let run action rules_dir store_dir max_bytes =
+    let store = Jt_ir.Store.create ~dir:store_dir () in
+    match action with
+    | `Stats ->
+      let rents = rule_entries rules_dir in
+      let sents = Jt_ir.Store.disk_entries store in
+      let st = Jt_ir.Store.stats store in
+      Printf.printf "rule cache %s: %d entries, %d bytes\n" rules_dir
+        (List.length rents) (total rents);
+      Printf.printf "IR store   %s: %d entries, %d bytes\n" store_dir
+        (List.length sents) (total sents);
+      Printf.printf
+        "IR store lookups this process: %d mem hits, %d disk hits, %d \
+         misses, %d evictions, %d corrupt (hit rate %.1f%%)\n"
+        st.st_mem_hits st.st_disk_hits st.st_misses st.st_evictions
+        st.st_corrupt
+        (100.0 *. Jt_ir.Store.hit_rate st)
+    | `Gc ->
+      let budget =
+        match max_bytes with
+        | Some n when n >= 0 -> n
+        | Some _ | None ->
+          prerr_endline "cache gc needs --max-bytes N (N >= 0)";
+          exit 1
+      in
+      let rents = rule_entries rules_dir in
+      let excess = ref (total rents - budget) in
+      let r_removed = ref 0 and r_freed = ref 0 in
+      List.iter
+        (fun (path, sz, _) ->
+          if !excess > 0 then begin
+            (try Sys.remove path with Sys_error _ -> ());
+            excess := !excess - sz;
+            incr r_removed;
+            r_freed := !r_freed + sz
+          end)
+        rents;
+      let s_removed, s_freed = Jt_ir.Store.gc store ~max_bytes:budget in
+      Printf.printf "rule cache %s: removed %d entries, freed %d bytes\n"
+        rules_dir !r_removed !r_freed;
+      Printf.printf "IR store   %s: removed %d entries, freed %d bytes\n"
+        store_dir s_removed s_freed
+    | `Clear ->
+      let rents = rule_entries rules_dir in
+      List.iter
+        (fun (path, _, _) -> try Sys.remove path with Sys_error _ -> ())
+        rents;
+      let s_removed = Jt_ir.Store.clear store in
+      Printf.printf "rule cache %s: removed %d entries\n" rules_dir
+        (List.length rents);
+      Printf.printf "IR store   %s: removed %d entries\n" store_dir s_removed
+  in
+  Cmd.v (Cmd.info "cache" ~doc)
+    Term.(const run $ action_arg $ rules_dir_arg $ store_dir_arg
+          $ max_bytes_arg)
 
 (* ---- juliet ---- *)
 
@@ -549,4 +669,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; inspect_cmd; disasm_cmd; analyze_cmd; run_cmd; trace_cmd;
-            batch_cmd; juliet_cmd ]))
+            batch_cmd; cache_cmd; juliet_cmd ]))

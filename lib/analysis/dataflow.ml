@@ -137,6 +137,40 @@ module Make (L : LATTICE) = struct
   let block_out t a = Hashtbl.find_opt t.r_out a
   let iterations t = t.iterations
 
+  (* The per-block in-states are the whole fixpoint: out-states and
+     per-instruction states are derived by replaying [transfer].  So a
+     solution serializes as just (block, in-state) pairs, and [restore]
+     rebuilds an equivalent solver value with a single non-iterating
+     pass — no worklist, no joins, provided the caller supplies the same
+     transfer function the original [solve] used. *)
+  let export t =
+    Hashtbl.fold (fun a st acc -> (a, st) :: acc) t.r_in []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let restore ~transfer ~ins (fn : Cfg.fn) =
+    let blocks = fn.Cfg.f_blocks in
+    let r_in = Hashtbl.create 16 in
+    let r_out = Hashtbl.create 16 in
+    List.iter
+      (fun (a, st) ->
+        match Hashtbl.find_opt blocks a with
+        | None -> failwith "Dataflow.restore: unknown block"
+        | Some b ->
+          Hashtbl.replace r_in a st;
+          let out =
+            Array.fold_left (fun st i -> transfer i st) st b.Cfg.b_insns
+          in
+          Hashtbl.replace r_out a out)
+      ins;
+    let block_of_insn = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun a (b : Cfg.block) ->
+        Array.iter
+          (fun (i : insn_info) -> Hashtbl.replace block_of_insn i.d_addr a)
+          b.Cfg.b_insns)
+      blocks;
+    { blocks; block_of_insn; r_in; r_out; transfer; iterations = 0 }
+
   (* Per-instruction state: replay the block's transfer from its in-state
      up to (but not including) the instruction. *)
   let before t addr =

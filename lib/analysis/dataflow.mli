@@ -60,4 +60,21 @@ module Make (L : LATTICE) : sig
 
   val iterations : t -> int
   (** Blocks processed until stabilization (solver diagnostics). *)
+
+  val export : t -> (int * L.t) list
+  (** The fixpoint's per-block in-states, sorted by block address.  This
+      is the complete solution: out-states and per-instruction states are
+      replay-derived. *)
+
+  val restore :
+    transfer:(Jt_disasm.Disasm.insn_info -> L.t -> L.t) ->
+    ins:(int * L.t) list ->
+    Jt_cfg.Cfg.fn ->
+    t
+  (** Rebuild a solver value from {!export}ed in-states without running
+      the fixpoint: one transfer pass per block recomputes the out-states.
+      The caller must supply the same transfer the original [solve] used,
+      or the replayed states are meaningless.  [iterations] of the result
+      is [0].  @raise Failure if [ins] names a block not in the
+      function. *)
 end

@@ -94,6 +94,46 @@ let same_defs t r ~at_a ~at_b =
   let b = List.sort_uniq compare (reaching_defs t at_b r) in
   a = b
 
+(* Serialization.  The per-block in-environments are the whole fixpoint:
+   [analyze]'s final pass derives every per-instruction fact from them by
+   replaying [transfer], and [import] repeats exactly that pass.  A
+   block's in-environment is [before] at its first instruction (blocks
+   always carry at least one). *)
+
+let export t =
+  List.map
+    (fun (b : Cfg.block) ->
+      let env =
+        match Hashtbl.find_opt t.before b.Cfg.b_insns.(0).d_addr with
+        | Some env -> env
+        | None -> Imap.empty
+      in
+      (b.Cfg.b_addr, Imap.bindings env))
+    (Cfg.fn_blocks t.fn)
+
+let import ~ins (fn : Cfg.fn) =
+  let before = Hashtbl.create 64 in
+  let insn_of = Hashtbl.create 64 in
+  List.iter
+    (fun (addr, bindings) ->
+      match Hashtbl.find_opt fn.Cfg.f_blocks addr with
+      | None -> failwith "Defuse.import: unknown block"
+      | Some b ->
+        let env =
+          ref
+            (List.fold_left
+               (fun m (r, defs) -> Imap.add r defs m)
+               Imap.empty bindings)
+        in
+        Array.iter
+          (fun (i : insn_info) ->
+            Hashtbl.replace before i.d_addr !env;
+            Hashtbl.replace insn_of i.d_addr i.d_insn;
+            env := transfer i.d_addr i.d_insn !env)
+          b.Cfg.b_insns)
+    ins;
+  { fn; before; insn_of }
+
 let traces_to t addr r ~pred =
   let visited = Hashtbl.create 16 in
   let rec go addr r =

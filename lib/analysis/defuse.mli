@@ -32,3 +32,14 @@ val traces_to : t -> int -> Reg.t -> pred:(Insn.t -> bool) -> bool
     value of [r] before [addr]; true if any contributing definition
     satisfies [pred].  Memory is not traced through (stores/loads break
     the chain), matching a conservative binary-level tracer. *)
+
+val export : t -> (int * (int * int list) list) list
+(** Per-block reaching-definition in-environments:
+    [(block address, (register index, def addresses) list)], blocks in
+    address order, registers in index order — the complete fixpoint;
+    per-instruction facts are replay-derived. *)
+
+val import : ins:(int * (int * int list) list) list -> Jt_cfg.Cfg.fn -> t
+(** Rebuild from {!export}ed in-environments by replaying each block's
+    transfer — every query answers identically to the original.
+    @raise Failure if a listed block is not in the function. *)

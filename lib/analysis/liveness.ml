@@ -125,3 +125,31 @@ let flags_dead_before t addr =
   Flags.is_empty flags
 
 let conservative (_ : Cfg.fn) = { facts = Hashtbl.create 1; all_live = true }
+
+(* Serialization.  The facts table is the analysis — there is nothing to
+   replay — so export/import is a plain dump of (addr, regs, flags)
+   triples, flag sets as their underlying bit masks. *)
+
+let flags_of_bits bits =
+  Flags.of_list
+    (List.filter
+       (fun f -> bits land ((Flags.singleton f :> int)) <> 0)
+       [ Flags.Zf; Flags.Sf; Flags.Cf; Flags.Of ])
+
+let export t =
+  let facts =
+    Hashtbl.fold
+      (fun addr ((regs, flags) : int * Flags.set) acc ->
+        (addr, regs, (flags :> int)) :: acc)
+      t.facts []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  (t.all_live, facts)
+
+let import ~all_live ~facts () =
+  let tbl = Hashtbl.create (max 1 (List.length facts)) in
+  List.iter
+    (fun (addr, regs, bits) ->
+      Hashtbl.replace tbl addr (regs, flags_of_bits bits))
+    facts;
+  { facts = tbl; all_live }

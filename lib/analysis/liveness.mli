@@ -48,3 +48,12 @@ val conservative : Jt_cfg.Cfg.fn -> t
 
 val reg_mask : Reg.t list -> int
 val mask_regs : int -> Reg.t list
+
+val export : t -> bool * (int * int * int) list
+(** [(all_live, facts)] where each fact is (instruction address, live
+    register mask, live flag bits), sorted by address — the complete
+    analysis result, ready for the serializable IR. *)
+
+val import : all_live:bool -> facts:(int * int * int) list -> unit -> t
+(** Inverse of {!export}: every query answers identically to the
+    original analysis. *)

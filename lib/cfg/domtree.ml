@@ -11,13 +11,15 @@ type t = {
   dt_dom : (int, Cfg.Iset.t) Hashtbl.t;  (* full dominator sets *)
 }
 
-let compute (fn : Cfg.fn) =
-  let dom = Cfg.dominators fn in
+(* Build the tree from given dominator sets.  Shared by [compute] and
+   [import] so that a tree restored from serialized sets is identical by
+   construction to the one computed from scratch. *)
+let of_dom ~entry (dom : (int, Cfg.Iset.t) Hashtbl.t) =
   let idom = Hashtbl.create 16 in
   let children = Hashtbl.create 16 in
   Hashtbl.iter
     (fun a doms ->
-      if a <> fn.Cfg.f_entry then begin
+      if a <> entry then begin
         let strict = Cfg.Iset.remove a doms in
         (* The idom is the strict dominator dominated by all the others,
            i.e. the one whose own dominator set is the largest. *)
@@ -45,8 +47,28 @@ let compute (fn : Cfg.fn) =
   Hashtbl.filter_map_inplace
     (fun _ cs -> Some (List.sort compare cs))
     children;
-  { dt_entry = fn.Cfg.f_entry; dt_idom = idom; dt_children = children;
-    dt_dom = dom }
+  { dt_entry = entry; dt_idom = idom; dt_children = children; dt_dom = dom }
+
+let compute (fn : Cfg.fn) = of_dom ~entry:fn.Cfg.f_entry (Cfg.dominators fn)
+
+(* Serialization: the full dominator sets are the ground truth the whole
+   tree is derived from, so they are what round-trips.  (Idom pairs alone
+   would not do: unreachable cycles have dominator set = all blocks,
+   giving mutually-dominating blocks whose idom choice is only
+   deterministic with the sets in hand.) *)
+
+let export t =
+  Hashtbl.fold
+    (fun a doms acc -> (a, Cfg.Iset.elements doms) :: acc)
+    t.dt_dom []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let import ~entry doms =
+  let dom = Hashtbl.create (max 1 (List.length doms)) in
+  List.iter
+    (fun (a, ds) -> Hashtbl.replace dom a (Cfg.Iset.of_list ds))
+    doms;
+  of_dom ~entry dom
 
 let entry t = t.dt_entry
 

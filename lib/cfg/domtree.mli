@@ -27,3 +27,11 @@ val strictly_dominates : t -> int -> int -> bool
 val dom_chain : t -> int -> int list
 (** [b; idom b; idom (idom b); ...] up to the function entry — the walk
     order for finding the nearest dominating occurrence of a fact. *)
+
+val export : t -> (int * int list) list
+(** The full per-block dominator sets, blocks and set elements in
+    address order — the ground truth the tree derives from. *)
+
+val import : entry:int -> (int * int list) list -> t
+(** Rebuild a tree from {!export}ed sets; identical by construction to
+    the tree {!compute} built (both go through the same derivation). *)

@@ -11,17 +11,59 @@ type outcome = {
    calling domain, applied in registry order: tools may carry internal
    state, and sequential application keeps rule generation deterministic
    regardless of which worker finished first.  The expensive part —
-   disassembly, CFG recovery, the helper analyses — is what parallelizes. *)
-let analyze_all ?pool ~tool registry =
+   disassembly, CFG recovery, the helper analyses — is what parallelizes.
+
+   The result list always matches the input registry order, with
+   [precomputed] entries spliced in at their module's position — callers
+   zip it against the registry. *)
+let analyze_all ?pool ?store ?(precomputed = []) ~tool registry =
+  let todo =
+    List.filter
+      (fun (m : Jt_obj.Objfile.t) -> not (List.mem_assoc m.name precomputed))
+      registry
+  in
   let analyses =
     match pool with
-    | None ->
-      List.map (fun (m : Jt_obj.Objfile.t) -> Static_analyzer.analyze m) registry
-    | Some p -> Jt_pool.Pool.map p Static_analyzer.analyze registry
+    | None -> List.map (Static_analyzer.analyze ?store) todo
+    | Some p -> Jt_pool.Pool.map p (Static_analyzer.analyze ?store) todo
   in
-  List.map2
-    (fun (m : Jt_obj.Objfile.t) sa -> (m.name, tool.Tool.t_static sa))
-    registry analyses
+  let generated =
+    List.map2
+      (fun (m : Jt_obj.Objfile.t) sa ->
+        let file = tool.Tool.t_static sa in
+        (* Tool-contributed aux tables (e.g. the JASan claim partition)
+           ride along in the module's stored IR, so warm runs and the
+           DBT's overlay planner can read them back without re-running
+           the static pass. *)
+        Option.iter
+          (fun st ->
+            Jt_ir.Store.update_aux st
+              ~digest:(Jt_obj.Objfile.digest m)
+              (tool.Tool.t_aux sa))
+          store;
+        (m.name, file))
+      todo analyses
+  in
+  let in_registry_order =
+    List.map
+      (fun (m : Jt_obj.Objfile.t) ->
+        match List.assoc_opt m.name precomputed with
+        | Some f -> (m.name, f)
+        | None -> (m.name, List.assoc m.name generated))
+      registry
+  in
+  (* Precomputed rules for modules outside this registry are kept (the
+     engine simply never asks for them) so callers can pass a superset. *)
+  let leftovers =
+    List.filter
+      (fun (name, _) ->
+        not
+          (List.exists
+             (fun (m : Jt_obj.Objfile.t) -> String.equal m.name name)
+             registry))
+      precomputed
+  in
+  in_registry_order @ leftovers
 
 let rules_path ~dir name = Filename.concat dir (name ^ ".jtr")
 
@@ -123,21 +165,15 @@ let static_closure ~registry ~main =
   List.rev !order
 
 let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?trace_elide
-    ?(precomputed = []) ?pool ~tool ~registry ~main () =
+    ?(precomputed = []) ?pool ?store ~tool ~registry ~main () =
   (* Each driver run reports its own (domain-local) counters; without
      this, numbers from a previous run on the same domain leak into the
      next one's snapshot. *)
   Jt_metrics.Metrics.Counters.reset ();
+  let modules = static_closure ~registry ~main in
   let rule_files =
     Jt_trace.Trace.in_phase Jt_trace.Trace.Analyze (fun () ->
-        if hybrid then
-          let todo =
-            List.filter
-              (fun (m : Jt_obj.Objfile.t) ->
-                not (List.mem_assoc m.name precomputed))
-              (static_closure ~registry ~main)
-          in
-          precomputed @ analyze_all ?pool ~tool todo
+        if hybrid then analyze_all ?pool ?store ~precomputed ~tool modules
         else [])
   in
   let rule_count =
@@ -145,9 +181,27 @@ let run ?fuel ?(hybrid = true) ?profile ?ibl ?trace ?trace_elide
       (fun acc (_, (f : Jt_rules.Rules.file)) -> acc + List.length f.rf_rules)
       0 rule_files
   in
+  (* When a store is attached, hand the engine a reader for the stored
+     IR of any statically analyzed module (keyed by runtime module name,
+     resolved through the content digest) so it can consult aux tables —
+     claims partitions and the like — at load time. *)
+  let ir_for =
+    Option.map
+      (fun st ->
+        let digest_of = Hashtbl.create 16 in
+        List.iter
+          (fun (m : Jt_obj.Objfile.t) ->
+            Hashtbl.replace digest_of m.name (Jt_obj.Objfile.digest m))
+          modules;
+        fun name ->
+          match Hashtbl.find_opt digest_of name with
+          | None -> None
+          | Some d -> Jt_ir.Store.peek st ~digest:d)
+      store
+  in
   let vm = Jt_vm.Vm.make ~registry in
   let engine =
-    Jt_dbt.Dbt.create ~vm ?profile ?ibl ?trace ?trace_elide
+    Jt_dbt.Dbt.create ~vm ?profile ?ibl ?trace ?trace_elide ?ir_for
       ~client:tool.Tool.t_client
       ~rules_for:(fun name -> List.assoc_opt name rule_files)
       ()

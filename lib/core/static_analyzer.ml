@@ -1,3 +1,5 @@
+module Ir = Jt_ir.Ir
+
 type fn_analysis = {
   fa_fn : Jt_cfg.Cfg.fn;
   fa_liveness : Jt_analysis.Liveness.t;
@@ -16,9 +18,250 @@ type t = {
   sa_fns : fn_analysis list;
   sa_addr_fn : (int, fn_analysis) Hashtbl.t;
   sa_reliable_conventions : bool;
+  sa_raw_code_ptrs : int list Lazy.t;
+  sa_ir : Ir.t Lazy.t;
 }
 
-let analyze (m : Jt_obj.Objfile.t) =
+(* Ground truth for the warm-start invariant: every *real* analysis —
+   disassembly, CFG recovery, the per-function fixpoints — passes through
+   [compute], which bumps this counter.  It is a cross-domain [Atomic]
+   rather than a [Metrics] counter because pool workers analyze on their
+   own domains and the bench gate needs one total, not per-domain
+   shards. *)
+let analyses = Atomic.make 0
+
+let analyses_performed () = Atomic.get analyses
+
+(* ---- IR conversion: Cfg/analysis values -> pure data and back ---- *)
+
+let term_to_ir : Jt_cfg.Cfg.term -> Ir.term = function
+  | Jt_cfg.Cfg.Tjmp t -> Ir.Tjmp t
+  | Jt_cfg.Cfg.Tjcc (t, f) -> Ir.Tjcc (t, f)
+  | Jt_cfg.Cfg.Tjmp_ind ts -> Ir.Tjmp_ind ts
+  | Jt_cfg.Cfg.Tcall (c, r) -> Ir.Tcall (c, r)
+  | Jt_cfg.Cfg.Tcall_ind r -> Ir.Tcall_ind r
+  | Jt_cfg.Cfg.Tret -> Ir.Tret
+  | Jt_cfg.Cfg.Thalt -> Ir.Thalt
+  | Jt_cfg.Cfg.Tfall n -> Ir.Tfall n
+
+let term_of_ir : Ir.term -> Jt_cfg.Cfg.term = function
+  | Ir.Tjmp t -> Jt_cfg.Cfg.Tjmp t
+  | Ir.Tjcc (t, f) -> Jt_cfg.Cfg.Tjcc (t, f)
+  | Ir.Tjmp_ind ts -> Jt_cfg.Cfg.Tjmp_ind ts
+  | Ir.Tcall (c, r) -> Jt_cfg.Cfg.Tcall (c, r)
+  | Ir.Tcall_ind r -> Jt_cfg.Cfg.Tcall_ind r
+  | Ir.Tret -> Jt_cfg.Cfg.Tret
+  | Ir.Thalt -> Jt_cfg.Cfg.Thalt
+  | Ir.Tfall n -> Jt_cfg.Cfg.Tfall n
+
+let mem_to_ir (m : Jt_isa.Insn.mem) : Ir.mem =
+  {
+    Ir.im_base =
+      (match m.Jt_isa.Insn.base with
+      | None -> -1
+      | Some Jt_isa.Insn.Bpc -> -2
+      | Some (Jt_isa.Insn.Breg r) -> Jt_isa.Reg.index r);
+    im_index =
+      (match m.Jt_isa.Insn.index with
+      | None -> -1
+      | Some r -> Jt_isa.Reg.index r);
+    im_scale = m.Jt_isa.Insn.scale;
+    im_disp = m.Jt_isa.Insn.disp;
+  }
+
+let mem_of_ir (m : Ir.mem) : Jt_isa.Insn.mem =
+  {
+    Jt_isa.Insn.base =
+      (if m.Ir.im_base = -1 then None
+       else if m.Ir.im_base = -2 then Some Jt_isa.Insn.Bpc
+       else Some (Jt_isa.Insn.Breg (Jt_isa.Reg.of_index m.Ir.im_base)));
+    index =
+      (if m.Ir.im_index = -1 then None
+       else Some (Jt_isa.Reg.of_index m.Ir.im_index));
+    scale = m.Ir.im_scale;
+    disp = Jt_isa.Word.of_int m.Ir.im_disp;
+  }
+
+let access_to_ir (a : Jt_analysis.Scev.access) : Ir.access =
+  {
+    Ir.ia_addr = a.Jt_analysis.Scev.a_addr;
+    ia_mem = mem_to_ir a.a_mem;
+    ia_width = a.a_width;
+    ia_is_store = a.a_is_store;
+  }
+
+let access_of_ir (a : Ir.access) : Jt_analysis.Scev.access =
+  {
+    Jt_analysis.Scev.a_addr = a.Ir.ia_addr;
+    a_mem = mem_of_ir a.ia_mem;
+    a_width = a.ia_width;
+    a_is_store = a.ia_is_store;
+  }
+
+let scev_to_ir (s : Jt_analysis.Scev.summary) : Ir.scev =
+  {
+    Ir.is_head = s.Jt_analysis.Scev.ls_head;
+    is_preheader = s.ls_preheader;
+    is_check_at = s.ls_check_at;
+    is_ivar = Jt_isa.Reg.index s.ls_ivar;
+    is_init = s.ls_init;
+    is_bound =
+      (match s.ls_bound with
+      | Jt_analysis.Scev.Bimm v -> Ir.Ibnd_imm v
+      | Jt_analysis.Scev.Breg r -> Ir.Ibnd_reg (Jt_isa.Reg.index r));
+    is_bound_incl = s.ls_bound_incl;
+    is_affine = List.map access_to_ir s.ls_affine;
+    is_invariant = List.map access_to_ir s.ls_invariant;
+  }
+
+let scev_of_ir (s : Ir.scev) : Jt_analysis.Scev.summary =
+  {
+    Jt_analysis.Scev.ls_head = s.Ir.is_head;
+    ls_preheader = s.is_preheader;
+    ls_check_at = s.is_check_at;
+    ls_ivar = Jt_isa.Reg.of_index s.is_ivar;
+    ls_init = s.is_init;
+    ls_bound =
+      (match s.is_bound with
+      | Ir.Ibnd_imm v -> Jt_analysis.Scev.Bimm v
+      | Ir.Ibnd_reg r -> Jt_analysis.Scev.Breg (Jt_isa.Reg.of_index r));
+    ls_bound_incl = s.is_bound_incl;
+    ls_affine = List.map access_of_ir s.is_affine;
+    ls_invariant = List.map access_of_ir s.is_invariant;
+  }
+
+let canary_to_ir (c : Jt_analysis.Canary.site) : Ir.canary =
+  {
+    Ir.ic_fn = c.Jt_analysis.Canary.c_fn;
+    ic_store = c.c_store_addr;
+    ic_after = c.c_after_store;
+    ic_disp = c.c_slot_disp;
+    ic_loads = c.c_check_loads;
+  }
+
+let canary_of_ir (c : Ir.canary) : Jt_analysis.Canary.site =
+  {
+    Jt_analysis.Canary.c_fn = c.Ir.ic_fn;
+    c_store_addr = c.ic_store;
+    c_after_store = c.ic_after;
+    c_slot_disp = c.ic_disp;
+    c_check_loads = c.ic_loads;
+  }
+
+let stack_to_ir (s : Jt_analysis.Stackinfo.info) : Ir.stackinfo =
+  {
+    Ir.ik_entry = s.Jt_analysis.Stackinfo.s_entry;
+    ik_frame = s.s_frame_size;
+    ik_canary = s.s_has_canary_pattern;
+    ik_push = s.s_push_bytes;
+  }
+
+let stack_of_ir (s : Ir.stackinfo) : Jt_analysis.Stackinfo.info =
+  {
+    Jt_analysis.Stackinfo.s_entry = s.Ir.ik_entry;
+    s_frame_size = s.ik_frame;
+    s_has_canary_pattern = s.ik_canary;
+    s_push_bytes = s.ik_push;
+  }
+
+let value_to_ir : Jt_analysis.Vsa.value -> Ir.vsa_value = function
+  | Jt_analysis.Vsa.Bot -> Ir.Vbot
+  | Jt_analysis.Vsa.Cst i -> Ir.Vcst (i.Jt_analysis.Vsa.lo, i.hi)
+  | Jt_analysis.Vsa.Sprel i -> Ir.Vsprel (i.Jt_analysis.Vsa.lo, i.hi)
+  | Jt_analysis.Vsa.Top -> Ir.Vtop
+
+let value_of_ir : Ir.vsa_value -> Jt_analysis.Vsa.value = function
+  | Ir.Vbot -> Jt_analysis.Vsa.Bot
+  | Ir.Vcst (lo, hi) -> Jt_analysis.Vsa.Cst { Jt_analysis.Vsa.lo; hi }
+  | Ir.Vsprel (lo, hi) -> Jt_analysis.Vsa.Sprel { Jt_analysis.Vsa.lo; hi }
+  | Ir.Vtop -> Jt_analysis.Vsa.Top
+
+let fn_to_ir (fa : fn_analysis) : Ir.fn =
+  let fn = fa.fa_fn in
+  let all_live, live = Jt_analysis.Liveness.export fa.fa_liveness in
+  {
+    Ir.if_entry = fn.Jt_cfg.Cfg.f_entry;
+    if_name = fn.Jt_cfg.Cfg.f_name;
+    if_blocks =
+      List.map
+        (fun (b : Jt_cfg.Cfg.block) -> b.Jt_cfg.Cfg.b_addr)
+        (Jt_cfg.Cfg.fn_blocks fn);
+    if_loops =
+      List.map
+        (fun (l : Jt_cfg.Cfg.loop) ->
+          (l.Jt_cfg.Cfg.l_head, Jt_cfg.Cfg.Iset.elements l.l_body))
+        fn.Jt_cfg.Cfg.f_loops;
+    if_live_all = all_live;
+    if_live = live;
+    if_canaries = List.map canary_to_ir fa.fa_canaries;
+    if_scev = List.map scev_to_ir fa.fa_scev;
+    if_stack = stack_to_ir fa.fa_stack;
+    if_vsa =
+      Option.map
+        (List.map (fun (a, st) -> (a, Array.map value_to_ir st)))
+        (Jt_analysis.Vsa.export (Lazy.force fa.fa_vsa));
+    if_dom = Jt_cfg.Domtree.export (Lazy.force fa.fa_domtree);
+    if_defuse = Jt_analysis.Defuse.export (Lazy.force fa.fa_defuse);
+  }
+
+let build_ir (sa : t) : Ir.t =
+  let d = sa.sa_disasm in
+  let insns =
+    Hashtbl.fold
+      (fun _ (i : Jt_disasm.Disasm.insn_info) acc ->
+        (i.d_addr, i.d_len) :: acc)
+      d.Jt_disasm.Disasm.insns []
+    |> List.sort compare |> Array.of_list
+  in
+  let blocks =
+    Hashtbl.fold (fun _ b acc -> b :: acc) sa.sa_cfg.Jt_cfg.Cfg.c_blocks []
+    |> List.sort (fun (a : Jt_cfg.Cfg.block) b ->
+           compare a.Jt_cfg.Cfg.b_addr b.Jt_cfg.Cfg.b_addr)
+    |> List.map (fun (b : Jt_cfg.Cfg.block) ->
+           {
+             Ir.ib_addr = b.Jt_cfg.Cfg.b_addr;
+             ib_ninsns = Array.length b.b_insns;
+             ib_term = term_to_ir b.b_term;
+             ib_succs = b.b_succs;
+             ib_preds = b.b_preds;
+           })
+  in
+  {
+    Ir.ir_module = sa.sa_mod.Jt_obj.Objfile.name;
+    ir_digest = Jt_obj.Objfile.digest sa.sa_mod;
+    ir_reliable = sa.sa_reliable_conventions;
+    ir_insns = insns;
+    ir_leaders = Jt_disasm.Disasm.block_starts d;
+    ir_func_entries = d.Jt_disasm.Disasm.func_entries;
+    ir_jump_tables = d.Jt_disasm.Disasm.jump_tables;
+    ir_code_ptrs = Lazy.force sa.sa_raw_code_ptrs;
+    ir_blocks = blocks;
+    ir_fns = List.map fn_to_ir sa.sa_fns;
+    ir_aux = [];
+  }
+
+(* ---- full analysis (the expensive path) ---- *)
+
+let addr_fn_of fns =
+  (* Instruction-address -> function, built once so [fn_of_addr] is a
+     hash probe.  [Hashtbl.add] guarded by [mem] keeps the *first*
+     function in [fns] order for an address claimed by several. *)
+  let addr_fn = Hashtbl.create 1024 in
+  List.iter
+    (fun fa ->
+      Hashtbl.iter
+        (fun _ (b : Jt_cfg.Cfg.block) ->
+          Array.iter
+            (fun (i : Jt_disasm.Disasm.insn_info) ->
+              if not (Hashtbl.mem addr_fn i.d_addr) then
+                Hashtbl.add addr_fn i.d_addr fa)
+            b.b_insns)
+        fa.fa_fn.Jt_cfg.Cfg.f_blocks)
+    fns;
+  addr_fn
+
+let compute (m : Jt_obj.Objfile.t) =
+  Atomic.incr analyses;
   let disasm = Jt_disasm.Disasm.run m in
   let cfg = Jt_cfg.Cfg.build disasm in
   let reliable =
@@ -59,25 +302,170 @@ let analyze (m : Jt_obj.Objfile.t) =
         })
       (Jt_cfg.Cfg.functions cfg)
   in
-  (* Instruction-address -> function index, built once here so
-     [fn_of_addr] is a hash probe instead of a full scan of every
-     instruction of every function per query.  [Hashtbl.add] guarded by
-     [mem] keeps the *first* function in [fns] order for an address
-     claimed by several (matching the old [List.find_opt] semantics). *)
-  let addr_fn = Hashtbl.create 1024 in
+  let rec sa =
+    {
+      sa_mod = m;
+      sa_disasm = disasm;
+      sa_cfg = cfg;
+      sa_fns = fns;
+      sa_addr_fn = addr_fn_of fns;
+      sa_reliable_conventions = reliable;
+      sa_raw_code_ptrs = lazy (Jt_disasm.Disasm.scan_code_pointers m);
+      sa_ir = lazy (build_ir sa);
+    }
+  in
+  sa
+
+(* ---- reconstruction from a stored IR (the warm path) ---- *)
+
+(* Any inconsistency raises [Failure]; callers treat that exactly like a
+   corrupt store entry — warn and fall back to [compute]. *)
+let of_ir (m : Jt_obj.Objfile.t) (ir : Ir.t) =
+  if not (String.equal ir.Ir.ir_digest (Jt_obj.Objfile.digest m)) then
+    failwith "Static_analyzer.of_ir: digest mismatch";
+  (* Instructions: linear re-decode of the recorded spans from the
+     module's own bytes (the digest pins them down); a span whose decode
+     fails or disagrees on length means the entry is corrupt. *)
+  let insns = Hashtbl.create (Array.length ir.Ir.ir_insns) in
+  Array.iter
+    (fun (addr, len) ->
+      match Jt_obj.Objfile.section_at m addr with
+      | None -> failwith "Static_analyzer.of_ir: span outside any section"
+      | Some sec -> (
+        let pos = addr - sec.Jt_obj.Section.vaddr in
+        match
+          Jt_isa.Decode.from_string sec.Jt_obj.Section.data ~pos ~at:addr
+        with
+        | Some (insn, len') when len' = len ->
+          Hashtbl.replace insns addr
+            { Jt_disasm.Disasm.d_addr = addr; d_insn = insn; d_len = len }
+        | _ -> failwith "Static_analyzer.of_ir: span does not decode"))
+    ir.Ir.ir_insns;
+  let leaders = Hashtbl.create 256 in
+  List.iter (fun a -> Hashtbl.replace leaders a ()) ir.Ir.ir_leaders;
+  let disasm =
+    {
+      Jt_disasm.Disasm.dmod = m;
+      insns;
+      leaders;
+      func_entries = ir.Ir.ir_func_entries;
+      jump_tables = ir.Ir.ir_jump_tables;
+    }
+  in
+  (* Blocks: each block's instructions are the consecutive spans starting
+     at its address. *)
+  let c_blocks = Hashtbl.create 256 in
   List.iter
-    (fun fa ->
-      Hashtbl.iter
-        (fun _ (b : Jt_cfg.Cfg.block) ->
-          Array.iter
-            (fun (i : Jt_disasm.Disasm.insn_info) ->
-              if not (Hashtbl.mem addr_fn i.d_addr) then
-                Hashtbl.add addr_fn i.d_addr fa)
-            b.b_insns)
-        fa.fa_fn.Jt_cfg.Cfg.f_blocks)
-    fns;
-  { sa_mod = m; sa_disasm = disasm; sa_cfg = cfg; sa_fns = fns;
-    sa_addr_fn = addr_fn; sa_reliable_conventions = reliable }
+    (fun (b : Ir.block) ->
+      let arr =
+        Array.make b.Ir.ib_ninsns
+          { Jt_disasm.Disasm.d_addr = 0; d_insn = Jt_isa.Insn.Nop; d_len = 0 }
+      in
+      let addr = ref b.Ir.ib_addr in
+      for k = 0 to b.Ir.ib_ninsns - 1 do
+        match Hashtbl.find_opt insns !addr with
+        | None -> failwith "Static_analyzer.of_ir: block walks off the insns"
+        | Some i ->
+          arr.(k) <- i;
+          addr := !addr + i.d_len
+      done;
+      Hashtbl.replace c_blocks b.Ir.ib_addr
+        {
+          Jt_cfg.Cfg.b_addr = b.Ir.ib_addr;
+          b_insns = arr;
+          b_term = term_of_ir b.ib_term;
+          b_succs = b.ib_succs;
+          b_preds = b.ib_preds;
+        })
+    ir.Ir.ir_blocks;
+  let c_fns = Hashtbl.create 64 in
+  let fns =
+    List.map
+      (fun (f : Ir.fn) ->
+        let f_blocks = Hashtbl.create (List.length f.Ir.if_blocks) in
+        List.iter
+          (fun a ->
+            match Hashtbl.find_opt c_blocks a with
+            | Some b -> Hashtbl.replace f_blocks a b
+            | None -> failwith "Static_analyzer.of_ir: unknown block in fn")
+          f.Ir.if_blocks;
+        let fn =
+          {
+            Jt_cfg.Cfg.f_entry = f.Ir.if_entry;
+            f_name = f.if_name;
+            f_blocks;
+            f_loops =
+              List.map
+                (fun (head, body) ->
+                  {
+                    Jt_cfg.Cfg.l_head = head;
+                    l_body = Jt_cfg.Cfg.Iset.of_list body;
+                  })
+                f.if_loops;
+          }
+        in
+        Hashtbl.replace c_fns f.Ir.if_entry fn;
+        {
+          fa_fn = fn;
+          fa_liveness =
+            Jt_analysis.Liveness.import ~all_live:f.if_live_all
+              ~facts:f.if_live ();
+          fa_canaries = List.map canary_of_ir f.if_canaries;
+          fa_scev = List.map scev_of_ir f.if_scev;
+          fa_stack = stack_of_ir f.if_stack;
+          fa_vsa =
+            lazy
+              (Jt_analysis.Vsa.import
+                 ~ins:
+                   (Option.map
+                      (List.map (fun (a, st) -> (a, Array.map value_of_ir st)))
+                      f.if_vsa)
+                 fn);
+          fa_domtree = lazy (Jt_cfg.Domtree.import ~entry:f.if_entry f.if_dom);
+          fa_defuse = lazy (Jt_analysis.Defuse.import ~ins:f.if_defuse fn);
+        })
+      ir.Ir.ir_fns
+  in
+  {
+    sa_mod = m;
+    sa_disasm = disasm;
+    sa_cfg = { Jt_cfg.Cfg.c_disasm = disasm; c_blocks; c_fns };
+    sa_fns = fns;
+    sa_addr_fn = addr_fn_of fns;
+    sa_reliable_conventions = ir.Ir.ir_reliable;
+    sa_raw_code_ptrs = lazy ir.Ir.ir_code_ptrs;
+    sa_ir = lazy ir;
+  }
+
+let to_ir (sa : t) = Lazy.force sa.sa_ir
+
+let analyze ?store (m : Jt_obj.Objfile.t) =
+  match store with
+  | None -> compute m
+  | Some store ->
+    let digest = Jt_obj.Objfile.digest m in
+    (* On a miss the compute closure stashes the freshly built analysis
+       so the caller does not pay [of_ir] on top of [compute]. *)
+    let computed = ref None in
+    let ir =
+      Jt_ir.Store.find_or_compute store ~digest ~name:m.Jt_obj.Objfile.name
+        (fun () ->
+          let sa = compute m in
+          computed := Some sa;
+          Lazy.force sa.sa_ir)
+    in
+    (match !computed with
+    | Some sa -> sa
+    | None -> (
+      match of_ir m ir with
+      | sa -> sa
+      | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+      | exception e ->
+        Printf.eprintf
+          "janitizer: warning: stored IR for %s does not reconstruct (%s), \
+           re-analyzing\n%!"
+          m.Jt_obj.Objfile.name (Printexc.to_string e);
+        compute m))
 
 let fn_of_addr t addr = Hashtbl.find_opt t.sa_addr_fn addr
 
@@ -88,6 +476,6 @@ let all_block_addrs t =
 let code_pointer_scan t =
   List.filter
     (fun v -> Jt_disasm.Disasm.is_insn_boundary t.sa_disasm v)
-    (Jt_disasm.Disasm.scan_code_pointers t.sa_mod)
+    (Lazy.force t.sa_raw_code_ptrs)
 
 let function_entries t = t.sa_disasm.Jt_disasm.Disasm.func_entries

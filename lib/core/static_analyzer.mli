@@ -32,9 +32,39 @@ type t = {
       (** false when the module breaks the calling convention
           (section 4.1.2): liveness results are replaced by the
           conservative all-live fallback *)
+  sa_raw_code_ptrs : int list Lazy.t;
+      (** unfiltered sliding-window pointer-scan results; carried in the
+          IR so warm loads skip the scan *)
+  sa_ir : Jt_ir.Ir.t Lazy.t;
+      (** the serializable form of this analysis.  Forcing it forces the
+          lazy per-function analyses (VSA, dominators, def-use) — only
+          store-backed paths pay that *)
 }
 
-val analyze : Jt_obj.Objfile.t -> t
+val analyze : ?store:Jt_ir.Store.t -> Jt_obj.Objfile.t -> t
+(** With a [store], look the module up by content digest first: a hit
+    reconstructs the full analysis from the stored IR ({!of_ir}) without
+    re-running the analyzer; a miss runs {!compute} and persists its IR.
+    Reconstruction failures degrade to {!compute} with a warning. *)
+
+val compute : Jt_obj.Objfile.t -> t
+(** The real analysis: disassembly, CFG recovery and the per-function
+    passes.  Every call increments {!analyses_performed}. *)
+
+val of_ir : Jt_obj.Objfile.t -> Jt_ir.Ir.t -> t
+(** Rebuild a full analysis from a stored IR: instruction spans
+    re-decoded from the module's own bytes, analyses restored from the
+    serialized fixpoints.  Every query and every generated rule is
+    identical to what {!compute} would produce.  @raise Failure on any
+    inconsistency (digest mismatch, undecodable span, dangling block). *)
+
+val to_ir : t -> Jt_ir.Ir.t
+(** [Lazy.force sa.sa_ir]. *)
+
+val analyses_performed : unit -> int
+(** Process-wide count of {!compute} runs (an [Atomic], aggregated
+    across pool domains) — the counter behind the warm-start "zero
+    re-analysis" gate. *)
 
 val fn_of_addr : t -> int -> fn_analysis option
 (** The analyzed function whose CFG contains the instruction address.

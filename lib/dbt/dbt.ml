@@ -87,6 +87,7 @@ type stats = {
   mutable st_trace_execs : int;
   mutable st_trace_interior : int;
   mutable st_decode_faults : int;
+  mutable st_claim_checked_drops : int;
 }
 
 (* The trace-level induction guard (dynamic SCEV).  When a trace is the
@@ -207,6 +208,12 @@ type t = {
          recount it must always agree with (asserted after every run) *)
   mutable recording : (int * cached list) option;
       (* trace being recorded: head address, constituents in reverse *)
+  (* Static claim partition read from the stored IR's aux tables at
+     module load, keyed by *runtime* instruction address (load-base
+     adjusted like the rule tables).  Consulted by the trace overlay
+     planner purely for accounting: a drop at a [Claims.checked] address
+     is redundancy the static elision passes could not prove. *)
+  claims : (int, int) Hashtbl.t;
   stats : stats;
 }
 
@@ -320,8 +327,15 @@ let flush_blocks t start len =
     done
   end
 
+let claims_prefix = "claims/v1:"
+
+let is_claims_key k =
+  String.length k >= String.length claims_prefix
+  && String.sub k 0 (String.length claims_prefix) = claims_prefix
+
 let create ~vm ?(profile = dynamorio) ?client ?(chain = true) ?(ibl = true)
-    ?(trace = true) ?(trace_elide = true) ?(rules_for = fun _ -> None) () =
+    ?(trace = true) ?(trace_elide = true) ?(rules_for = fun _ -> None)
+    ?(ir_for = fun _ -> None) () =
   let t =
     {
       vm;
@@ -337,6 +351,7 @@ let create ~vm ?(profile = dynamorio) ?client ?(chain = true) ?(ibl = true)
       traces = Hashtbl.create 64;
       n_traces_live = 0;
       recording = None;
+      claims = Hashtbl.create 256;
       stats =
         {
           st_blocks_static = 0;
@@ -352,13 +367,14 @@ let create ~vm ?(profile = dynamorio) ?client ?(chain = true) ?(ibl = true)
           st_trace_execs = 0;
           st_trace_interior = 0;
           st_decode_faults = 0;
+          st_claim_checked_drops = 0;
         };
     }
   in
   (* (1) in Figure 4: when a module is loaded, read its rewrite rules into
      a fresh hash table, adjusting addresses by the load base for PIC. *)
   Jt_loader.Loader.on_load vm.Jt_vm.Vm.loader (fun l ->
-      match rules_for l.Jt_loader.Loader.lmod.Jt_obj.Objfile.name with
+      (match rules_for l.Jt_loader.Loader.lmod.Jt_obj.Objfile.name with
       | None -> ()
       | Some file ->
         let table =
@@ -366,6 +382,35 @@ let create ~vm ?(profile = dynamorio) ?client ?(chain = true) ?(ibl = true)
             ~pic:(Jt_obj.Objfile.is_pic l.Jt_loader.Loader.lmod)
         in
         Hashtbl.replace t.tables l.Jt_loader.Loader.load_order table);
+      (* The overlay planner's view of the static claim partition, from
+         the module's stored IR.  A malformed aux table is dropped with a
+         warning — claims only feed accounting, never behavior. *)
+      match ir_for l.Jt_loader.Loader.lmod.Jt_obj.Objfile.name with
+      | None -> ()
+      | Some ir ->
+        let base = l.Jt_loader.Loader.base in
+        let pic = Jt_obj.Objfile.is_pic l.Jt_loader.Loader.lmod in
+        let adjust a = if pic then a + base else a in
+        List.iter
+          (fun (key, payload) ->
+            if is_claims_key key then
+              match Jt_ir.Ir.Claims.decode payload with
+              | fns ->
+                List.iter
+                  (fun (fc : Jt_ir.Ir.Claims.fn_claims) ->
+                    List.iter
+                      (fun (addr, code, _witness) ->
+                        Hashtbl.replace t.claims (adjust addr) code)
+                      fc.fc_claims)
+                  fns
+              | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+              | exception e ->
+                Printf.eprintf
+                  "janitizer: warning: ignoring malformed claims table %s \
+                   for %s (%s)\n%!"
+                  key l.Jt_loader.Loader.lmod.Jt_obj.Objfile.name
+                  (Printexc.to_string e))
+          ir.Jt_ir.Ir.ir_aux);
   (* Cache-flush syscalls (JIT regeneration) invalidate affected blocks. *)
   Jt_vm.Vm.on_cache_flush vm (fun start len -> flush_blocks t start len);
   t
@@ -1097,6 +1142,20 @@ let finalize_recording t =
       t.stats.st_traces_built <- t.stats.st_traces_built + 1;
       (let m = Jt_metrics.Metrics.Counters.current () in
        m.c_traces_built <- m.c_traces_built + 1);
+      (* Accounting against the static claim partition: an overlay drop
+         at an address the static pass kept ([Claims.checked]) is
+         redundancy only visible at trace granularity. *)
+      (match overlay with
+      | Some ov ->
+        List.iter
+          (fun (insn, _, _) ->
+            match Hashtbl.find_opt t.claims insn with
+            | Some code when code = Jt_ir.Ir.Claims.checked ->
+              t.stats.st_claim_checked_drops <-
+                t.stats.st_claim_checked_drops + 1
+            | Some _ | None -> ())
+          ov.ov_decisions
+      | None -> ());
       if Jt_trace.Trace.is_enabled () then begin
         Jt_trace.Trace.emit
           (Jt_trace.Trace.Trace_build { head; blocks = Array.length arr });
@@ -1356,7 +1415,8 @@ let reset_stats t =
   s.st_traces_built <- 0;
   s.st_trace_execs <- 0;
   s.st_trace_interior <- 0;
-  s.st_decode_faults <- 0
+  s.st_decode_faults <- 0;
+  s.st_claim_checked_drops <- 0
 
 (* Elision decisions of the live traces, sorted by head address:
    [(head, [(insn, reason, witness)])].  Diagnostics for the CLI's

@@ -100,6 +100,11 @@ type stats = {
   mutable st_decode_faults : int;
       (** entries that resolved to an empty (undecodable) block, which
           faults without executing *)
+  mutable st_claim_checked_drops : int;
+      (** trace-overlay drops at instructions whose stored static claim
+          partition says the check was kept ([Jt_ir.Ir.Claims.checked]) —
+          redundancy visible only at trace granularity; 0 without
+          [ir_for] *)
 }
 
 type t
@@ -113,12 +118,20 @@ val create :
   ?trace:bool ->
   ?trace_elide:bool ->
   ?rules_for:(string -> Jt_rules.Rules.file option) ->
+  ?ir_for:(string -> Jt_ir.Ir.t option) ->
   unit ->
   t
 (** Create an engine bound to [vm].  Must be called before [Vm.boot] so
     that the engine observes startup module loads (it subscribes to the
     loader and to cache-flush events).  [rules_for] supplies each module's
     statically generated rule file, if one exists.
+
+    [ir_for] supplies each module's stored IR ([Jt_ir]), if one exists;
+    the engine reads the tool-contributed claim partitions from its aux
+    tables at load time (addresses adjusted by the load base for PIC,
+    like the rule tables) and uses them for overlay accounting
+    ([st_claim_checked_drops]).  Execution, cycles, output and
+    violations are identical with or without it.
 
     [chain] (default true) enables direct block chaining: blocks ending
     in a direct [Jmp]/[Jcc]/[Call] are linked to their translated

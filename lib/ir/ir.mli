@@ -1,0 +1,164 @@
+(** The serializable intermediate representation — the common spine every
+    tool consumes (DESIGN.md §13).
+
+    One GTIRB-shaped value per module: interval-keyed byte blocks (the
+    instruction spans of the recovered disassembly), CFG nodes and edges,
+    and auxiliary tables carrying the analysis facts the elision passes
+    need — per-block VSA register states, frame spans, dominator sets,
+    def-use summaries, liveness, SCEV loop bounds, canary sites, and
+    tool-contributed tables such as the JASan claim partition.
+
+    The representation is deliberately *pure data*: no closures, no
+    lazies, no hashtables — so structural equality is meaningful (the
+    qcheck round-trip property is [decode (encode ir) = ir]) and the
+    binary codec is total over well-formed values.  Decoded instructions
+    are NOT stored; blocks carry instruction spans (address, length) and
+    the consumer re-decodes from the module's section bytes, which the
+    content digest pins down exactly.  What the store saves is the
+    expensive part — recursive-traversal disassembly, CFG recovery and
+    the fixpoint analyses — not the linear decode. *)
+
+type term =
+  | Tjmp of int
+  | Tjcc of int * int
+  | Tjmp_ind of int list
+  | Tcall of int * int
+  | Tcall_ind of int
+  | Tret
+  | Thalt
+  | Tfall of int
+
+type block = {
+  ib_addr : int;
+  ib_ninsns : int;
+      (** instruction count; the spans themselves are recovered by
+          walking [ir_insns] from [ib_addr] *)
+  ib_term : term;
+  ib_succs : int list;
+  ib_preds : int list;
+}
+
+(** Memory operand, registers as indices: [im_base] is a register index,
+    [-1] for none, [-2] for pc-relative. *)
+type mem = { im_base : int; im_index : int; im_scale : int; im_disp : int }
+
+type access = {
+  ia_addr : int;
+  ia_mem : mem;
+  ia_width : int;
+  ia_is_store : bool;
+}
+
+type bound = Ibnd_imm of int | Ibnd_reg of int
+
+type scev = {
+  is_head : int;
+  is_preheader : int;
+  is_check_at : int;
+  is_ivar : int;
+  is_init : int;
+  is_bound : bound;
+  is_bound_incl : bool;
+  is_affine : access list;
+  is_invariant : access list;
+}
+
+type canary = {
+  ic_fn : int;
+  ic_store : int;
+  ic_after : int;
+  ic_disp : int;
+  ic_loads : int list;
+}
+
+type stackinfo = {
+  ik_entry : int;
+  ik_frame : int option;
+  ik_canary : bool;
+  ik_push : int;
+}
+
+type vsa_value = Vbot | Vcst of int * int | Vsprel of int * int | Vtop
+
+type fn = {
+  if_entry : int;
+  if_name : string option;
+  if_blocks : int list;
+  if_loops : (int * int list) list;
+  if_live_all : bool;
+  if_live : (int * int * int) list;
+      (** (insn addr, live register mask, live flag bits) *)
+  if_canaries : canary list;
+  if_scev : scev list;
+  if_stack : stackinfo;
+  if_vsa : (int * vsa_value array) list option;
+      (** per-block register in-states; [None] when the analysis bailed *)
+  if_dom : (int * int list) list;  (** full dominator sets, per block *)
+  if_defuse : (int * (int * int list) list) list;
+      (** per-block reaching-definition in-environments:
+          (block, (register index, def addresses)) *)
+}
+
+type t = {
+  ir_module : string;
+  ir_digest : string;  (** [Objfile.digest] of the producing module *)
+  ir_reliable : bool;
+  ir_insns : (int * int) array;  (** sorted (address, length) spans *)
+  ir_leaders : int list;
+  ir_func_entries : int list;
+  ir_jump_tables : (int * int list) list;
+  ir_code_ptrs : int list;  (** raw sliding-window pointer-scan results *)
+  ir_blocks : block list;
+  ir_fns : fn list;
+  ir_aux : (string * string) list;
+      (** open-ended auxiliary tables, sorted by key: tool-contributed
+          facts (e.g. the JASan claim partition) serialized under
+          versioned keys *)
+}
+
+val magic : string
+(** ["JTIR"], the first four bytes of every encoding. *)
+
+val schema_version : int
+(** Bumped on any layout change; a mismatch degrades to re-analysis. *)
+
+val encode : t -> string
+(** Versioned little-endian binary encoding, magic + schema version
+    first, digest in the header. *)
+
+val decode : string -> t
+(** Inverse of {!encode}.  @raise Failure on truncation, bad magic, a
+    schema-version mismatch, or any malformed payload. *)
+
+val peek_digest : string -> string
+(** The digest recorded in an encoding's header, without a full decode.
+    @raise Failure on truncation or bad magic/version. *)
+
+val find_aux : t -> string -> string option
+
+val with_aux : t -> (string * string) list -> t
+(** Functional update: replace or insert the given aux tables, keeping
+    [ir_aux] sorted by key. *)
+
+(** The per-access claim-partition aux table (PR 5's disjoint claims),
+    serialized under a versioned, tool-configuration-fingerprinted key so
+    the DBT overlay planner and fact dumps can read it back without
+    knowing the producing tool's types. *)
+module Claims : sig
+  type fn_claims = {
+    fc_fn : int;  (** function entry *)
+    fc_vsa_bailed : bool;
+    fc_claims : (int * int * int) list;
+        (** (access address, claim code, witness address or 0) *)
+  }
+
+  val checked : int
+  (** Claim code 0: the access kept its check — the one code readers
+      other than the producing tool may interpret. *)
+
+  val key : config:string -> string
+  (** Aux-table key, e.g. [claims/v1:jasan/1111]. *)
+
+  val encode : fn_claims list -> string
+  val decode : string -> fn_claims list  (** @raise Failure *)
+end

@@ -463,5 +463,6 @@ let create ?(config = default_config) () =
                      + Hashtbl.length targets.Targets.jump_targets;
                  });
           rt.Rt.tbl <- (l, targets) :: rt.Rt.tbl);
+      t_aux = Janitizer.Tool.no_aux;
     },
     rt )

@@ -31,6 +31,10 @@ module Counters = struct
     mutable c_san_trace_elide_canary : int;
     mutable c_san_trace_elide_streak : int;
     mutable c_san_trace_elide_ind : int;
+    mutable c_ir_store_hits : int;
+    mutable c_ir_store_misses : int;
+    mutable c_ir_store_evicts : int;
+    mutable c_ir_store_corrupt : int;
   }
 
   let fresh () =
@@ -52,6 +56,10 @@ module Counters = struct
       c_san_trace_elide_canary = 0;
       c_san_trace_elide_streak = 0;
       c_san_trace_elide_ind = 0;
+      c_ir_store_hits = 0;
+      c_ir_store_misses = 0;
+      c_ir_store_evicts = 0;
+      c_ir_store_corrupt = 0;
     }
 
   (* One instance per domain: concurrent driver runs on separate domains
@@ -79,7 +87,11 @@ module Counters = struct
     c.c_san_trace_elide_dom <- 0;
     c.c_san_trace_elide_canary <- 0;
     c.c_san_trace_elide_streak <- 0;
-    c.c_san_trace_elide_ind <- 0
+    c.c_san_trace_elide_ind <- 0;
+    c.c_ir_store_hits <- 0;
+    c.c_ir_store_misses <- 0;
+    c.c_ir_store_evicts <- 0;
+    c.c_ir_store_corrupt <- 0
 
   let snapshot_of c =
     [
@@ -100,6 +112,10 @@ module Counters = struct
       ("san_trace_elide_canary", c.c_san_trace_elide_canary);
       ("san_trace_elide_streak", c.c_san_trace_elide_streak);
       ("san_trace_elide_ind", c.c_san_trace_elide_ind);
+      ("ir_store_hits", c.c_ir_store_hits);
+      ("ir_store_misses", c.c_ir_store_misses);
+      ("ir_store_evicts", c.c_ir_store_evicts);
+      ("ir_store_corrupt", c.c_ir_store_corrupt);
     ]
 
   let snapshot () = snapshot_of (current ())

@@ -55,6 +55,15 @@ module Counters : sig
         (** dynamic check instances elided by the trace induction-range
             guard: affine accesses covered by the endpoint check run
             once at streak onset *)
+    mutable c_ir_store_hits : int;
+        (** IR-store lookups served from memory or disk *)
+    mutable c_ir_store_misses : int;
+        (** IR-store lookups that had to run the static analyzer *)
+    mutable c_ir_store_evicts : int;
+        (** in-memory LRU entries evicted by capacity pressure *)
+    mutable c_ir_store_corrupt : int;
+        (** on-disk entries rejected (truncated / bad magic / wrong
+            schema version / stale digest) and transparently re-analyzed *)
   }
 
   val current : unit -> t

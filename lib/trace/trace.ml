@@ -72,6 +72,11 @@ type event =
       origin : origin;  (** provenance of the executing block *)
     }
   | Cfi_table of { name : string; entries : int }
+  | Store_hit of { name : string; source : string }
+      (* ["mem"] (in-memory LRU) or ["disk"] *)
+  | Store_miss of { name : string }
+  | Store_evict of { name : string }
+  | Store_corrupt of { name : string; why : string }
   | Phase_begin of { phase : phase }
   | Phase_end of { phase : phase; host_s : float; cycles : int }
 
@@ -357,6 +362,12 @@ let event_to_json ev =
         ("module", s vmodule); ("origin", s (origin_name origin)) ]
   | Cfi_table { name; entries } ->
     obj [ ("ev", s "cfi_table"); ("name", s name); ("entries", i entries) ]
+  | Store_hit { name; source } ->
+    obj [ ("ev", s "store_hit"); ("name", s name); ("source", s source) ]
+  | Store_miss { name } -> obj [ ("ev", s "store_miss"); ("name", s name) ]
+  | Store_evict { name } -> obj [ ("ev", s "store_evict"); ("name", s name) ]
+  | Store_corrupt { name; why } ->
+    obj [ ("ev", s "store_corrupt"); ("name", s name); ("why", s why) ]
   | Phase_begin { phase } -> obj [ ("ev", s "phase_begin"); ("phase", s (phase_name phase)) ]
   | Phase_end { phase; host_s; cycles } ->
     obj
@@ -576,6 +587,20 @@ let event_of_json line =
       let* name = str "name" in
       let* entries = num "entries" in
       Some (Cfi_table { name; entries })
+    | "store_hit" ->
+      let* name = str "name" in
+      let* source = str "source" in
+      Some (Store_hit { name; source })
+    | "store_miss" ->
+      let* name = str "name" in
+      Some (Store_miss { name })
+    | "store_evict" ->
+      let* name = str "name" in
+      Some (Store_evict { name })
+    | "store_corrupt" ->
+      let* name = str "name" in
+      let* why = str "why" in
+      Some (Store_corrupt { name; why })
     | "phase_begin" ->
       let* phase = phase "phase" in
       Some (Phase_begin { phase })
@@ -616,6 +641,10 @@ let kind_name = function
   | Check_elide _ -> "check_elide"
   | Violation _ -> "violation"
   | Cfi_table _ -> "cfi_table"
+  | Store_hit _ -> "store_hit"
+  | Store_miss _ -> "store_miss"
+  | Store_evict _ -> "store_evict"
+  | Store_corrupt _ -> "store_corrupt"
   | Phase_begin _ -> "phase_begin"
   | Phase_end _ -> "phase_end"
 

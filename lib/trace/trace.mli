@@ -80,6 +80,16 @@ type event =
       origin : origin;  (** provenance of the executing block *)
     }
   | Cfi_table of { name : string; entries : int }
+  | Store_hit of { name : string; source : string }
+      (** IR-store lookup served without analysis; [source] is ["mem"]
+          (in-memory LRU) or ["disk"] *)
+  | Store_miss of { name : string }
+      (** IR-store lookup that ran the static analyzer *)
+  | Store_evict of { name : string }
+      (** in-memory LRU entry evicted by capacity pressure *)
+  | Store_corrupt of { name : string; why : string }
+      (** on-disk entry rejected (truncation, bad magic, wrong schema
+          version, stale digest) and re-analyzed *)
   | Phase_begin of { phase : phase }
   | Phase_end of { phase : phase; host_s : float; cycles : int }
 

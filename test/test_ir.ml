@@ -1,0 +1,525 @@
+(* The serializable IR and its content-addressed store (DESIGN.md §13):
+   codec round trips, corrupt-store rejection with transparent
+   re-analysis, warm-load equivalence with the direct analyzer,
+   single-flight under domain parallelism, LRU/gc behavior, and the
+   [Driver.analyze_all] registry-ordering contract. *)
+
+open Jt_ir
+
+let scratch_root =
+  let f = Filename.temp_file "jt_ir_test" "" in
+  Sys.remove f;
+  f
+
+let tmpdir sub = Filename.concat scratch_root sub
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir sub f =
+  let dir = tmpdir sub in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ---- generators: arbitrary well-formed IR values ---------------- *)
+(* Stay inside the codec's field widths: u32 fields get non-negative
+   ints, i32 fields small signed ints, u8 fields 0..255. *)
+
+let gen_u32 = QCheck2.Gen.(int_bound 0xFFFF_FFFF)
+let gen_addr = QCheck2.Gen.(int_bound 0xFF_FFFF)
+let gen_i32 = QCheck2.Gen.(int_range (-0x4000_0000) 0x3FFF_FFFF)
+let gen_u8 = QCheck2.Gen.(int_bound 255)
+let small l g = QCheck2.Gen.(list_size (int_bound l) g)
+
+let gen_term =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun t -> Ir.Tjmp t) gen_addr;
+      map2 (fun t f -> Ir.Tjcc (t, f)) gen_addr gen_addr;
+      map (fun ts -> Ir.Tjmp_ind ts) (small 4 gen_addr);
+      map2 (fun t r -> Ir.Tcall (t, r)) gen_addr gen_addr;
+      map (fun r -> Ir.Tcall_ind r) gen_addr;
+      return Ir.Tret;
+      return Ir.Thalt;
+      map (fun n -> Ir.Tfall n) gen_addr;
+    ]
+
+let gen_block =
+  let open QCheck2.Gen in
+  map (fun (addr, n, term, succs, preds) ->
+      {
+        Ir.ib_addr = addr;
+        ib_ninsns = n;
+        ib_term = term;
+        ib_succs = succs;
+        ib_preds = preds;
+      })
+    (tup5 gen_addr gen_u32 gen_term (small 4 gen_addr) (small 4 gen_addr))
+
+let gen_mem =
+  let open QCheck2.Gen in
+  map (fun (base, index, scale, disp) ->
+      { Ir.im_base = base; im_index = index; im_scale = scale; im_disp = disp })
+    (tup4 (int_range (-2) 7) (int_range (-1) 7) gen_u8 gen_u32)
+
+let gen_access =
+  let open QCheck2.Gen in
+  map (fun (addr, mem, width, st) ->
+      { Ir.ia_addr = addr; ia_mem = mem; ia_width = width; ia_is_store = st })
+    (tup4 gen_addr gen_mem (int_range 1 8) bool)
+
+let gen_scev =
+  let open QCheck2.Gen in
+  map (fun ((head, pre, at, ivar, init), (bound, incl, aff, inv)) ->
+      {
+        Ir.is_head = head;
+        is_preheader = pre;
+        is_check_at = at;
+        is_ivar = ivar;
+        is_init = init;
+        is_bound = bound;
+        is_bound_incl = incl;
+        is_affine = aff;
+        is_invariant = inv;
+      })
+    (pair
+       (tup5 gen_addr gen_addr gen_addr (int_bound 7) gen_i32)
+       (tup4
+          (oneof
+             [
+               map (fun v -> Ir.Ibnd_imm v) gen_i32;
+               map (fun r -> Ir.Ibnd_reg r) (int_bound 7);
+             ])
+          bool (small 3 gen_access) (small 3 gen_access)))
+
+let gen_canary =
+  let open QCheck2.Gen in
+  map (fun (fn, store, after, disp, loads) ->
+      {
+        Ir.ic_fn = fn;
+        ic_store = store;
+        ic_after = after;
+        ic_disp = disp;
+        ic_loads = loads;
+      })
+    (tup5 gen_addr gen_addr gen_addr gen_i32 (small 3 gen_addr))
+
+let gen_stack =
+  let open QCheck2.Gen in
+  map (fun (entry, frame, canary, push) ->
+      { Ir.ik_entry = entry; ik_frame = frame; ik_canary = canary; ik_push = push })
+    (tup4 gen_addr (option gen_i32) bool gen_i32)
+
+let gen_value =
+  let open QCheck2.Gen in
+  oneof
+    [
+      return Ir.Vbot;
+      map2 (fun lo hi -> Ir.Vcst (lo, hi)) gen_i32 gen_i32;
+      map2 (fun lo hi -> Ir.Vsprel (lo, hi)) gen_i32 gen_i32;
+      return Ir.Vtop;
+    ]
+
+let gen_fn =
+  let open QCheck2.Gen in
+  map (fun ((entry, name, blocks, loops, live_all), (live, canaries, scev, stack), (vsa, dom, defuse)) ->
+      {
+        Ir.if_entry = entry;
+        if_name = name;
+        if_blocks = blocks;
+        if_loops = loops;
+        if_live_all = live_all;
+        if_live = live;
+        if_canaries = canaries;
+        if_scev = scev;
+        if_stack = stack;
+        if_vsa = vsa;
+        if_dom = dom;
+        if_defuse = defuse;
+      })
+    (tup3
+       (tup5 gen_addr (option string_small) (small 4 gen_addr)
+          (small 2 (pair gen_addr (small 3 gen_addr)))
+          bool)
+       (tup4
+          (small 4 (tup3 gen_addr (int_bound 0xFFFF) gen_u8))
+          (small 2 gen_canary) (small 2 gen_scev) gen_stack)
+       (tup3
+          (option
+             (small 3
+                (pair gen_addr (map Array.of_list (small 8 gen_value)))))
+          (small 3 (pair gen_addr (small 4 gen_addr)))
+          (small 2
+             (pair gen_addr
+                (small 3 (pair (int_bound 7) (small 3 gen_i32)))))))
+
+let gen_ir =
+  let open QCheck2.Gen in
+  map (fun ((mname, reliable, insns, leaders, entries), (jts, ptrs, blocks, fns, aux)) ->
+      let digest = Digest.string mname in
+      {
+        Ir.ir_module = mname;
+        ir_digest = digest;
+        ir_reliable = reliable;
+        ir_insns = Array.of_list insns;
+        ir_leaders = leaders;
+        ir_func_entries = entries;
+        ir_jump_tables = jts;
+        ir_code_ptrs = ptrs;
+        ir_blocks = blocks;
+        ir_fns = fns;
+        (* [ir_aux] is sorted by key by construction ([with_aux]) *)
+        ir_aux =
+          List.sort_uniq (fun (a, _) (b, _) -> compare a b) aux;
+      })
+    (pair
+       (tup5 string_small bool
+          (small 6 (pair gen_addr (int_range 1 8)))
+          (small 4 gen_addr) (small 4 gen_addr))
+       (tup5
+          (small 2 (pair gen_addr (small 3 gen_addr)))
+          (small 4 gen_addr) (small 4 gen_block) (small 3 gen_fn)
+          (small 3 (pair string_small string_small))))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"decode (encode ir) = ir" ~count:300 gen_ir (fun ir ->
+      Ir.decode (Ir.encode ir) = ir)
+
+let prop_peek_digest =
+  QCheck2.Test.make ~name:"peek_digest reads the header" ~count:100 gen_ir
+    (fun ir -> Ir.peek_digest (Ir.encode ir) = ir.Ir.ir_digest)
+
+(* ---- codec rejection ------------------------------------------- *)
+
+let expect_failure name f =
+  match f () with
+  | (_ : Ir.t) -> Alcotest.fail (name ^ ": decode accepted a bad encoding")
+  | exception Failure _ -> ()
+
+let sample_ir () =
+  Janitizer.Static_analyzer.to_ir
+    (Janitizer.Static_analyzer.compute (Progs.sum_prog ~n:20 ()))
+
+let test_decode_rejects () =
+  let enc = Ir.encode (sample_ir ()) in
+  expect_failure "truncated" (fun () ->
+      Ir.decode (String.sub enc 0 (String.length enc / 2)));
+  expect_failure "empty" (fun () -> Ir.decode "");
+  expect_failure "bad magic" (fun () ->
+      Ir.decode ("XXXX" ^ String.sub enc 4 (String.length enc - 4)));
+  let bumped = Bytes.of_string enc in
+  Bytes.set bumped 4 (Char.chr (Ir.schema_version + 1));
+  expect_failure "wrong schema version" (fun () ->
+      Ir.decode (Bytes.to_string bumped));
+  expect_failure "trailing bytes" (fun () -> Ir.decode (enc ^ "\x00"))
+
+let test_real_module_roundtrip () =
+  let ir = sample_ir () in
+  Alcotest.(check bool) "compute IR round-trips" true
+    (Ir.decode (Ir.encode ir) = ir)
+
+(* ---- store robustness: every corruption degrades to re-analysis - *)
+
+let store_entry_path dir digest = Filename.concat dir (Digest.to_hex digest ^ ".jtir")
+
+(* Populate [dir] with a valid entry for [m], then [mangle] the file and
+   check a fresh store re-runs the compute function (and counts the
+   rejection). *)
+let check_corrupt_reanalyzes name mangle =
+  with_dir name (fun dir ->
+      let m = Progs.sum_prog ~n:20 () in
+      let digest = Jt_obj.Objfile.digest m in
+      let st = Store.create ~dir () in
+      let computes = ref 0 in
+      let compute () =
+        incr computes;
+        Janitizer.Static_analyzer.to_ir (Janitizer.Static_analyzer.compute m)
+      in
+      let ir = Store.find_or_compute st ~digest ~name:m.name compute in
+      Alcotest.(check int) (name ^ ": cold miss computes") 1 !computes;
+      mangle (store_entry_path dir digest);
+      (* fresh handle: the memory layer must not mask the disk damage *)
+      let st2 = Store.create ~dir () in
+      let ir' = Store.find_or_compute st2 ~digest ~name:m.name compute in
+      Alcotest.(check int) (name ^ ": corrupt entry recomputed") 2 !computes;
+      Alcotest.(check bool) (name ^ ": recomputed IR identical") true (ir = ir');
+      let s = Store.stats st2 in
+      Alcotest.(check int) (name ^ ": rejection counted") 1 s.Store.st_corrupt;
+      Alcotest.(check int) (name ^ ": counted as miss") 1 s.st_misses;
+      (* the recompute republished a good entry: next fresh handle hits disk *)
+      let st3 = Store.create ~dir () in
+      ignore (Store.find_or_compute st3 ~digest ~name:m.name compute);
+      Alcotest.(check int) (name ^ ": republished entry served") 2 !computes;
+      Alcotest.(check int) (name ^ ": disk hit after repair") 1
+        (Store.stats st3).st_disk_hits)
+
+let rewrite path f =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (f data);
+  close_out oc
+
+let test_store_truncated () =
+  check_corrupt_reanalyzes "trunc" (fun p ->
+      rewrite p (fun d -> String.sub d 0 (String.length d / 3)))
+
+let test_store_garbage () =
+  check_corrupt_reanalyzes "garbage" (fun p ->
+      rewrite p (fun d -> String.map (fun c -> Char.chr (Char.code c lxor 0x5A)) d))
+
+let test_store_wrong_magic () =
+  check_corrupt_reanalyzes "magic" (fun p ->
+      rewrite p (fun d -> "NOPE" ^ String.sub d 4 (String.length d - 4)))
+
+let test_store_wrong_version () =
+  check_corrupt_reanalyzes "version" (fun p ->
+      rewrite p (fun d ->
+          let b = Bytes.of_string d in
+          Bytes.set b 4 (Char.chr (Ir.schema_version + 1));
+          Bytes.to_string b))
+
+let test_store_stale_digest () =
+  (* The file decodes fine but records a different module's digest — the
+     module was rebuilt and a hash collision on the file name is being
+     simulated; the store must reject rather than serve stale facts. *)
+  check_corrupt_reanalyzes "stale" (fun p ->
+      let other =
+        Janitizer.Static_analyzer.to_ir
+          (Janitizer.Static_analyzer.compute (Progs.sum_prog ~n:21 ()))
+      in
+      rewrite p (fun _ -> Ir.encode other))
+
+(* ---- warm load ≡ direct analysis -------------------------------- *)
+
+let rules_bytes tool m sa =
+  ignore m;
+  Jt_rules.Rules.encode_file (tool.Janitizer.Tool.t_static sa)
+
+let test_warm_load_equivalence () =
+  with_dir "warm" (fun dir ->
+      let m = Progs.sum_prog ~n:30 () in
+      let tool, _ = Jt_jasan.Jasan.create () in
+      let cold_sa = ref None in
+      let before = Janitizer.Static_analyzer.analyses_performed () in
+      (let st = Store.create ~dir () in
+       cold_sa := Some (Janitizer.Static_analyzer.analyze ~store:st m));
+      let mid = Janitizer.Static_analyzer.analyses_performed () in
+      Alcotest.(check int) "cold run analyzed once" 1 (mid - before);
+      (* fresh handle over the same dir: warm load goes through the disk
+         decode path, not the memory LRU *)
+      let st2 = Store.create ~dir () in
+      let warm_sa = Janitizer.Static_analyzer.analyze ~store:st2 m in
+      let after = Janitizer.Static_analyzer.analyses_performed () in
+      Alcotest.(check int) "warm run analyzed nothing" 0 (after - mid);
+      Alcotest.(check int) "warm run hit the disk" 1
+        (Store.stats st2).Store.st_disk_hits;
+      let cold_sa = Option.get !cold_sa in
+      Alcotest.(check string) "identical rule bytes"
+        (rules_bytes tool m cold_sa) (rules_bytes tool m warm_sa);
+      Alcotest.(check bool) "identical IR" true
+        (Janitizer.Static_analyzer.to_ir cold_sa
+        = Janitizer.Static_analyzer.to_ir warm_sa))
+
+(* ---- single-flight under domain parallelism ---------------------- *)
+
+let test_single_flight () =
+  with_dir "flight" (fun dir ->
+      let m = Progs.sum_prog ~n:25 () in
+      let digest = Jt_obj.Objfile.digest m in
+      let st = Store.create ~dir () in
+      let computes = Atomic.make 0 in
+      let compute () =
+        Atomic.incr computes;
+        (* hold the flight open long enough for every waiter to arrive *)
+        Unix.sleepf 0.05;
+        Janitizer.Static_analyzer.to_ir (Janitizer.Static_analyzer.compute m)
+      in
+      let irs =
+        Jt_pool.Pool.run ~jobs:4
+          (fun () -> Store.find_or_compute st ~digest ~name:m.name compute)
+          [ (); (); (); () ]
+      in
+      Alcotest.(check int) "compute ran exactly once" 1 (Atomic.get computes);
+      let first = List.hd irs in
+      List.iter
+        (fun ir ->
+          Alcotest.(check bool) "all callers got the same IR" true (ir = first))
+        irs;
+      let s = Store.stats st in
+      Alcotest.(check int) "one miss" 1 s.Store.st_misses;
+      Alcotest.(check int) "waiters hit memory" 3 s.st_mem_hits)
+
+(* ---- LRU bounds, gc, clear, update_aux --------------------------- *)
+
+let distinct_modules n =
+  List.init n (fun i -> Progs.sum_prog ~name:(Printf.sprintf "m%d" i) ~n:(10 + i) ())
+
+let test_lru_eviction () =
+  with_dir "lru" (fun dir ->
+      let st = Store.create ~capacity:2 ~dir () in
+      let load m =
+        Store.find_or_compute st ~digest:(Jt_obj.Objfile.digest m) ~name:"m"
+          (fun () ->
+            Janitizer.Static_analyzer.to_ir (Janitizer.Static_analyzer.compute m))
+      in
+      let ms = distinct_modules 3 in
+      List.iter (fun m -> ignore (load m)) ms;
+      let s = Store.stats st in
+      Alcotest.(check int) "third insert evicted the oldest" 1 s.Store.st_evictions;
+      (* the evicted entry is still on disk: reloading is a disk hit *)
+      ignore (load (List.hd ms));
+      Alcotest.(check int) "evicted entry reloads from disk" 1
+        (Store.stats st).st_disk_hits)
+
+let test_gc_and_clear () =
+  with_dir "gc" (fun dir ->
+      let st = Store.create ~dir () in
+      let load m =
+        ignore
+          (Store.find_or_compute st ~digest:(Jt_obj.Objfile.digest m) ~name:"m"
+             (fun () ->
+               Janitizer.Static_analyzer.to_ir
+                 (Janitizer.Static_analyzer.compute m)))
+      in
+      List.iter load (distinct_modules 3);
+      let entries = Store.disk_entries st in
+      Alcotest.(check int) "three disk entries" 3 (List.length entries);
+      let total = List.fold_left (fun a (_, b, _) -> a + b) 0 entries in
+      (* keep roughly one entry's worth *)
+      let removed, freed = Store.gc st ~max_bytes:(total / 3) in
+      Alcotest.(check bool) "gc removed entries" true (removed >= 1 && removed <= 2);
+      Alcotest.(check bool) "gc freed bytes" true (freed > 0);
+      Alcotest.(check bool) "gc respects the budget" true
+        (List.fold_left (fun a (_, b, _) -> a + b) 0 (Store.disk_entries st)
+        <= total / 3);
+      let left = List.length (Store.disk_entries st) in
+      Alcotest.(check int) "clear removes the rest" left (Store.clear st);
+      Alcotest.(check int) "store empty" 0 (List.length (Store.disk_entries st)))
+
+let test_update_aux () =
+  with_dir "aux" (fun dir ->
+      let m = Progs.sum_prog ~n:15 () in
+      let digest = Jt_obj.Objfile.digest m in
+      let st = Store.create ~dir () in
+      ignore
+        (Store.find_or_compute st ~digest ~name:m.name (fun () ->
+             Janitizer.Static_analyzer.to_ir (Janitizer.Static_analyzer.compute m)));
+      Store.update_aux st ~digest [ ("test/v1:k", "payload") ];
+      (* visible through a fresh handle, i.e. it reached the disk *)
+      let st2 = Store.create ~dir () in
+      match Store.peek st2 ~digest with
+      | None -> Alcotest.fail "entry vanished"
+      | Some ir ->
+        Alcotest.(check (option string)) "aux table persisted"
+          (Some "payload") (Ir.find_aux ir "test/v1:k"))
+
+(* ---- analyze_all: results in registry order (PR 7 satellite) ----- *)
+
+let test_analyze_all_registry_order () =
+  let m = Progs.sum_prog ~n:20 () in
+  let registry = Progs.registry_for m in
+  let tool, _ = Jt_jasan.Jasan.create () in
+  let names fs = List.map fst fs in
+  let expect = List.map (fun (m : Jt_obj.Objfile.t) -> m.name) registry in
+  (* plain: one result per registry entry, same order *)
+  let files = Janitizer.Driver.analyze_all ~tool registry in
+  Alcotest.(check (list string)) "registry order" expect (names files);
+  (* pooled analysis must not reorder *)
+  let pooled =
+    Jt_pool.Pool.with_pool ~jobs:2 (fun pool ->
+        Janitizer.Driver.analyze_all ~pool ~tool registry)
+  in
+  Alcotest.(check (list string)) "pooled keeps order" expect (names pooled);
+  (* precomputed entries splice in at their registry position... *)
+  let libc_file = List.assoc "libc.so" files in
+  let spliced =
+    Janitizer.Driver.analyze_all ~precomputed:[ ("libc.so", libc_file) ] ~tool
+      registry
+  in
+  Alcotest.(check (list string)) "precomputed spliced in place" expect
+    (names spliced);
+  Alcotest.(check bool) "precomputed file served verbatim" true
+    (List.assoc "libc.so" spliced == libc_file);
+  (* ...and precomputed names absent from the registry are appended *)
+  let extra =
+    Janitizer.Driver.analyze_all
+      ~precomputed:[ ("ghost", libc_file) ]
+      ~tool registry
+  in
+  Alcotest.(check (list string)) "unknown precomputed appended"
+    (expect @ [ "ghost" ]) (names extra)
+
+(* ---- tool-contributed claims aux table --------------------------- *)
+
+let test_claims_aux_persisted () =
+  with_dir "claims" (fun dir ->
+      (* a straight-line heap store: not frame-relative, not loop-covered,
+         so its check survives every elision pass -> a [checked] claim *)
+      let m = Progs.heap_overflow_prog () in
+      let registry = Progs.registry_for m in
+      let tool, _ = Jt_jasan.Jasan.create () in
+      let store = Store.create ~dir () in
+      ignore (Janitizer.Driver.analyze_all ~store ~tool registry);
+      match Store.peek store ~digest:(Jt_obj.Objfile.digest m) with
+      | None -> Alcotest.fail "module missing from store"
+      | Some ir -> (
+        let key = Ir.Claims.key ~config:"jasan/1111" in
+        match Ir.find_aux ir key with
+        | None -> Alcotest.fail ("claims table missing under " ^ key)
+        | Some payload ->
+          let fns = Ir.Claims.decode payload in
+          Alcotest.(check bool) "claims cover functions" true (fns <> []);
+          let claims =
+            List.concat_map (fun fc -> fc.Ir.Claims.fc_claims) fns
+          in
+          Alcotest.(check bool) "claims cover accesses" true (claims <> []);
+          Alcotest.(check bool) "some accesses kept their check" true
+            (List.exists (fun (_, c, _) -> c = Ir.Claims.checked) claims);
+          (* and the payload codec round-trips *)
+          Alcotest.(check bool) "claims round-trip" true
+            (Ir.Claims.decode (Ir.Claims.encode fns) = fns)))
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_peek_digest;
+          Alcotest.test_case "rejects malformed input" `Quick test_decode_rejects;
+          Alcotest.test_case "real module round-trips" `Quick
+            test_real_module_roundtrip;
+        ] );
+      ( "store-robustness",
+        [
+          Alcotest.test_case "truncated entry" `Quick test_store_truncated;
+          Alcotest.test_case "garbage entry" `Quick test_store_garbage;
+          Alcotest.test_case "wrong magic" `Quick test_store_wrong_magic;
+          Alcotest.test_case "wrong schema version" `Quick
+            test_store_wrong_version;
+          Alcotest.test_case "stale digest" `Quick test_store_stale_digest;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "warm load equivalence" `Quick
+            test_warm_load_equivalence;
+          Alcotest.test_case "single-flight" `Quick test_single_flight;
+          Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "gc and clear" `Quick test_gc_and_clear;
+          Alcotest.test_case "update_aux" `Quick test_update_aux;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "analyze_all registry order" `Quick
+            test_analyze_all_registry_order;
+          Alcotest.test_case "claims aux persisted" `Quick
+            test_claims_aux_persisted;
+        ] );
+    ]
