@@ -1329,6 +1329,225 @@ let warmstart () =
     Printf.eprintf "!! warmstart: warm hit rate %.4f (want 1.0)\n%!" warm_rate;
   if failed then exit 1
 
+(* ---- emit: the AOT rewriter's differential gate ----
+
+   Every C workload must emit, run on the plain VM and match the hybrid
+   DBT bit-for-bit on status, output and the (kind, addr) violation set;
+   instruction and cycle counts must decompose exactly into the
+   uninstrumented baseline plus materialized check cost plus pin hops —
+   the zero-translation-overhead accounting (no residue for a translator
+   to hide in).  C++/Fortran closures must refuse with the typed
+   Unsupported_feature verdict instead (the RetroWrite-style
+   applicability rows), and the all-C Juliet CWE-122 suite is swept for
+   detection parity on both the bad and patched variants.  Everything is
+   recorded in BENCH_emit.json. *)
+
+type emit_row = {
+  eb_name : string;
+  eb_lang : string;
+  eb_sites : int;
+  eb_pins : int;
+  eb_check_cost : int;
+  eb_slow_emit : float;
+  eb_slow_hybrid : float;
+  eb_identical : bool;
+  eb_icount_ok : bool;
+  eb_cycles_ok : bool;
+}
+
+let emit_bench () =
+  let observable (r : Jt_vm.Vm.result) = (r.r_status, r.r_output) in
+  let vset (r : Jt_vm.Vm.result) =
+    List.sort_uniq compare
+      (List.map
+         (fun (v : Jt_vm.Vm.violation) -> (v.v_kind, v.v_addr))
+         r.r_violations)
+  in
+  let lang_name = function
+    | Sheet.C -> "C"
+    | Sheet.Cxx -> "C++"
+    | Sheet.Fortran -> "Fortran"
+    | Sheet.Mixed_cf -> "C/Fortran"
+  in
+  let emit_tool = Jt_emit.Emit.Asan { elide = true } in
+  let rows = ref [] in
+  let refusals = ref [] in
+  let failures = ref [] in
+  List.iter
+    (fun (s : Sheet.t) ->
+      Printf.eprintf "  emit: %s...\n%!" s.s_name;
+      let w = Specgen.build s in
+      let registry = w.Specgen.w_registry in
+      match
+        Jt_emit.Emit.emit_program ~tool:emit_tool ~registry ~main:s.s_name ()
+      with
+      | Error (m, r) ->
+        (match (s.s_lang, r) with
+        | Sheet.C, _ ->
+          failures :=
+            Printf.sprintf "%s: refused (%s)" s.s_name
+              (Jt_emit.Emit.refusal_to_string r)
+            :: !failures
+        | _, Jt_emit.Emit.Unsupported_feature _ -> ()
+        | _, _ ->
+          failures :=
+            Printf.sprintf "%s: wrong refusal kind (%s)" s.s_name
+              (Jt_emit.Emit.refusal_to_string r)
+            :: !failures);
+        refusals :=
+          (s.s_name, lang_name s.s_lang, m, Jt_emit.Emit.refusal_to_string r)
+          :: !refusals
+      | Ok p ->
+        (match s.s_lang with
+        | Sheet.C -> ()
+        | _ ->
+          failures :=
+            Printf.sprintf "%s: expected a feature refusal" s.s_name
+            :: !failures);
+        let e = Jt_emit.Emit.run p in
+        let er = e.Jt_emit.Emit.ro_outcome.Janitizer.Driver.o_result in
+        let tool, _ = Jt_jasan.Jasan.create ~elide:true () in
+        let h = Janitizer.Driver.run ~tool ~registry ~main:s.s_name () in
+        (* Same allocator policy, no checks: the honest cost floor the
+           zero-overhead identity is measured against. *)
+        let b =
+          Janitizer.Driver.run_plain
+            ~setup:(fun vm ->
+              Jt_jasan.Jasan.Rt.attach (Jt_jasan.Jasan.Rt.create ()) vm)
+            ~registry ~main:s.s_name ()
+        in
+        let native = Specgen.run_native w in
+        let identical =
+          observable er = observable h.o_result && vset er = vset h.o_result
+        in
+        let icount_ok =
+          er.r_icount - e.ro_sites - e.ro_pins = h.o_result.r_icount
+        in
+        let cycles_ok =
+          er.r_cycles = b.o_result.r_cycles + e.ro_check_cost + e.ro_pins
+        in
+        if not (identical && icount_ok && cycles_ok) then
+          failures :=
+            Printf.sprintf
+              "%s: differential broken (identical=%b icount=%b cycles=%b)"
+              s.s_name identical icount_ok cycles_ok
+            :: !failures;
+        rows :=
+          {
+            eb_name = s.s_name;
+            eb_lang = lang_name s.s_lang;
+            eb_sites = e.ro_sites;
+            eb_pins = e.ro_pins;
+            eb_check_cost = e.ro_check_cost;
+            eb_slow_emit = ratio er.r_cycles native.r_cycles;
+            eb_slow_hybrid = ratio h.o_result.r_cycles native.r_cycles;
+            eb_identical = identical;
+            eb_icount_ok = icount_ok;
+            eb_cycles_ok = cycles_ok;
+          }
+          :: !rows)
+    Sheet.all;
+  let rows = List.rev !rows and refusals = List.rev !refusals in
+  (* Juliet CWE-122: all C, so the whole suite must emit; gate on
+     detection parity with the hybrid for every bad/patched pair. *)
+  Printf.eprintf "  emit: juliet CWE-122 sweep...\n%!";
+  let juliet_cases = ref 0 and juliet_mismatches = ref 0 in
+  List.iter
+    (fun (c : Juliet.case) ->
+      List.iter
+        (fun bad ->
+          let m = Juliet.build_case c ~bad in
+          let registry = Juliet.registry_for m in
+          let main = m.Jt_obj.Objfile.name in
+          incr juliet_cases;
+          match
+            Jt_emit.Emit.emit_program ~tool:emit_tool ~registry ~main ()
+          with
+          | Error _ -> incr juliet_mismatches
+          | Ok p ->
+            let e = Jt_emit.Emit.run p in
+            let er = e.Jt_emit.Emit.ro_outcome.Janitizer.Driver.o_result in
+            let tool, _ = Jt_jasan.Jasan.create ~elide:true () in
+            let h = Janitizer.Driver.run ~tool ~registry ~main () in
+            if
+              not
+                (observable er = observable h.o_result
+                && vset er = vset h.o_result)
+            then incr juliet_mismatches)
+        [ false; true ])
+    Juliet.cases;
+  if !juliet_mismatches > 0 then
+    failures :=
+      Printf.sprintf "juliet: %d/%d emitted-vs-hybrid mismatches"
+        !juliet_mismatches !juliet_cases
+      :: !failures;
+  open_table "AOT emit vs hybrid DBT (JASan, elision on)"
+    "slowdown vs native / materialized sites / pin hops"
+    [ "emit x"; "hybrid x"; "sites"; "pins"; "check cyc" ]
+    (List.map
+       (fun r ->
+         ( r.eb_name,
+           [
+             Jt_metrics.Metrics.Value r.eb_slow_emit;
+             Jt_metrics.Metrics.Value r.eb_slow_hybrid;
+             Jt_metrics.Metrics.Value (float_of_int r.eb_sites);
+             Jt_metrics.Metrics.Value (float_of_int r.eb_pins);
+             Jt_metrics.Metrics.Value (float_of_int r.eb_check_cost);
+           ] ))
+       rows);
+  List.iter
+    (fun (n, lang, m, r) ->
+      Printf.printf "refused  %-12s %-10s (%s: %s)\n" n lang m r)
+    refusals;
+  let geo sel = Jt_metrics.Metrics.geomean (List.map sel rows) in
+  Printf.printf
+    "\ngeomean slowdown: emitted %.3fx, hybrid %.3fx (static floor, zero \
+     translation overhead)\n"
+    (geo (fun r -> r.eb_slow_emit))
+    (geo (fun r -> r.eb_slow_hybrid));
+  Printf.printf "juliet CWE-122: %d runs, %d mismatches\n" !juliet_cases
+    !juliet_mismatches;
+  List.iter (fun f -> Printf.eprintf "!! emit: %s\n%!" f) !failures;
+  let row_json r =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"lang\": \"%s\", \"sites\": %d, \"pins\": %d, \
+       \"check_cycles\": %d, \"slowdown_emit\": %.4f, \"slowdown_hybrid\": \
+       %.4f, \"identical\": %b, \"icount_exact\": %b, \"cycles_exact\": %b}"
+      r.eb_name r.eb_lang r.eb_sites r.eb_pins r.eb_check_cost r.eb_slow_emit
+      r.eb_slow_hybrid r.eb_identical r.eb_icount_ok r.eb_cycles_ok
+  in
+  let refusal_json (n, lang, m, r) =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"lang\": \"%s\", \"module\": \"%s\", \
+       \"refusal\": \"%s\"}"
+      n lang m r
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"target\": \"emit\",\n\
+      \  \"gate\": \"bit-identical differential on emittable workloads, \
+       typed refusals elsewhere, exact icount/cycle accounting\",\n\
+      \  \"geomean_slowdown_emit\": %.4f,\n\
+      \  \"geomean_slowdown_hybrid\": %.4f,\n\
+      \  \"juliet\": {\"runs\": %d, \"mismatches\": %d},\n\
+      \  \"failures\": %d,\n\
+      \  \"workloads\": [\n%s\n  ],\n\
+      \  \"refusals\": [\n%s\n  ]\n\
+       }\n"
+      (geo (fun r -> r.eb_slow_emit))
+      (geo (fun r -> r.eb_slow_hybrid))
+      !juliet_cases !juliet_mismatches
+      (List.length !failures)
+      (String.concat ",\n" (List.map row_json rows))
+      (String.concat ",\n" (List.map refusal_json refusals))
+  in
+  let oc = open_out "BENCH_emit.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  if !failures <> [] then exit 1
+
 (* ---- driver ---- *)
 
 let targets =
@@ -1350,6 +1569,7 @@ let targets =
     ("parallel", parallel_bench);
     ("warmstart", warmstart);
     ("micro", micro);
+    ("emit", emit_bench);
   ]
 
 (* Strip `--jobs N` (or `--jobs=N`) anywhere in the argument list; the

@@ -640,6 +640,108 @@ let cache_cmd =
     Term.(const run $ action_arg $ rules_dir_arg $ store_dir_arg
           $ max_bytes_arg)
 
+(* ---- emit: ahead-of-time rewriting ---- *)
+
+let emit_cmd =
+  let doc =
+    "Ahead-of-time rewrite a workload: emit JELF objects with the tool's \
+     checks materialized as real instructions, save them, then execute the \
+     emitted program on the plain VM (zero translation overhead) and \
+     differential-check it against the hybrid DBT."
+  in
+  let out_arg =
+    Arg.(value & opt string "_emitted" & info [ "o"; "out" ] ~docv:"DIR"
+           ~doc:"Directory for the emitted .jelf objects")
+  in
+  let run name tool out =
+    match find_workload name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok w ->
+      let etool =
+        match tool with
+        | `Jasan -> Jt_emit.Emit.Asan { elide = true }
+        | `Jcfi -> Jt_emit.Emit.Cfi Jt_jcfi.Jcfi.default_config
+        | `Taint | `Valgrind | `Null ->
+          prerr_endline "emit supports --tool jasan|jcfi";
+          exit 1
+      in
+      (match
+         Jt_emit.Emit.emit_program ~tool:etool ~registry:w.w_registry
+           ~main:name ()
+       with
+      | Error (_, r) ->
+        (* The typed applicability verdict: the rewriter refuses rather
+           than emit a silently wrong binary. *)
+        Printf.eprintf "refused: %s\n" (Jt_emit.Emit.refusal_to_string r);
+        exit 2
+      | Ok p ->
+        List.iter
+          (fun (mo : Jt_obj.Objfile.t) ->
+            if List.mem mo.name p.p_emitted then begin
+              let path = Jt_obj.Jelf.save ~dir:out mo in
+              let em = Option.get (Jt_emit.Emit.read_map mo) in
+              let sites =
+                Array.fold_left
+                  (fun a (mi : Jt_emit.Emit.map_insn) ->
+                    if mi.mi_site then a + 1 else a)
+                  0 em.em_insns
+              in
+              Printf.printf "%-18s -> %s  (%d insns, %d sites, %d pins)\n"
+                mo.name path (Array.length em.em_insns) sites
+                (Array.length em.em_pins)
+            end)
+          p.p_registry;
+        List.iter
+          (fun (n, r) ->
+            Printf.printf "%-18s skipped: %s\n" n
+              (Jt_emit.Emit.refusal_to_string r))
+          p.p_skipped;
+        let native = Specgen.run_native w in
+        let e = Jt_emit.Emit.run p in
+        let er = e.ro_outcome.o_result in
+        Printf.printf
+          "emitted run: %s, %d instructions, %d cycles (%.2fx native), %d \
+           sites, %d pins, %d check cycles\n"
+          (Format.asprintf "%a" Jt_vm.Vm.pp_status er.r_status)
+          er.r_icount er.r_cycles
+          (float_of_int er.r_cycles /. float_of_int native.r_cycles)
+          e.ro_sites e.ro_pins e.ro_check_cost;
+        List.iter
+          (fun v ->
+            Printf.printf "  violation: %s at 0x%08x (pc 0x%08x)\n"
+              v.Jt_vm.Vm.v_kind v.v_addr v.v_pc)
+          er.r_violations;
+        let h =
+          match tool with
+          | `Jasan ->
+            let t, _ = Jt_jasan.Jasan.create ~elide:true () in
+            Janitizer.Driver.run ~tool:t ~registry:w.w_registry ~main:name ()
+          | `Jcfi ->
+            let t, _ = Jt_jcfi.Jcfi.create () in
+            Janitizer.Driver.run ~tool:t ~registry:w.w_registry ~main:name ()
+          | _ -> assert false
+        in
+        let vset (r : Jt_vm.Vm.result) =
+          List.sort_uniq compare
+            (List.map (fun v -> (v.Jt_vm.Vm.v_kind, v.v_addr)) r.r_violations)
+        in
+        let identical =
+          (er.r_status, er.r_output) = (h.o_result.r_status, h.o_result.r_output)
+          && vset er = vset h.o_result
+          && er.r_icount - e.ro_sites - e.ro_pins = h.o_result.r_icount
+        in
+        Printf.printf
+          "differential vs hybrid DBT: %s (icount %d - %d sites - %d pins = \
+           hybrid %d)\n"
+          (if identical then "identical" else "DIVERGED")
+          er.r_icount e.ro_sites e.ro_pins h.o_result.r_icount;
+        if not identical then exit 1)
+  in
+  Cmd.v (Cmd.info "emit" ~doc)
+    Term.(const run $ workload_arg $ tool_arg $ out_arg)
+
 (* ---- juliet ---- *)
 
 let juliet_cmd =
@@ -669,4 +771,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; inspect_cmd; disasm_cmd; analyze_cmd; run_cmd; trace_cmd;
-            batch_cmd; cache_cmd; juliet_cmd ]))
+            batch_cmd; cache_cmd; emit_cmd; juliet_cmd ]))

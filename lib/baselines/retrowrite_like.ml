@@ -40,8 +40,6 @@ let applicability ~registry ~main =
   in
   check mods
 
-type meta = { cost : int; action : Jt_vm.Vm.t -> unit }
-
 let check_cost ~dead ~flags_dead =
   Jt_vm.Cost.asan_check
   + (Jt_vm.Cost.spill_reg * max 0 (2 - dead))
@@ -51,10 +49,14 @@ let check_cost ~dead ~flags_dead =
    (link-time addresses). *)
 let instrument_module rt (m : Jt_obj.Objfile.t) =
   let sa = Janitizer.Static_analyzer.analyze m in
-  let map = Hashtbl.create 256 in
+  let map : (int, Jt_emit.Emit.Sitemap.meta list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  (* Accumulate in reverse (cons is O(1) where append re-walks the
+     list) and restore application order once at the end. *)
   let add addr meta =
-    let prev = Option.value ~default:[] (Hashtbl.find_opt map addr) in
-    Hashtbl.replace map addr (prev @ [ meta ])
+    Hashtbl.replace map addr
+      (meta :: Option.value ~default:[] (Hashtbl.find_opt map addr))
   in
   List.iter
     (fun (fa : Janitizer.Static_analyzer.fn_analysis) ->
@@ -84,11 +86,12 @@ let instrument_module rt (m : Jt_obj.Objfile.t) =
                 in
                 add info.d_addr
                   {
-                    cost = check_cost ~dead:(min 2 dead) ~flags_dead;
-                    action =
+                    Jt_emit.Emit.Sitemap.sm_cost =
+                      check_cost ~dead:(min 2 dead) ~flags_dead;
+                    sm_action =
                       (fun vm ->
                         (* link-time == run-time only for non-PIC; the
-                           caller rebases the whole map per module. *)
+                           sitemap rebases the whole map per module. *)
                         let a = Jt_vm.Vm.eval_mem vm ~next_pc:next m' in
                         Jt_jasan.Jasan.Rt.check rt vm ~addr:a ~len ~is_store);
                   }
@@ -99,8 +102,8 @@ let instrument_module rt (m : Jt_obj.Objfile.t) =
         (fun (site : Jt_analysis.Canary.site) ->
           add site.c_after_store
             {
-              cost = Jt_vm.Cost.asan_canary_op;
-              action =
+              Jt_emit.Emit.Sitemap.sm_cost = Jt_vm.Cost.asan_canary_op;
+              sm_action =
                 (fun vm ->
                   Jt_jasan.Jasan.Rt.poison_canary rt vm
                     ~slot_disp:site.c_slot_disp);
@@ -109,8 +112,8 @@ let instrument_module rt (m : Jt_obj.Objfile.t) =
             (fun load_addr ->
               add load_addr
                 {
-                  cost = Jt_vm.Cost.asan_canary_op;
-                  action =
+                  Jt_emit.Emit.Sitemap.sm_cost = Jt_vm.Cost.asan_canary_op;
+                  sm_action =
                     (fun vm ->
                       Jt_jasan.Jasan.Rt.unpoison_canary rt vm
                         ~slot_disp:site.c_slot_disp);
@@ -118,6 +121,7 @@ let instrument_module rt (m : Jt_obj.Objfile.t) =
             site.c_check_loads)
         fa.fa_canaries)
     sa.sa_fns;
+  Hashtbl.filter_map_inplace (fun _ metas -> Some (List.rev metas)) map;
   map
 
 let run ?(fuel = 200_000_000) ~registry ~main () =
@@ -125,21 +129,31 @@ let run ?(fuel = 200_000_000) ~registry ~main () =
   | (Needs_pic _ | Unsupported_feature _) as v -> Error v
   | Applicable ->
     let rt = Jt_jasan.Jasan.Rt.create () in
-    let static_mods = closure ~registry ~main in
-    let link_maps =
-      List.map (fun m -> (m.Jt_obj.Objfile.name, instrument_module rt m)) static_mods
+    (* RetroWrite rewrites object *files*, not processes: every registry
+       module its reassembly can handle is instrumented ahead of time —
+       shared objects only ever reached through [dlopen] included, since
+       whoever loads the file gets the rewritten version.  Modules whose
+       features defeat reassembly stay uncovered (the dynamic gap). *)
+    let rewritable (m : Jt_obj.Objfile.t) =
+      (not (Jt_obj.Objfile.has_feature m Jt_obj.Objfile.Cxx_exceptions))
+      && not (Jt_obj.Objfile.has_feature m Jt_obj.Objfile.Fortran_runtime)
     in
-    (* Run-time map, rebased per module at load. *)
-    let rt_map : (int, meta list) Hashtbl.t = Hashtbl.create 4096 in
+    let link_maps =
+      List.filter_map
+        (fun (m : Jt_obj.Objfile.t) ->
+          if rewritable m then Some (m.name, instrument_module rt m) else None)
+        registry
+    in
     let vm = Jt_vm.Vm.make ~registry in
-    Jt_loader.Loader.on_load vm.loader (fun l ->
-        match List.assoc_opt l.lmod.Jt_obj.Objfile.name link_maps with
-        | None -> ()  (* dlopen'd module unknown at rewrite time: uncovered *)
-        | Some map ->
-          Hashtbl.iter
-            (fun a metas ->
-              Hashtbl.replace rt_map (Jt_loader.Loader.runtime_addr l a) metas)
-            map);
+    (* The sitemap rebases each module's map at load and purges it at
+       unload — non-PIC modules reuse base 0 across dlclose/dlopen
+       cycles, so entries that outlive their module would fire on
+       whatever loads there next. *)
+    let sitemap =
+      Jt_emit.Emit.Sitemap.create
+        ~maps_for:(fun name -> List.assoc_opt name link_maps)
+        vm
+    in
     Jt_jasan.Jasan.Rt.attach rt vm;
     Jt_vm.Vm.boot vm ~main;
     while vm.status = Jt_vm.Vm.Running do
@@ -150,12 +164,12 @@ let run ?(fuel = 200_000_000) ~registry ~main () =
         | None -> vm.status <- Jt_vm.Vm.Fault (Jt_vm.Vm.Decode_fault vm.pc)
         | Some (i, len) ->
           let at = vm.pc in
-          (match Hashtbl.find_opt rt_map at with
+          (match Jt_emit.Emit.Sitemap.find sitemap at with
           | Some metas ->
             List.iter
-              (fun m ->
-                Jt_vm.Vm.charge vm m.cost;
-                m.action vm)
+              (fun (m : Jt_emit.Emit.Sitemap.meta) ->
+                Jt_vm.Vm.charge vm m.sm_cost;
+                m.sm_action vm)
               metas
           | None -> ());
           Jt_vm.Vm.step_decoded vm ~at i len

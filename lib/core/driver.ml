@@ -248,6 +248,25 @@ let run_null ?fuel ?profile ?ibl ?trace ~registry ~main () =
     o_trace_elisions = [];
   }
 
+(* Plain-VM run with a pre-boot setup hook: the entry point for
+   statically emitted binaries (Jt_emit), whose instrumentation lives in
+   their own instructions — no DBT, no translation, just [Vm.run].
+   [setup] installs the emit runtime (syscall hooks, load callbacks,
+   allocator interposition) on the fresh VM before boot. *)
+let run_plain ?fuel ?(setup = fun _ -> ()) ~registry ~main () =
+  Jt_metrics.Metrics.Counters.reset ();
+  let vm = Jt_vm.Vm.make ~registry in
+  setup vm;
+  Jt_vm.Vm.boot vm ~main;
+  if vm.Jt_vm.Vm.status = Jt_vm.Vm.Running then Jt_vm.Vm.run ?fuel vm;
+  {
+    o_result = Jt_vm.Vm.result vm;
+    o_dbt = None;
+    o_dynamic_fraction = 0.0;
+    o_rule_count = 0;
+    o_trace_elisions = [];
+  }
+
 let run_native ?fuel ~registry ~main () =
   let r = Jt_vm.Vm.run_native ?fuel ~registry ~main () in
   {

@@ -1,0 +1,238 @@
+(** Ahead-of-time emitter: materialize a tool's checks as real
+    instructions in a new JELF object (section 3's "static rewriter"
+    deployment mode, Zipr-style).
+
+    Where the hybrid DBT inlines meta-operations at translation time, the
+    emitter bakes the very same operations into the binary ahead of time:
+
+    - every statically recovered instruction is copied, in address order,
+      into a fresh high [.emit.text] section; instructions that carry
+      rewrite rules are prefixed with a 2-byte [syscall emit_site] whose
+      run-time handler executes exactly the metas the DBT would have
+      inlined (same actions, same cycle costs — the PR 5/6 claim
+      partition and its elisions carry over bit for bit);
+    - *pinned* addresses — the entry point, function symbols (exports,
+      PLT lazy stubs, [_init]), discovered function entries, jump-table
+      targets and code-pointer-scan hits — keep their old addresses: the
+      original bytes are patched with a 2-byte [syscall emit_pin] that
+      hops to the instruction's new home.  All code pointers anywhere in
+      data, the GOT, jump tables or violation reports therefore keep
+      their old values, which is what makes the rewrite trampoline-free
+      and relocation/import fixups unnecessary: no metadata moves;
+    - direct branches inside the copied code are re-targeted to the new
+      copies, and PC-relative operands are re-displaced so they keep
+      addressing the *old* absolute location (symbolization of
+      code/data-ambiguous references reduces to this invariant: data
+      references never move, code references are remapped only when the
+      target's new location is known).
+
+    When symbolization would be unsound the emitter refuses with a typed
+    {!refusal} instead of emitting a silently wrong binary — the same
+    contract as [Retrowrite_like.applicability].
+
+    The emitted module runs directly on the plain VM
+    ([Janitizer.Driver.run_plain]) with zero translation overhead: the
+    only cycle deltas against an uninstrumented run are the materialized
+    check costs and one direct-jump charge per pin hop, an identity the
+    differential bench asserts exactly. *)
+
+type tool = Asan of { elide : bool } | Cfi of Jt_jcfi.Jcfi.config
+
+val tool_tag : tool -> string
+(** Short configuration tag stamped into the emitted map section. *)
+
+(** Why a module cannot be soundly emitted.  The first payload is always
+    the module name. *)
+type refusal =
+  | Unsupported_feature of string * string
+      (** compiled-in trait the rewriter cannot handle (C++ exception
+          tables, Fortran runtime) — mirrors RetroWrite's refusals *)
+  | Overlapping_code of string * int
+      (** two recovered instructions overlap at this address: the
+          recovered stream has no consistent linear layout *)
+  | Unsound_fallthrough of string * int
+      (** the instruction at this address can fall through, but its
+          successor was not recovered: relocating it would change what
+          executes next *)
+  | Pin_collision of string * int * int
+      (** two pinned targets less than 2 bytes apart: the second pin's
+          patch would clobber the first *)
+  | Pin_unsafe of string * int
+      (** a pin is requested at an address where patching 2 bytes is not
+          provably safe: unrecovered address, or the patch would spill
+          into bytes that are not recovered instructions (e.g. inline
+          jump-table data) *)
+
+val refusal_to_string : refusal -> string
+val pp_refusal : Format.formatter -> refusal -> unit
+
+(** {1 The emitted map}
+
+    Emitted objects are self-describing: an [.emit.map] data section
+    records the old-to-new instruction layout and the pin set, so the
+    emit runtime needs only the module itself plus its rule file. *)
+
+val text_section_name : string
+(** [".emit.text"]. *)
+
+val map_section_name : string
+(** [".emit.map"]. *)
+
+type map_insn = {
+  mi_old : int;  (** link-time address of the original instruction *)
+  mi_new : int;
+      (** link-time address of its relocated home: the site prefix when
+          [mi_site], the instruction copy itself otherwise *)
+  mi_site : bool;  (** preceded by a materialized instrumentation site *)
+}
+
+type emap = {
+  em_digest : string;
+      (** content digest of the {e original} module — the emit runtime
+          validates the rule file against this, not against the emitted
+          object *)
+  em_tool : string;  (** {!tool_tag} of the emitting configuration *)
+  em_text : int;  (** link-time base of [.emit.text] *)
+  em_insns : map_insn array;  (** in old-address order *)
+  em_pins : (int * int) array;
+      (** (pinned old address, new target) — the target is the [mi_new]
+          of the pinned instruction *)
+}
+
+val encode_map : emap -> string
+val decode_map : string -> emap
+(** @raise Failure on bad magic or truncation. *)
+
+val read_map : Jt_obj.Objfile.t -> emap option
+(** The decoded [.emit.map] of an emitted object, [None] for ordinary
+    modules. *)
+
+(** {1 Emission} *)
+
+val emit_module :
+  ?store:Jt_ir.Store.t ->
+  tool:tool ->
+  rules:Jt_rules.Rules.file ->
+  Jt_obj.Objfile.t ->
+  (Jt_obj.Objfile.t, refusal) result
+(** Rewrite one module.  [rules] must be the static pass's rule file for
+    this exact build of the module ({!Jt_rules.Rules.file.rf_digest} is
+    checked when present).  The result keeps the module's name, kind,
+    symbols, relocations, imports, exports, entry point and dependencies
+    unchanged — only section contents differ (pin patches) and two
+    sections are appended ([.emit.text], [.emit.map]) — so it substitutes
+    transparently into a registry.
+    @raise Invalid_argument if [rules] belongs to a different build. *)
+
+type program = {
+  p_tool : tool;
+  p_main : string;
+  p_registry : Jt_obj.Objfile.t list;
+      (** the input registry with emitted objects substituted in place
+          (plus the emitted [ld.so], which the loader would otherwise
+          replace with its synthetic original) *)
+  p_rules : (string * Jt_rules.Rules.file) list;
+      (** static rule files, needed again at run time by {!attach} *)
+  p_emitted : string list;  (** emitted module names, sorted *)
+  p_skipped : (string * refusal) list;
+      (** registry modules outside the static closure (dlopen-only
+          plugins) that could not be emitted; they stay in the registry
+          unrewritten — exactly the dynamic-fallback gap of footnote 1,
+          except here the gap is simply unchecked *)
+}
+(** An emitted program, ready to {!run}. *)
+
+val emit_program :
+  ?pool:Jt_pool.Pool.t ->
+  ?store:Jt_ir.Store.t ->
+  tool:tool ->
+  registry:Jt_obj.Objfile.t list ->
+  main:string ->
+  unit ->
+  (program, string * refusal) result
+(** Emit a whole program: the main executable's static closure must emit
+    (any refusal fails the program, naming the module); registry modules
+    reachable only via [dlopen] are emitted opportunistically. *)
+
+(** {1 Link-map lifecycle}
+
+    Shared machinery for rewriters that carry per-instruction
+    instrumentation maps in link coordinates (the emitter itself, and
+    static baselines like [Retrowrite_like]): rebase each module's map
+    into run-time coordinates when the loader commits it, and — just as
+    important — purge those entries when the module unloads, so a later
+    module mapped at a reused base (non-PIC objects always load at
+    base 0) cannot inherit stale instrumentation. *)
+module Sitemap : sig
+  type meta = { sm_cost : int; sm_action : Jt_vm.Vm.t -> unit }
+
+  type t
+
+  val create :
+    maps_for:(string -> (int, meta list) Hashtbl.t option) ->
+    Jt_vm.Vm.t ->
+    t
+  (** Install load/unload callbacks on the VM's loader; call before
+      [Vm.boot].  [maps_for] returns a module's link-coordinate
+      instrumentation map, or [None] for modules the rewriter did not
+      cover. *)
+
+  val find : t -> int -> meta list option
+  (** The metas anchored at a run-time address, in application order. *)
+end
+
+(** {1 The emit runtime} *)
+
+type stats = {
+  mutable st_sites : int;  (** instrumentation sites executed *)
+  mutable st_pins : int;  (** pin hops executed *)
+  mutable st_check_cost : int;
+      (** cycles charged for materialized checks (the sum of the
+          executed metas' costs — identical to what the hybrid DBT
+          charges for the same executions) *)
+}
+
+type runtime = {
+  r_stats : stats;
+  r_asan : Jt_jasan.Jasan.Rt.t option;  (** for [Asan] configurations *)
+  r_cfi : Jt_jcfi.Jcfi.Rt.t option;  (** for [Cfi] configurations *)
+}
+
+val attach :
+  tool:tool ->
+  rules_for:(string -> Jt_rules.Rules.file option) ->
+  Jt_vm.Vm.t ->
+  runtime
+(** Install the emit runtime on a fresh VM, before [Vm.boot]: a loader
+    callback that, for every loaded module carrying an [.emit.map],
+    validates the rule file digest, interprets the module's rules into
+    per-site meta lists (via [Jasan.static_meta] / [Jcfi.static_meta], in
+    run-time coordinates) and registers its pins; plus the two syscall
+    hooks that give [emit_site] and [emit_pin] their meaning.  Modules
+    without a map get no sites — under a [Cfi] configuration they still
+    receive a runtime-constructed target table, like the hybrid's
+    dynamic fallback.  Unloading a module drops its sites, pins and
+    target table.
+
+    A site syscall charges the metas' summed cost in place of its own
+    syscall cost; a pin hop charges one direct-jump cost.  Both bump
+    {!stats}, so a caller can reconstruct the exact uninstrumented
+    instruction and cycle counts from an emitted run.
+    @raise Failure if an emitted module's rule file is missing or its
+    digest does not match the map. *)
+
+type run_outcome = {
+  ro_outcome : Janitizer.Driver.outcome;
+  ro_sites : int;
+  ro_pins : int;
+  ro_check_cost : int;
+}
+
+val run : ?fuel:int -> program -> run_outcome
+(** Execute an emitted program on the plain VM — no DBT anywhere.  The
+    observable identities against other arms, asserted by [bench emit]:
+
+    - [ro_outcome.o_result.r_icount - ro_sites - ro_pins] equals the
+      hybrid DBT's (and the native baseline's) instruction count;
+    - cycles exceed a baseline run with the same allocator policy by
+      exactly [ro_check_cost + ro_pins] — zero translation overhead. *)

@@ -12,3 +12,10 @@ let dlclose = 10
 let calloc = 11
 let realloc = 12
 let read_int = 13
+
+(* Reserved for statically emitted instrumentation (Jt_emit): the
+   two-byte [syscall] encodings it plants stand for an inlined check
+   sequence and a pinned-address direct jump respectively.  They have no
+   built-in handler — the emit runtime installs VM syscall hooks. *)
+let emit_site = 14
+let emit_pin = 15

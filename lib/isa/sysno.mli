@@ -59,3 +59,13 @@ val read_int : int
 (** Pop the next value from the process's input stream (0 when
     exhausted).  The stream is external, untrusted data — the taint
     tool's source. *)
+
+val emit_site : int
+(** Statically emitted instrumentation site (Jt_emit): the two-byte
+    [syscall] encoding stands for an inlined check sequence.  No
+    built-in handler — the emit runtime installs a VM syscall hook. *)
+
+val emit_pin : int
+(** Statically emitted address pin (Jt_emit): a two-byte [syscall]
+    patched at a pinned original address, redirecting to the relocated
+    copy of the code.  No built-in handler. *)

@@ -663,6 +663,28 @@ let canary_meta rt ~unpoison ~elide disp =
        else Jt_dbt.Dbt.M_opaque);
   }
 
+(* Interpret one static rule at one instruction into a meta op.  Shared
+   between the DBT plan below and the AOT emitter (Jt_emit), which
+   anchors the same metas to its materialized instrumentation sites —
+   that sharing is what makes the static claim partition (and its
+   elisions) carry over to emitted binaries verbatim. *)
+let static_meta rt ~elide (r : Jt_rules.Rules.t) ~at ~insn ~len =
+  if r.rule_id = Ids.mem_check then
+    match mem_operand insn with
+    | Some (width, m, is_store) ->
+      let cost =
+        hybrid_check_cost ~dead_scratch:r.data.(0) ~flags_dead:r.data.(1)
+      in
+      Some (check_meta rt ~cost ~len:width ~is_store ~elide m ~next_pc:(at + len))
+    | None -> None
+  else if r.rule_id = Ids.poison_canary then
+    Some (canary_meta rt ~unpoison:false ~elide r.data.(0))
+  else if r.rule_id = Ids.unpoison_canary then
+    Some (canary_meta rt ~unpoison:true ~elide r.data.(0))
+  else if r.rule_id = Ids.range_check then Some (range_meta rt r)
+  else if r.rule_id = Ids.invariant_check then Some (invariant_meta rt r)
+  else None
+
 (* Static-rules path: interpret each rule into a meta op. *)
 let plan_static rt ~elide (b : Jt_dbt.Dbt.block) ~rules_at =
   let plan = Jt_dbt.Dbt.no_plan b in
@@ -670,25 +692,7 @@ let plan_static rt ~elide (b : Jt_dbt.Dbt.block) ~rules_at =
     (fun k (at, insn, len) ->
       let metas =
         List.filter_map
-          (fun (r : Jt_rules.Rules.t) ->
-            if r.rule_id = Ids.mem_check then
-              match mem_operand insn with
-              | Some (width, m, is_store) ->
-                let cost =
-                  hybrid_check_cost ~dead_scratch:r.data.(0)
-                    ~flags_dead:r.data.(1)
-                in
-                Some
-                  (check_meta rt ~cost ~len:width ~is_store ~elide m
-                     ~next_pc:(at + len))
-              | None -> None
-            else if r.rule_id = Ids.poison_canary then
-              Some (canary_meta rt ~unpoison:false ~elide r.data.(0))
-            else if r.rule_id = Ids.unpoison_canary then
-              Some (canary_meta rt ~unpoison:true ~elide r.data.(0))
-            else if r.rule_id = Ids.range_check then Some (range_meta rt r)
-            else if r.rule_id = Ids.invariant_check then Some (invariant_meta rt r)
-            else None)
+          (fun r -> static_meta rt ~elide r ~at ~insn ~len)
           (rules_at at)
       in
       plan.(k) <- metas)

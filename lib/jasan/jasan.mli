@@ -134,6 +134,25 @@ val create :
     passes (VSA frame bounds and dominating-check elimination); turn it
     off for the differential safety harness's baseline. *)
 
+val mem_operand :
+  Jt_isa.Insn.t -> (int * Jt_isa.Insn.mem * bool) option
+(** [(width_bytes, operand, is_store)] of a load or store. *)
+
+val static_meta :
+  Rt.t ->
+  elide:bool ->
+  Jt_rules.Rules.t ->
+  at:int ->
+  insn:Jt_isa.Insn.t ->
+  len:int ->
+  Jt_dbt.Dbt.meta option
+(** Interpret one static rewrite rule anchored at instruction [insn]
+    (address [at], byte length [len], both in run-time coordinates) into
+    the meta operation the hybrid DBT would inline there.  Exposed for
+    the AOT emitter ([Jt_emit]), which executes the very same metas at
+    its materialized instrumentation sites: identical actions, identical
+    cycle costs, so elision decisions carry over bit-for-bit. *)
+
 (** Rule identifiers emitted by the static pass (for tests). *)
 module Ids : sig
   val mem_check : int

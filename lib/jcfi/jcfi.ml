@@ -39,6 +39,18 @@ module Rt = struct
     List.find_opt (fun (l, _) -> Jt_loader.Loader.contains l addr) t.tbl
     |> Option.map snd
 
+  (* Per-module tables make unloading cheap: drop the table, no scan for
+     stale entries (footnote 2).  Shared with the AOT emitter's runtime,
+     which maintains the same table lifecycle from its own load hook. *)
+  let install t l targets = t.tbl <- (l, targets) :: t.tbl
+
+  let drop_module t (l : Jt_loader.Loader.loaded) =
+    t.tbl <-
+      List.filter
+        (fun ((l' : Jt_loader.Loader.loaded), _) ->
+          l'.load_order <> l.Jt_loader.Loader.load_order)
+        t.tbl
+
   let record t site kind = Hashtbl.replace t.sites site kind
 
   let in_jit_region a =
@@ -266,6 +278,60 @@ let target_of_call_operand (insn : Insn.t) ~at ~len vm =
     Jt_mem.Memory.read32 vm.Jt_vm.Vm.mem (Jt_vm.Vm.eval_mem vm ~next_pc:(at + len) m)
   | _ -> 0
 
+(* Interpret one static rule at one instruction into a meta op; [at] and
+   [len] are run-time coordinates of the anchor instruction, [pic_base]
+   the containing module's load base (0 for position-dependent code) for
+   adjusting rule-carried link addresses.  Shared between the DBT plan
+   below and the AOT emitter (Jt_emit), whose materialized sites run the
+   same checks with the same costs. *)
+let static_meta rt (r : Jt_rules.Rules.t) ~at ~insn ~len ~pic_base =
+  if r.rule_id = Ids.icall then
+    Some
+      {
+        Jt_dbt.Dbt.m_cost = hybrid_fwd_cost;
+        m_action =
+          Some
+            (fun vm ->
+              let tgt = target_of_call_operand insn ~at ~len vm in
+              Rt.check_icall rt vm ~site:at tgt);
+        m_kind = Jt_dbt.Dbt.M_opaque;
+      }
+  else if r.rule_id = Ids.ijmp then begin
+    let entry = r.data.(0) + pic_base in
+    Some
+      {
+        Jt_dbt.Dbt.m_cost = hybrid_fwd_cost;
+        m_action =
+          Some
+            (fun vm ->
+              let tgt = target_of_call_operand insn ~at ~len vm in
+              Rt.check_ijmp rt vm ~site:at ~fn_entry:(Some entry) tgt);
+        m_kind = Jt_dbt.Dbt.M_opaque;
+      }
+  end
+  else if r.rule_id = Ids.shadow_push then
+    Some
+      {
+        Jt_dbt.Dbt.m_cost = Jt_vm.Cost.cfi_shadow_push;
+        m_action = Some (fun vm -> Rt.push_shadow rt vm (at + len));
+        m_kind = Jt_dbt.Dbt.M_opaque;
+      }
+  else if r.rule_id = Ids.ret_check then
+    Some
+      {
+        Jt_dbt.Dbt.m_cost = Jt_vm.Cost.cfi_shadow_pop;
+        m_action = Some (fun vm -> Rt.check_ret rt vm ~site:at);
+        m_kind = Jt_dbt.Dbt.M_opaque;
+      }
+  else if r.rule_id = Ids.resolver_ret then
+    Some
+      {
+        Jt_dbt.Dbt.m_cost = hybrid_fwd_cost;
+        m_action = Some (fun vm -> Rt.check_resolver_ret rt vm ~site:at);
+        m_kind = Jt_dbt.Dbt.M_opaque;
+      }
+  else None
+
 let plan_static rt (b : Jt_dbt.Dbt.block) ~rules_at vm0 =
   let plan = Jt_dbt.Dbt.no_plan b in
   let pic_base at =
@@ -277,53 +343,7 @@ let plan_static rt (b : Jt_dbt.Dbt.block) ~rules_at vm0 =
     (fun k (at, insn, len) ->
       let metas =
         List.filter_map
-          (fun (r : Jt_rules.Rules.t) ->
-            if r.rule_id = Ids.icall then
-              Some
-                {
-                  Jt_dbt.Dbt.m_cost = hybrid_fwd_cost;
-                  m_action =
-                    Some
-                      (fun vm ->
-                        let tgt = target_of_call_operand insn ~at ~len vm in
-                        Rt.check_icall rt vm ~site:at tgt);
-                  m_kind = Jt_dbt.Dbt.M_opaque;
-                }
-            else if r.rule_id = Ids.ijmp then begin
-              let entry = r.data.(0) + pic_base at in
-              Some
-                {
-                  Jt_dbt.Dbt.m_cost = hybrid_fwd_cost;
-                  m_action =
-                    Some
-                      (fun vm ->
-                        let tgt = target_of_call_operand insn ~at ~len vm in
-                        Rt.check_ijmp rt vm ~site:at ~fn_entry:(Some entry) tgt);
-                  m_kind = Jt_dbt.Dbt.M_opaque;
-                }
-            end
-            else if r.rule_id = Ids.shadow_push then
-              Some
-                {
-                  Jt_dbt.Dbt.m_cost = Jt_vm.Cost.cfi_shadow_push;
-                  m_action = Some (fun vm -> Rt.push_shadow rt vm (at + len));
-                  m_kind = Jt_dbt.Dbt.M_opaque;
-                }
-            else if r.rule_id = Ids.ret_check then
-              Some
-                {
-                  Jt_dbt.Dbt.m_cost = Jt_vm.Cost.cfi_shadow_pop;
-                  m_action = Some (fun vm -> Rt.check_ret rt vm ~site:at);
-                  m_kind = Jt_dbt.Dbt.M_opaque;
-                }
-            else if r.rule_id = Ids.resolver_ret then
-              Some
-                {
-                  Jt_dbt.Dbt.m_cost = hybrid_fwd_cost;
-                  m_action = Some (fun vm -> Rt.check_resolver_ret rt vm ~site:at);
-                  m_kind = Jt_dbt.Dbt.M_opaque;
-                }
-            else None)
+          (fun r -> static_meta rt r ~at ~insn ~len ~pic_base:(pic_base at))
           (rules_at at)
       in
       plan.(k) <- metas)
@@ -434,14 +454,7 @@ let create ?(config = default_config) () =
       Janitizer.Tool.t_name = "jcfi";
       t_setup =
         (fun vm ->
-          (* per-module tables make unloading cheap: drop the table, no
-             scan for stale entries (footnote 2) *)
-          Jt_loader.Loader.on_unload vm.Jt_vm.Vm.loader (fun l ->
-              rt.Rt.tbl <-
-                List.filter
-                  (fun ((l' : Jt_loader.Loader.loaded), _) ->
-                    l'.load_order <> l.Jt_loader.Loader.load_order)
-                  rt.Rt.tbl));
+          Jt_loader.Loader.on_unload vm.Jt_vm.Vm.loader (Rt.drop_module rt));
       t_static = static_pass ~config;
       t_client = client;
       t_on_load =
@@ -462,7 +475,7 @@ let create ?(config = default_config) () =
                      + Hashtbl.length targets.Targets.addr_taken
                      + Hashtbl.length targets.Targets.jump_targets;
                  });
-          rt.Rt.tbl <- (l, targets) :: rt.Rt.tbl);
+          Rt.install rt l targets);
       t_aux = Janitizer.Tool.no_aux;
     },
     rt )

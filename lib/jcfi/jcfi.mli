@@ -42,10 +42,43 @@ module Rt : sig
       of the dynamic AIR metric. *)
 
   val tables : t -> (Jt_loader.Loader.loaded * Targets.t) list
+
+  val create : config -> t
+  (** Bare runtime state, for hosts other than the DBT tool (the AOT
+      emitter's runtime).  {!val-create} below wires one of these into a
+      [Tool.t]. *)
+
+  val install : t -> Jt_loader.Loader.loaded -> Targets.t -> unit
+  (** Register a loaded module's valid-target table. *)
+
+  val drop_module : t -> Jt_loader.Loader.loaded -> unit
+  (** Forget an unloaded module's table (cheap per-module drop,
+      footnote 2). *)
 end
 
 val create : ?config:config -> unit -> Janitizer.Tool.t * Rt.t
 (** One instance per program run. *)
+
+val targets_of_rules :
+  Jt_loader.Loader.loaded -> Jt_rules.Rules.file -> Targets.t
+(** Build a loaded module's valid-target table from its static target
+    hints ([tgt_*] rules), address-adjusted by the load base for PIC
+    modules. *)
+
+val static_meta :
+  Rt.t ->
+  Jt_rules.Rules.t ->
+  at:int ->
+  insn:Jt_isa.Insn.t ->
+  len:int ->
+  pic_base:int ->
+  Jt_dbt.Dbt.meta option
+(** Interpret one static rule anchored at instruction [insn] (run-time
+    address [at], byte length [len]) into the meta operation the hybrid
+    DBT would inline there; [pic_base] adjusts rule-carried link
+    addresses (the enclosing function entry of [ijmp] hints).  Exposed
+    for the AOT emitter, whose materialized sites execute the same
+    checks at the same cycle costs. *)
 
 module Ids : sig
   val icall : int

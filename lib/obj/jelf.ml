@@ -107,9 +107,16 @@ let rstr c =
   c.pos <- c.pos + n;
   s
 
-let rlist c f =
+(* [min] is the smallest possible encoding of one element: a count
+   whose elements could not all fit in the remaining bytes is corrupt,
+   however small the absolute number looks (the magic 1M ceiling alone
+   let a short file claim 999,999 sections and spin the decoder through
+   a million "truncated" probes — or worse, allocate for them).  Same
+   rule the rules codec and the JTIR codec apply to their counts. *)
+let rlist ~min c f =
   let n = r32 c in
   if n > 1_000_000 then fail "absurd count";
+  if n * min > String.length c.s - c.pos then fail "count exceeds buffer";
   List.init n (fun _ -> f c)
 
 let read s =
@@ -131,7 +138,7 @@ let read s =
     | _ -> fail "bad symtab level"
   in
   let features =
-    rlist c (fun c ->
+    rlist ~min:1 c (fun c ->
         match byte c with
         | 0 -> Objfile.Cxx_exceptions
         | 1 -> Objfile.Fortran_runtime
@@ -139,16 +146,16 @@ let read s =
         | 3 -> Objfile.Breaks_calling_convention
         | _ -> fail "bad feature")
   in
-  let deps = rlist c rstr in
+  let deps = rlist ~min:4 c rstr in
   let entry = match byte c with 1 -> Some (r32 c) | 0 -> None | _ -> fail "bad entry" in
   let sections =
-    rlist c (fun c ->
+    rlist ~min:17 c (fun c ->
         let name = rstr c in
         let vaddr = r32 c in
         let is_code = byte c = 1 in
         let data = rstr c in
         let truth =
-          rlist c (fun c ->
+          rlist ~min:8 c (fun c ->
               let a = r32 c in
               let l = r32 c in
               (a, l))
@@ -156,7 +163,7 @@ let read s =
         Section.make ~truth_code_ranges:truth ~name ~vaddr ~is_code data)
   in
   let symbols =
-    rlist c (fun c ->
+    rlist ~min:14 c (fun c ->
         let name = rstr c in
         let vaddr = r32 c in
         let size = r32 c in
@@ -165,7 +172,7 @@ let read s =
         Symbol.make ~size ~exported ~kind ~name vaddr)
   in
   let relocs =
-    rlist c (fun c ->
+    rlist ~min:9 c (fun c ->
         let offset = r32 c in
         match byte c with
         | 0 -> Reloc.relative ~offset (r32 c)
@@ -173,13 +180,17 @@ let read s =
         | _ -> fail "bad reloc")
   in
   let imports =
-    rlist c (fun c ->
+    rlist ~min:9 c (fun c ->
         let imp_sym = rstr c in
         let imp_got = r32 c in
         let imp_plt = match byte c with 1 -> Some (r32 c) | 0 -> None | _ -> fail "bad import" in
         { Objfile.imp_sym; imp_got; imp_plt })
   in
-  let exports = rlist c rstr in
+  let exports = rlist ~min:4 c rstr in
+  (* A valid decode must consume the whole buffer: accepting trailing
+     garbage would let a corrupted (e.g. doubly-written) file pass, and
+     makes the digest of what was read disagree with the file bytes. *)
+  if c.pos <> String.length s then fail "trailing bytes";
   {
     Objfile.name;
     kind;
@@ -194,12 +205,33 @@ let read s =
     features;
   }
 
+(* [Sys.mkdir] is single-level; emitted binaries are routinely saved
+   into nested output directories.  Racing creators are fine: EEXIST is
+   ignored at every level. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with
+    | Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+(* Publish protocol shared with [Jt_ir.Store]: write to a temp file in
+   the destination directory, then atomically rename over the final
+   path.  A crash mid-write leaves only a stray [.tmp], never a
+   truncated [.jelf] that a later [load] would half-decode. *)
 let save ~dir (m : Objfile.t) =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  mkdir_p dir;
   let path = Filename.concat dir (m.name ^ ".jelf") in
-  let oc = open_out_bin path in
-  output_string oc (write m);
-  close_out oc;
+  let tmp = Filename.temp_file ~temp_dir:dir (m.name ^ ".") ".tmp" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (write m));
+      Sys.rename tmp path);
   path
 
 let load path =

@@ -11,10 +11,18 @@ val write : Objfile.t -> string
 (** Serialize a module to its container bytes. *)
 
 val read : string -> Objfile.t
-(** @raise Failure on malformed input. *)
+(** @raise Failure on malformed input: truncation, bad magic or tags,
+    element counts that cannot fit in the remaining bytes, and trailing
+    bytes after a complete decode are all rejected. *)
+
+val mkdir_p : string -> unit
+(** Recursive directory creation ([Sys.mkdir] is single-level);
+    idempotent and race-tolerant. *)
 
 val save : dir:string -> Objfile.t -> string
-(** Write [<dir>/<name>.jelf] (creating [dir]); returns the path. *)
+(** Write [<dir>/<name>.jelf] (creating [dir] and any missing parents)
+    via temp-file + atomic rename, so an interrupted save never leaves a
+    partial [.jelf] at the final path; returns the path. *)
 
 val load : string -> Objfile.t
 (** Read a module from a file path.  @raise Failure / [Sys_error]. *)

@@ -31,6 +31,7 @@ type t = {
   handles : (int, Jt_loader.Loader.loaded) Hashtbl.t;
   mutable next_handle : int;
   mutable input : int list;
+  syscall_hooks : (int, t -> unit) Hashtbl.t;
 }
 
 exception Security_abort of string
@@ -64,9 +65,12 @@ let make ~registry =
     handles = Hashtbl.create 8;
     next_handle = 1;
     input = [];
+    syscall_hooks = Hashtbl.create 4;
   }
 
 let set_input t values = t.input <- values
+
+let set_syscall_hook t n f = Hashtbl.replace t.syscall_hooks n f
 
 let get t r = t.regs.(Reg.index r)
 let set t r v = t.regs.(Reg.index r) <- Word.of_int v
@@ -237,7 +241,12 @@ let flush_range t start len =
    end);
   List.iter (fun f -> f start len) t.flush_listeners
 
-let do_syscall t n =
+let rec do_syscall t n =
+  match Hashtbl.find_opt t.syscall_hooks n with
+  | Some f -> f t
+  | None -> do_builtin_syscall t n
+
+and do_builtin_syscall t n =
   let a0 = get t Reg.r0 and a1 = get t Reg.r1 in
   if n = Sysno.exit_ then t.status <- Exited a0
   else if n = Sysno.write_int then begin

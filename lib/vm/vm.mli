@@ -51,11 +51,24 @@ type t = {
   handles : (int, Jt_loader.Loader.loaded) Hashtbl.t;
   mutable next_handle : int;  (** monotonic dlopen handle allocator *)
   mutable input : int list;  (** remaining external input (read_int) *)
+  syscall_hooks : (int, t -> unit) Hashtbl.t;
+      (** per-number overrides consulted before the built-in syscall
+          chain; see {!set_syscall_hook} *)
 }
 
 val set_input : t -> int list -> unit
 (** Provide the program's external input stream, consumed by the
     [read_int] syscall. *)
+
+val set_syscall_hook : t -> int -> (t -> unit) -> unit
+(** Install (or replace) the handler for syscall number [n].  Hooks are
+    consulted before the built-in chain — including its unknown-syscall
+    fallback that clobbers [r0] — so statically emitted instrumentation
+    ([Sysno.emit_site], [Sysno.emit_pin]) can give its encodings meaning
+    without the VM knowing about them.  The hook runs at handler time:
+    the PC has already advanced past the [syscall] instruction and its
+    native cost is charged, so a hook may adjust both (set [pc], call
+    {!charge} with a delta). *)
 
 val make : registry:Jt_obj.Objfile.t list -> t
 (** Create a VM with an empty process.  Register loader callbacks (via

@@ -193,6 +193,104 @@ let test_retrowrite_misses_jit () =
     "jasan sees jit" [ "heap-buffer-overflow" ]
     (vkinds o.o_result)
 
+(* RetroWrite rewrites object files, so registry plugins reached only
+   through dlopen get instrumented too (whoever loads the file gets the
+   rewritten version).  Non-PIC plugins always load at base 0 — the one
+   base the loader re-uses across dlclose/dlopen cycles — which is what
+   makes purging the runtime instrumentation map on unload load-bearing:
+   entries that outlive their module would fire on whatever loads there
+   next. *)
+
+let plug name body =
+  build ~name ~kind:Jt_obj.Objfile.Exec_nonpic [ func ~exported:true "poke" body ]
+
+(* Same .text layout up to the first instruction of [poke]: plugy's
+   harmless [movi] sits at the exact link address of plugx's
+   instrumented load. *)
+let plugx () = plug "plugx.so" [ ld Reg.r2 (mem_b ~disp:0 Reg.r0); ret ]
+let plugy () = plug "plugy.so" [ movi Reg.r2 9; ret ]
+
+(* dlopen [target], dlsym "poke", run [arg] (sets r0), call it.  Leaves
+   the module handle in r5. *)
+let dl_call ~target ~arg =
+  [
+    addr_of_data ~pic:true Reg.r0 target;
+    syscall Sysno.dlopen;
+    mov Reg.r5 Reg.r0;
+    addr_of_data ~pic:true Reg.r1 "pname";
+    syscall Sysno.dlsym;
+    mov Reg.r4 Reg.r0;
+  ]
+  @ arg
+  @ [ call_reg Reg.r4 ]
+
+let test_retrowrite_covers_plugins () =
+  (* plugx's load runs against a redzone pointer: the rewritten plugin
+     must detect it even though main never linked it. *)
+  let m =
+    build ~name:"plug_ov" ~kind:Jt_obj.Objfile.Exec_pic ~deps:[ "libc.so" ]
+      ~entry:"main"
+      ~datas:
+        [
+          data "xname" [ Dbytes "plugx.so\x00" ];
+          data "pname" [ Dbytes "poke\x00" ];
+        ]
+      [
+        func "main"
+          ([ movi Reg.r0 16; call_import "malloc"; mov Reg.r6 Reg.r0 ]
+          @ dl_call ~target:"xname"
+              ~arg:[ lea Reg.r0 (mem_b ~disp:20 Reg.r6) ]
+          @ [ movi Reg.r0 1; call_import "print_int" ]
+          @ Progs.exit0);
+      ]
+  in
+  match
+    Jt_baselines.Retrowrite_like.run
+      ~registry:[ m; Progs.libc; plugx (); plugy () ]
+      ~main:"plug_ov" ()
+  with
+  | Ok r ->
+    Alcotest.(check (list string))
+      "plugin access checked" [ "heap-buffer-overflow" ] (vkinds r);
+    Alcotest.(check string) "output" "1\n" r.r_output
+  | Error _ -> Alcotest.fail "should be applicable"
+
+let test_retrowrite_dlclose_reuse () =
+  (* Round 1 exercises plugx's instrumented load (valid pointer), then
+     dlcloses it; round 2 loads plugy at the reused base 0 and calls it
+     with a redzone pointer in r0.  A stale plugx meta surviving the
+     unload would evaluate [r0] at plugy's first instruction and report
+     a heap-buffer-overflow that never happened. *)
+  let m =
+    build ~name:"dlreuse" ~kind:Jt_obj.Objfile.Exec_pic ~deps:[ "libc.so" ]
+      ~entry:"main"
+      ~datas:
+        [
+          data "xname" [ Dbytes "plugx.so\x00" ];
+          data "yname" [ Dbytes "plugy.so\x00" ];
+          data "pname" [ Dbytes "poke\x00" ];
+        ]
+      [
+        func "main"
+          ([ movi Reg.r0 16; call_import "malloc"; mov Reg.r6 Reg.r0 ]
+          @ dl_call ~target:"xname" ~arg:[ mov Reg.r0 Reg.r6 ]
+          @ [ mov Reg.r0 Reg.r5; syscall Sysno.dlclose ]
+          @ dl_call ~target:"yname"
+              ~arg:[ lea Reg.r0 (mem_b ~disp:20 Reg.r6) ]
+          @ [ movi Reg.r0 1; call_import "print_int" ]
+          @ Progs.exit0);
+      ]
+  in
+  match
+    Jt_baselines.Retrowrite_like.run
+      ~registry:[ m; Progs.libc; plugx (); plugy () ]
+      ~main:"dlreuse" ()
+  with
+  | Ok r ->
+    Alcotest.(check (list string)) "no stale instrumentation" [] (vkinds r);
+    Alcotest.(check string) "output" "1\n" r.r_output
+  | Error _ -> Alcotest.fail "should be applicable"
+
 (* -- Lockdown -- *)
 
 (* The qsort pattern: a non-exported local comparator passed by value to
@@ -312,6 +410,8 @@ let () =
           Alcotest.test_case "applicability" `Quick test_retrowrite_applicability;
           Alcotest.test_case "detects on pic" `Quick test_retrowrite_detects_on_pic;
           Alcotest.test_case "misses jit" `Quick test_retrowrite_misses_jit;
+          Alcotest.test_case "covers plugins" `Quick test_retrowrite_covers_plugins;
+          Alcotest.test_case "dlclose/base reuse" `Quick test_retrowrite_dlclose_reuse;
         ] );
       ( "lockdown",
         [

@@ -34,6 +34,59 @@ let test_corruption_rejected () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "truncated input accepted")
 
+(* Regression: [read] used to accept any bytes appended after a valid
+   module, so a doubly-written or padded file passed undetected. *)
+let test_trailing_bytes_rejected () =
+  let good = Jt_obj.Jelf.write Jt_workloads.Stdlibs.libc in
+  Alcotest.check_raises "trailing" (Failure "Jelf.read: trailing bytes")
+    (fun () -> ignore (Jt_obj.Jelf.read (good ^ "\x00")));
+  Alcotest.check_raises "trailing run" (Failure "Jelf.read: trailing bytes")
+    (fun () -> ignore (Jt_obj.Jelf.read (good ^ good)))
+
+(* Regression: list counts were only compared against a magic 1M
+   ceiling, so a 40-byte file could claim 999,999 symbols and walk the
+   decoder through them.  Counts must fit in the remaining bytes. *)
+let test_absurd_count_rejected () =
+  let good = Jt_obj.Jelf.write Jt_workloads.Stdlibs.libc in
+  (* The features list count sits right after the name, kind and symtab
+     bytes; overwrite it with a count far larger than the file. *)
+  let name_len = 4 + String.length Jt_workloads.Stdlibs.libc.Jt_obj.Objfile.name in
+  let count_pos = 5 + name_len + 2 in
+  let forged = Bytes.of_string good in
+  Bytes.set_int32_le forged count_pos 999_999l;
+  Alcotest.check_raises "oversized count"
+    (Failure "Jelf.read: count exceeds buffer") (fun () ->
+      ignore (Jt_obj.Jelf.read (Bytes.to_string forged)))
+
+(* Satellite: [save] must create nested directories and publish
+   atomically — a pre-existing partial file at the final path is
+   replaced wholesale and no temp files survive a successful save. *)
+let test_save_nested_and_atomic () =
+  let root = Filename.temp_file "jelf" "" in
+  Sys.remove root;
+  let dir = Filename.concat (Filename.concat root "deep") "nested" in
+  let m = Jt_workloads.Stdlibs.libc in
+  let final = Filename.concat dir (m.Jt_obj.Objfile.name ^ ".jelf") in
+  (* Simulate the debris of an interrupted non-atomic save: a truncated
+     file already sitting at the final path. *)
+  Jt_obj.Jelf.mkdir_p dir;
+  let oc = open_out_bin final in
+  output_string oc (String.sub (Jt_obj.Jelf.write m) 0 10);
+  close_out oc;
+  let path = Jt_obj.Jelf.save ~dir m in
+  Alcotest.(check string) "path" final path;
+  let m' = Jt_obj.Jelf.load path in
+  if m <> m' then Alcotest.fail "saved module does not round-trip";
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".tmp" then
+        Alcotest.failf "temp file left behind: %s" f)
+    (Sys.readdir dir);
+  Sys.remove path;
+  Sys.rmdir dir;
+  Sys.rmdir (Filename.concat root "deep");
+  Sys.rmdir root
+
 let () =
   Alcotest.run "jelf"
     [
@@ -42,5 +95,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_roundtrip_all_workloads;
           Alcotest.test_case "runs from disk" `Quick test_runs_identically_from_disk;
           Alcotest.test_case "corruption" `Quick test_corruption_rejected;
+          Alcotest.test_case "trailing bytes" `Quick test_trailing_bytes_rejected;
+          Alcotest.test_case "absurd count" `Quick test_absurd_count_rejected;
+          Alcotest.test_case "atomic nested save" `Quick test_save_nested_and_atomic;
         ] );
     ]
