@@ -286,7 +286,28 @@ let fig10 () =
         Printf.sprintf "%9d %7d" v.t_true_pos j.t_true_pos );
       ( "bad:  False Negatives",
         Printf.sprintf "%9d %7d" v.t_false_neg j.t_false_neg );
-    ]
+    ];
+  Printf.printf
+    "\n  running sibling families (CWE-124/415/416/121) x 2 variants x 2 tools...\n%!";
+  let fam_rows =
+    List.concat_map
+      (fun fam ->
+        let j = Juliet.evaluate_family Juliet.Jasan_hybrid fam in
+        let v = Juliet.evaluate_family Juliet.Valgrind fam in
+        [
+          ( Printf.sprintf "%s (%d): TP"
+              (Juliet.family_name fam)
+              (List.length (Juliet.family_cases fam)),
+            Printf.sprintf "%9d %7d" v.t_true_pos j.t_true_pos );
+          ( Printf.sprintf "%s: FN/FP" (Juliet.family_name fam),
+            Printf.sprintf "%5d/%-3d %3d/%-3d" v.t_false_neg v.t_false_pos
+              j.t_false_neg j.t_false_pos );
+        ])
+      Juliet.families
+  in
+  Jt_metrics.Metrics.print_kv
+    "Figure 10 (extended): sibling CWE families, per-family detection"
+    (("", "Valgrind   JASan") :: fam_rows)
 
 let fig11 () =
   let rows =
@@ -1481,6 +1502,38 @@ let emit_bench () =
       Printf.sprintf "juliet: %d/%d emitted-vs-hybrid mismatches"
         !juliet_mismatches !juliet_cases
       :: !failures;
+  (* Sibling families (CWE-124/415/416/121): same parity gate. *)
+  Printf.eprintf "  emit: juliet sibling-family sweep...\n%!";
+  let family_cases_n = ref 0 and family_mismatches = ref 0 in
+  List.iter
+    (fun (c : Juliet.fcase) ->
+      List.iter
+        (fun bad ->
+          let m = Juliet.build_family_case c ~bad in
+          let registry = Juliet.registry_for m in
+          let main = m.Jt_obj.Objfile.name in
+          incr family_cases_n;
+          match
+            Jt_emit.Emit.emit_program ~tool:emit_tool ~registry ~main ()
+          with
+          | Error _ -> incr family_mismatches
+          | Ok p ->
+            let e = Jt_emit.Emit.run p in
+            let er = e.Jt_emit.Emit.ro_outcome.Janitizer.Driver.o_result in
+            let tool, _ = Jt_jasan.Jasan.create ~elide:true () in
+            let h = Janitizer.Driver.run ~tool ~registry ~main () in
+            if
+              not
+                (observable er = observable h.o_result
+                && vset er = vset h.o_result)
+            then incr family_mismatches)
+        [ false; true ])
+    Juliet.all_family_cases;
+  if !family_mismatches > 0 then
+    failures :=
+      Printf.sprintf "juliet families: %d/%d emitted-vs-hybrid mismatches"
+        !family_mismatches !family_cases_n
+      :: !failures;
   open_table "AOT emit vs hybrid DBT (JASan, elision on)"
     "slowdown vs native / materialized sites / pin hops"
     [ "emit x"; "hybrid x"; "sites"; "pins"; "check cyc" ]
@@ -1507,6 +1560,8 @@ let emit_bench () =
     (geo (fun r -> r.eb_slow_hybrid));
   Printf.printf "juliet CWE-122: %d runs, %d mismatches\n" !juliet_cases
     !juliet_mismatches;
+  Printf.printf "juliet families (124/415/416/121): %d runs, %d mismatches\n"
+    !family_cases_n !family_mismatches;
   List.iter (fun f -> Printf.eprintf "!! emit: %s\n%!" f) !failures;
   let row_json r =
     Printf.sprintf
@@ -1531,13 +1586,14 @@ let emit_bench () =
       \  \"geomean_slowdown_emit\": %.4f,\n\
       \  \"geomean_slowdown_hybrid\": %.4f,\n\
       \  \"juliet\": {\"runs\": %d, \"mismatches\": %d},\n\
+      \  \"juliet_families\": {\"runs\": %d, \"mismatches\": %d},\n\
       \  \"failures\": %d,\n\
       \  \"workloads\": [\n%s\n  ],\n\
       \  \"refusals\": [\n%s\n  ]\n\
        }\n"
       (geo (fun r -> r.eb_slow_emit))
       (geo (fun r -> r.eb_slow_hybrid))
-      !juliet_cases !juliet_mismatches
+      !juliet_cases !juliet_mismatches !family_cases_n !family_mismatches
       (List.length !failures)
       (String.concat ",\n" (List.map row_json rows))
       (String.concat ",\n" (List.map refusal_json refusals))
@@ -1547,6 +1603,70 @@ let emit_bench () =
   close_out oc;
   print_string json;
   if !failures <> [] then exit 1
+
+(* ---- differential soundness fuzzer ---- *)
+
+let fuzz_bench () =
+  let base_seed = 1 and seeds = 84 in
+  Printf.eprintf
+    "  fuzz: %d seeded cases (benign + 5 injections each) x %d schemes...\n%!"
+    (6 * seeds)
+    (List.length Jt_fuzz.Fuzz.schemes);
+  let r = Jt_fuzz.Fuzz.run_suite ~base_seed ~seeds () in
+  open_table "Differential soundness fuzzer (ground-truth detection matrix)"
+    "cases"
+    [ "TP"; "FN"; "TN"; "FP"; "refused" ]
+    (List.map
+       (fun (x : Jt_fuzz.Fuzz.matrix_row) ->
+         ( x.mx_scheme,
+           [
+             Jt_metrics.Metrics.Value (float_of_int x.mx_tp);
+             Jt_metrics.Metrics.Value (float_of_int x.mx_fn);
+             Jt_metrics.Metrics.Value (float_of_int x.mx_tn);
+             Jt_metrics.Metrics.Value (float_of_int x.mx_fp);
+             Jt_metrics.Metrics.Value (float_of_int x.mx_refused);
+           ] ))
+       r.rp_matrix);
+  Printf.printf "\n%d cases, %d scheme runs, %d soundness mismatches\n"
+    r.rp_cases r.rp_runs
+    (List.length r.rp_mismatches);
+  List.iter
+    (fun (m : Jt_fuzz.Fuzz.mismatch) ->
+      Printf.eprintf "!! fuzz: %s %s: %s\n%!" m.mm_case m.mm_scheme m.mm_what)
+    r.rp_mismatches;
+  let row_json (x : Jt_fuzz.Fuzz.matrix_row) =
+    Printf.sprintf
+      "    {\"scheme\": \"%s\", \"tp\": %d, \"fn\": %d, \"tn\": %d, \"fp\": \
+       %d, \"refused\": %d}"
+      x.mx_scheme x.mx_tp x.mx_fn x.mx_tn x.mx_fp x.mx_refused
+  in
+  let mismatch_json (m : Jt_fuzz.Fuzz.mismatch) =
+    Printf.sprintf "    {\"case\": \"%s\", \"scheme\": \"%s\", \"what\": \"%s\"}"
+      m.mm_case m.mm_scheme m.mm_what
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"target\": \"fuzz\",\n\
+      \  \"gate\": \"expected detection matrix, bit-identical observables, \
+       exact icount accounting, hybrid=emitted violation sets\",\n\
+      \  \"base_seed\": %d,\n\
+      \  \"cases\": %d,\n\
+      \  \"runs\": %d,\n\
+      \  \"mismatches\": %d,\n\
+      \  \"matrix\": [\n%s\n  ],\n\
+      \  \"mismatch_list\": [\n%s\n  ]\n\
+       }\n"
+      base_seed r.rp_cases r.rp_runs
+      (List.length r.rp_mismatches)
+      (String.concat ",\n" (List.map row_json r.rp_matrix))
+      (String.concat ",\n" (List.map mismatch_json r.rp_mismatches))
+  in
+  let oc = open_out "BENCH_fuzz.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  if r.rp_mismatches <> [] then exit 1
 
 (* ---- driver ---- *)
 
@@ -1570,6 +1690,7 @@ let targets =
     ("warmstart", warmstart);
     ("micro", micro);
     ("emit", emit_bench);
+    ("fuzz", fuzz_bench);
   ]
 
 (* Strip `--jobs N` (or `--jobs=N`) anywhere in the argument list; the

@@ -745,7 +745,7 @@ let emit_cmd =
 (* ---- juliet ---- *)
 
 let juliet_cmd =
-  let doc = "Run the Juliet-style CWE-122 suite under a detector." in
+  let doc = "Run a Juliet-style CWE suite under a detector." in
   let det_conv =
     Arg.enum
       [ ("jasan", Juliet.Jasan_hybrid); ("jasan-dyn", Juliet.Jasan_dyn);
@@ -754,15 +754,65 @@ let juliet_cmd =
   let det_arg =
     Arg.(value & opt det_conv Juliet.Jasan_hybrid & info [ "detector" ] ~docv:"DET")
   in
+  let fam_conv =
+    Arg.enum
+      [ ("cwe-122", None); ("cwe-124", Some Juliet.Cwe124);
+        ("cwe-415", Some Juliet.Cwe415); ("cwe-416", Some Juliet.Cwe416);
+        ("cwe-121", Some Juliet.Cwe121) ]
+  in
+  let fam_arg =
+    Arg.(value & opt fam_conv None
+         & info [ "family" ] ~docv:"CWE"
+             ~doc:"Which suite: cwe-122 (default), cwe-124, cwe-415, cwe-416, cwe-121")
+  in
   let limit_arg =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Only the first N cases")
   in
-  let run det limit =
-    let t = Juliet.evaluate ?limit det in
+  let run det fam limit =
+    let t =
+      match fam with
+      | None -> Juliet.evaluate ?limit det
+      | Some fam -> Juliet.evaluate_family ?limit det fam
+    in
     Printf.printf "TP=%d FN=%d TN=%d FP=%d\n" t.t_true_pos t.t_false_neg
       t.t_true_neg t.t_false_pos
   in
-  Cmd.v (Cmd.info "juliet" ~doc) Term.(const run $ det_arg $ limit_arg)
+  Cmd.v (Cmd.info "juliet" ~doc) Term.(const run $ det_arg $ fam_arg $ limit_arg)
+
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let doc =
+    "Differential soundness fuzzing: seeded workload programs with injected \
+     violations, run under every scheme and checked against the expected \
+     detection matrix plus bit-identical benign behaviour."
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Base seed")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 84
+         & info [ "cases" ] ~docv:"N"
+             ~doc:"Seed count; each seed yields one benign case plus one per \
+                   injection kind (6 total)")
+  in
+  let run base_seed seeds =
+    let r = Jt_fuzz.Fuzz.run_suite ~base_seed ~seeds () in
+    List.iter
+      (fun (x : Jt_fuzz.Fuzz.matrix_row) ->
+        Printf.printf "%-14s TP=%-4d FN=%-4d TN=%-4d FP=%-4d refused=%d\n"
+          x.mx_scheme x.mx_tp x.mx_fn x.mx_tn x.mx_fp x.mx_refused)
+      r.rp_matrix;
+    Printf.printf "%d cases, %d runs, %d soundness mismatches\n" r.rp_cases
+      r.rp_runs
+      (List.length r.rp_mismatches);
+    List.iter
+      (fun (m : Jt_fuzz.Fuzz.mismatch) ->
+        Printf.printf "MISMATCH %s %s: %s\n" m.mm_case m.mm_scheme m.mm_what)
+      r.rp_mismatches;
+    if r.rp_mismatches <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const run $ seed_arg $ seeds_arg)
 
 let () =
   let doc = "Janitizer: hybrid static-dynamic binary security (simulated reproduction)" in
@@ -771,4 +821,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; inspect_cmd; disasm_cmd; analyze_cmd; run_cmd; trace_cmd;
-            batch_cmd; cache_cmd; emit_cmd; juliet_cmd ]))
+            batch_cmd; cache_cmd; emit_cmd; juliet_cmd; fuzz_cmd ]))

@@ -13,27 +13,61 @@ module Ids = struct
 end
 
 module Rt = struct
-  type t = { shadow : Shadow.t }
+  type t = {
+    shadow : Shadow.t;
+    (* allocation id -> (addr, size) for blocks still in quarantine;
+       lets [Ev_alloc] at a recycled address re-poison the overlap with
+       any range that is *still* quarantined, so reallocation never
+       silently clears a neighbour's [Heap_freed] bytes. *)
+    quarantined : (int, int * int) Hashtbl.t;
+  }
 
-  let create () = { shadow = Shadow.create () }
+  let create () = { shadow = Shadow.create (); quarantined = Hashtbl.create 16 }
   let shadow t = t.shadow
+
+  let bad_free_kind = function
+    | Jt_vm.Alloc.Double_free -> "double-free"
+    | Jt_vm.Alloc.Invalid_free -> "invalid-free"
+
+  (* Shadow maintenance for one allocator event.  Split out from
+     [attach] so property tests can drive a bare [Alloc.t] without a
+     VM; [report] receives bad-free verdicts. *)
+  let on_alloc_event t ~report ev =
+    match ev with
+    | Jt_vm.Alloc.Ev_alloc { id = _; addr; size; redzone } ->
+      Shadow.poison t.shadow (addr - redzone) ~len:redzone Shadow.Heap_redzone;
+      Shadow.unpoison t.shadow addr ~len:size;
+      (* Right redzone additionally covers the alignment slack. *)
+      let right = (addr + size + 7) land lnot 7 in
+      Shadow.poison t.shadow (addr + size)
+        ~len:(right - (addr + size) + redzone)
+        Shadow.Heap_redzone;
+      (* A recycled footprint may overlap a range still in quarantine
+         (allocator reuse only recycles *retired* footprints, but keep
+         this defensive: the still-quarantined bytes stay freed). *)
+      Hashtbl.iter
+        (fun _ (qa, qs) ->
+          let lo = max addr qa and hi = min (addr + size) (qa + qs) in
+          if hi > lo then Shadow.poison t.shadow lo ~len:(hi - lo) Shadow.Heap_freed)
+        t.quarantined
+    | Jt_vm.Alloc.Ev_free { id; addr; size } ->
+      (* Poison exactly [size] bytes: a zero-size block owns no payload
+         byte, and the byte at [addr] belongs to its own right redzone. *)
+      Shadow.poison t.shadow addr ~len:size Shadow.Heap_freed;
+      Hashtbl.replace t.quarantined id (addr, size)
+    | Jt_vm.Alloc.Ev_unquarantine { id; addr = _; size = _ } ->
+      (* Shadow stays [Heap_freed] until the footprint is legitimately
+         recycled ([Ev_alloc] unpoisons it); only the ID bookkeeping
+         is dropped. *)
+      Hashtbl.remove t.quarantined id
+    | Jt_vm.Alloc.Ev_bad_free { addr; kind } ->
+      report ~kind:(bad_free_kind kind) ~addr
 
   let attach t (vm : Jt_vm.Vm.t) =
     Jt_vm.Alloc.set_redzone vm.alloc redzone_bytes;
-    Jt_vm.Alloc.subscribe vm.alloc (fun ev ->
-        match ev with
-        | Jt_vm.Alloc.Ev_alloc { addr; size; redzone } ->
-          Shadow.poison t.shadow (addr - redzone) ~len:redzone Shadow.Heap_redzone;
-          Shadow.unpoison t.shadow addr ~len:size;
-          (* Right redzone additionally covers the alignment slack. *)
-          let right = (addr + size + 7) land lnot 7 in
-          Shadow.poison t.shadow (addr + size)
-            ~len:(right - (addr + size) + redzone)
-            Shadow.Heap_redzone
-        | Jt_vm.Alloc.Ev_free { addr; size } ->
-          Shadow.poison t.shadow addr ~len:(max size 1) Shadow.Heap_freed
-        | Jt_vm.Alloc.Ev_bad_free { addr } ->
-          Jt_vm.Vm.report_violation vm ~kind:"bad-free" ~addr)
+    Jt_vm.Alloc.subscribe vm.alloc
+      (on_alloc_event t ~report:(fun ~kind ~addr ->
+           Jt_vm.Vm.report_violation vm ~kind ~addr))
 
   let kind_of st is_store =
     match (st, is_store) with

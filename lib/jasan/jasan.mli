@@ -34,6 +34,17 @@ module Rt : sig
   (** Interpose on the allocator (redzones + poisoning), like ASan's
       LD_PRELOADed allocator. *)
 
+  val on_alloc_event :
+    t ->
+    report:(kind:string -> addr:int -> unit) ->
+    Jt_vm.Alloc.event ->
+    unit
+  (** The shadow maintenance [attach] installs, exposed so property
+      tests can drive a bare allocator without a VM.  Frees poison
+      exactly the block's payload and record it under its allocation ID
+      until the allocator retires it from quarantine; bad frees are
+      reported as ["double-free"] or ["invalid-free"]. *)
+
   val check : t -> Jt_vm.Vm.t -> addr:int -> len:int -> is_store:bool -> unit
   (** Report a violation if any byte of the range is poisoned. *)
 

@@ -60,14 +60,20 @@ let write t a ~width v =
   | 4 -> write32 t a v
   | _ -> invalid_arg "Memory.write"
 
-let write_string t a s = String.iteri (fun i c -> write8 t (a + i) (Char.code c)) s
+(* String helpers wrap [a + i] through the word mask themselves:
+   crossing the top of the address space must land on page 0, whatever
+   the byte primitives do internally. *)
+let write_string t a s =
+  String.iteri
+    (fun i c -> write8 t ((a + i) land Jt_isa.Word.mask) (Char.code c))
+    s
 
 let read_cstring t a =
   let b = Buffer.create 16 in
   let rec go i =
     if i >= 4096 then Buffer.contents b
     else
-      let c = read8 t (a + i) in
+      let c = read8 t ((a + i) land Jt_isa.Word.mask) in
       if c = 0 then Buffer.contents b
       else begin
         Buffer.add_char b (Char.chr c);

@@ -208,20 +208,15 @@ let run_detector det m =
     let tool, _ = Jt_jasan.Jasan.create () in
     (Janitizer.Driver.run ~hybrid ~precomputed ~tool ~registry ~main ()).o_result
 
-let evaluate ?limit det =
-  let selected =
-    match limit with
-    | None -> cases
-    | Some n -> List.filteri (fun k _ -> k < n) cases
-  in
+let tally_cases det ~build ~expected selected =
   let tally = ref { t_true_pos = 0; t_false_neg = 0; t_true_neg = 0; t_false_pos = 0 } in
   List.iter
     (fun c ->
-      let bad_r = run_detector det (build_case c ~bad:true) in
-      let good_r = run_detector det (build_case c ~bad:false) in
+      let bad_r = run_detector det (build c ~bad:true) in
+      let good_r = run_detector det (build c ~bad:false) in
       let t = !tally in
       let t =
-        if distinct_sites bad_r >= c.c_expected then
+        if distinct_sites bad_r >= expected c then
           { t with t_true_pos = t.t_true_pos + 1 }
         else { t with t_false_neg = t.t_false_neg + 1 }
       in
@@ -232,3 +227,173 @@ let evaluate ?limit det =
       tally := t)
     selected;
   !tally
+
+let limited limit l =
+  match limit with
+  | None -> l
+  | Some n -> List.filteri (fun k _ -> k < n) l
+
+let evaluate ?limit det =
+  tally_cases det ~build:build_case
+    ~expected:(fun c -> c.c_expected)
+    (limited limit cases)
+
+(* ---- sibling families: CWE-124 / 415 / 416 / 121 ---- *)
+
+type family = Cwe124 | Cwe415 | Cwe416 | Cwe121
+
+let family_name = function
+  | Cwe124 -> "CWE-124"
+  | Cwe415 -> "CWE-415"
+  | Cwe416 -> "CWE-416"
+  | Cwe121 -> "CWE-121"
+
+let families = [ Cwe124; Cwe415; Cwe416; Cwe121 ]
+
+type fcase = {
+  fc_id : int;
+  fc_fam : family;
+  fc_expected : int;
+  fc_kind : string;
+}
+
+let family_cases fam =
+  let mk n kind =
+    List.init n (fun i -> { fc_id = i; fc_fam = fam; fc_expected = 1; fc_kind = kind })
+  in
+  match fam with
+  | Cwe124 -> mk 48 "heap-buffer-overflow"
+  | Cwe415 -> mk 48 "double-free"
+  | Cwe416 -> mk 96 "heap-use-after-free"
+  | Cwe121 -> mk 72 "stack-buffer-overflow"
+
+let all_family_cases = List.concat_map family_cases families
+
+let build_family_case (c : fcase) ~bad =
+  let i = c.fc_id in
+  let name =
+    Printf.sprintf "juliet_%s_%03d_%s"
+      (String.lowercase_ascii (family_name c.fc_fam))
+      i
+      (if bad then "bad" else "good")
+  in
+  let victim =
+    match c.fc_fam with
+    | Cwe124 ->
+      (* buffer underwrite: a byte store at [base - 1] lands in the
+         left redzone (both granularities poison it fully) *)
+      let sz = 8 * (1 + (i mod 6)) in
+      let disp = if bad then -1 else 0 in
+      func "victim"
+        [
+          movi Reg.r0 sz;
+          call_import "malloc";
+          mov Reg.r6 Reg.r0;
+          movi Reg.r2 65;
+          stb (mem_b ~disp Reg.r6) Reg.r2;
+          ldb Reg.r0 (mem_b ~disp:0 Reg.r6);
+          ret;
+        ]
+    | Cwe415 ->
+      (* double free, including zero-size blocks (i mod 7 = 0): the
+         second free of the same base must report exactly once *)
+      let sz = 8 * (i mod 7) in
+      func "victim"
+        ([
+           movi Reg.r0 sz;
+           call_import "malloc";
+           mov Reg.r6 Reg.r0;
+           mov Reg.r0 Reg.r6;
+           call_import "free";
+         ]
+        @ (if bad then [ mov Reg.r0 Reg.r6; call_import "free" ] else [])
+        @ [ movi Reg.r0 7; ret ])
+    | Cwe416 ->
+      (* use after free; freed payload stays [Heap_freed] in quarantine,
+         so the dangling access is caught whichever variant *)
+      let sz = 8 * (1 + (i mod 5)) in
+      (match i mod 3 with
+      | 0 ->
+        (* load through the dangling pointer *)
+        func "victim"
+          ([ movi Reg.r0 sz; call_import "malloc"; mov Reg.r6 Reg.r0;
+             sti (mem_b ~disp:0 Reg.r6) 7 ]
+          @ (if bad then
+               [ mov Reg.r0 Reg.r6; call_import "free";
+                 ld Reg.r0 (mem_b ~disp:0 Reg.r6) ]
+             else
+               [ ld Reg.r7 (mem_b ~disp:0 Reg.r6); mov Reg.r0 Reg.r6;
+                 call_import "free"; mov Reg.r0 Reg.r7 ])
+          @ [ ret ])
+      | 1 ->
+        (* store through the dangling pointer *)
+        func "victim"
+          ([ movi Reg.r0 sz; call_import "malloc"; mov Reg.r6 Reg.r0 ]
+          @ (if bad then
+               [ mov Reg.r0 Reg.r6; call_import "free";
+                 sti (mem_b ~disp:0 Reg.r6) 7 ]
+             else
+               [ sti (mem_b ~disp:0 Reg.r6) 7; mov Reg.r0 Reg.r6;
+                 call_import "free" ])
+          @ [ movi Reg.r0 7; ret ])
+      | _ ->
+        (* realloc moves the block; the stale pre-realloc pointer is
+           dangling even though the data survived the copy *)
+        func "victim"
+          ([
+             movi Reg.r0 sz;
+             call_import "malloc";
+             mov Reg.r6 Reg.r0;
+             sti (mem_b ~disp:0 Reg.r6) 7;
+             mov Reg.r0 Reg.r6;
+             movi Reg.r1 (2 * sz);
+             call_import "realloc";
+             mov Reg.r7 Reg.r0;
+           ]
+          @ [ ld Reg.r0 (mem_b ~disp:0 (if bad then Reg.r6 else Reg.r7)) ]
+          @ [ ret ]))
+    | Cwe121 ->
+      (* stack store into the canary slot through a computed pointer —
+         [lea]-based so the frame policy cannot claim it.  The stored
+         value is the canary's own, so natively the epilogue check
+         passes and the program exits 0: only shadow-aware tools see
+         anything at all. *)
+      let locals = 24 + (8 * (i mod 3)) in
+      if i mod 2 = 0 then
+        func "victim"
+          (Abi.frame_enter ~canary:true ~locals ()
+          @ [
+              load_canary Reg.r5;
+              lea Reg.r1 (mem_b ~disp:(-4) Reg.fp);
+              st (mem_b ~disp:(if bad then 0 else -8) Reg.r1) Reg.r5;
+              movi Reg.r0 7;
+            ]
+          @ Abi.frame_leave ~canary:true ~locals ())
+      else
+        (* loop walking the locals upward; the bad bound includes the
+           canary word *)
+        let words = (locals / 4) + if bad then 0 else -1 in
+        func "victim"
+          (Abi.frame_enter ~canary:true ~locals ()
+          @ [
+              load_canary Reg.r5;
+              lea Reg.r3 (mem_b ~disp:(-locals) Reg.fp);
+              movi Reg.r1 0;
+              label "walk";
+              cmpi Reg.r1 words;
+              jcc Insn.Ge "walkd";
+              st (mem_bi ~scale:4 Reg.r3 Reg.r1) Reg.r5;
+              addi Reg.r1 1;
+              jmp "walk";
+              label "walkd";
+              movi Reg.r0 7;
+            ]
+          @ Abi.frame_leave ~canary:true ~locals ())
+  in
+  build ~name ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ] ~entry:"main"
+    [ victim; func "main" ([ call "victim"; call_import "print_int" ] @ exit0) ]
+
+let evaluate_family ?limit det fam =
+  tally_cases det ~build:build_family_case
+    ~expected:(fun c -> c.fc_expected)
+    (limited limit (family_cases fam))

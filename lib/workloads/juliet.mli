@@ -52,3 +52,42 @@ type tally = {
 val evaluate : ?limit:int -> detector -> tally
 (** Run every case's two variants under the detector.  [limit] restricts
     to the first n cases (for quick tests). *)
+
+(** {2 Sibling families}
+
+    Beyond the CWE-122 core suite, four Juliet-style sibling families
+    extend the Figure-10 detection matrix:
+
+    - {b CWE-124} (buffer underwrite): a byte store at [base - 1] lands
+      in the left redzone — caught at both redzone granularities.
+    - {b CWE-415} (double free): the second [free] of the same base,
+      including zero-size blocks; reported by the allocator interposer
+      as ["double-free"].
+    - {b CWE-416} (use-after-free): dangling loads, dangling stores and
+      stale pre-[realloc] pointers; the freed payload stays
+      [Heap_freed] in the allocator quarantine.
+    - {b CWE-121} (stack buffer overflow): a computed-pointer store
+      into the canary slot, storing the canary's own value — invisible
+      natively (exit 0), caught only by canary-aware shadow tools, so
+      the Valgrind-class baseline false-negatives the whole family. *)
+
+type family = Cwe124 | Cwe415 | Cwe416 | Cwe121
+
+val family_name : family -> string
+val families : family list
+
+type fcase = {
+  fc_id : int;
+  fc_fam : family;
+  fc_expected : int;  (** distinct violations the bad variant contains *)
+  fc_kind : string;  (** the violation kind the bad variant must raise *)
+}
+
+val family_cases : family -> fcase list
+(** 48 (CWE-124), 48 (CWE-415), 96 (CWE-416) and 72 (CWE-121) cases. *)
+
+val all_family_cases : fcase list
+
+val build_family_case : fcase -> bad:bool -> Jt_obj.Objfile.t
+
+val evaluate_family : ?limit:int -> detector -> family -> tally

@@ -177,7 +177,7 @@ let () =
               in
               Alcotest.(check bool)
                 "double free reported" true
-                (List.mem "bad-free" (vkinds (run_jasan m))));
+                (List.mem "double-free" (vkinds (run_jasan m))));
           Alcotest.test_case "wild free" `Quick (fun () ->
               let m =
                 build ~name:"wildf" ~kind:Jt_obj.Objfile.Exec_nonpic
@@ -190,6 +190,6 @@ let () =
               in
               Alcotest.(check bool)
                 "wild free reported" true
-                (List.mem "bad-free" (vkinds (run_jasan m))));
+                (List.mem "invalid-free" (vkinds (run_jasan m))));
         ] );
     ]

@@ -88,6 +88,73 @@ let test_heap_to_stack_divergence () =
   Alcotest.(check (list string)) "valgrind misses canary hit" [] (vkinds (run_valgrind hit));
   Alcotest.(check (list string)) "valgrind misses non-canary" [] (vkinds (run_valgrind miss))
 
+(* Free-error kinds and the zero-size-free regression, through the
+   Valgrind-like interposer (it keeps its own shadow + quarantine table,
+   so the fixes must hold on both sanitizers). *)
+let bad_free_prog ~wild () =
+  build ~name:"badfree" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+    ~entry:"main"
+    [
+      func "main"
+        ([
+           movi Reg.r0 16;
+           call_import "malloc";
+           mov Reg.r6 Reg.r0;
+           mov Reg.r0 Reg.r6;
+           call_import "free";
+         ]
+        @ (if wild then [ movi Reg.r0 0x1234 ] else [ mov Reg.r0 Reg.r6 ])
+        @ [ call_import "free" ]
+        @ Progs.exit0);
+    ]
+
+let test_valgrind_bad_free_kinds () =
+  let r = run_valgrind (bad_free_prog ~wild:false ()) in
+  Alcotest.(check (list string)) "double free" [ "double-free" ] (vkinds r);
+  let r = run_valgrind (bad_free_prog ~wild:true ()) in
+  Alcotest.(check (list string)) "wild free" [ "invalid-free" ] (vkinds r);
+  let r = run_jasan (bad_free_prog ~wild:false ()) in
+  Alcotest.(check (list string)) "jasan double free" [ "double-free" ] (vkinds r)
+
+let zero_size_prog () =
+  (* malloc(0), free, malloc(0), free, then a fresh 8-byte block used in
+     bounds: pre-fix, each zero-size free poisoned 1 byte of foreign
+     territory as heap-freed, turning later benign accesses (or honest
+     overflow verdicts) into wrong reports *)
+  build ~name:"zsz" ~kind:Jt_obj.Objfile.Exec_nonpic ~deps:[ "libc.so" ]
+    ~entry:"main"
+    [
+      func "main"
+        ([
+           movi Reg.r0 0;
+           call_import "malloc";
+           mov Reg.r6 Reg.r0;
+           movi Reg.r0 0;
+           call_import "malloc";
+           mov Reg.r7 Reg.r0;
+           mov Reg.r0 Reg.r6;
+           call_import "free";
+           mov Reg.r0 Reg.r7;
+           call_import "free";
+           movi Reg.r0 8;
+           call_import "malloc";
+           movi Reg.r2 5;
+           st (mem_b ~disp:0 Reg.r0) Reg.r2;
+           ld Reg.r3 (mem_b ~disp:4 Reg.r0);
+           movi Reg.r0 1;
+           call_import "print_int";
+         ]
+        @ Progs.exit0);
+    ]
+
+let test_zero_size_free_clean () =
+  let m = zero_size_prog () in
+  List.iter
+    (fun (name, r) ->
+      Alcotest.(check (list string)) (name ^ " clean") [] (vkinds r);
+      Alcotest.(check string) (name ^ " output") "1\n" r.r_output)
+    [ ("valgrind", run_valgrind m); ("jasan", run_jasan m) ]
+
 let test_valgrind_slower_than_jasan () =
   let m = Progs.sum_prog ~n:400 () in
   let native = (Progs.run_native m).r_cycles in
@@ -403,6 +470,8 @@ let () =
           Alcotest.test_case "detects" `Quick test_valgrind_detects;
           Alcotest.test_case "slack divergence" `Quick test_alignment_slack_divergence;
           Alcotest.test_case "heap-to-stack divergence" `Quick test_heap_to_stack_divergence;
+          Alcotest.test_case "bad-free kinds" `Quick test_valgrind_bad_free_kinds;
+          Alcotest.test_case "zero-size free" `Quick test_zero_size_free_clean;
           Alcotest.test_case "overhead class" `Quick test_valgrind_slower_than_jasan;
         ] );
       ( "retrowrite",

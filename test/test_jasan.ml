@@ -150,6 +150,142 @@ let test_hybrid_cheaper_than_dyn () =
     "hybrid cheaper" true
     (hybrid.o_result.r_cycles < dyn.o_result.r_cycles)
 
+(* ---- allocator lifecycle: shadow contract of the Rt event handler ---- *)
+
+(* Drive a bare allocator through [Rt.on_alloc_event], no VM needed. *)
+let rt_harness ?reuse ?quarantine_capacity () =
+  let alloc = Jt_vm.Alloc.create ?reuse ?quarantine_capacity () in
+  let rt = Jt_jasan.Jasan.Rt.create () in
+  let reports = ref [] in
+  Jt_vm.Alloc.set_redzone alloc Jt_jasan.Jasan.redzone_bytes;
+  Jt_vm.Alloc.subscribe alloc
+    (Jt_jasan.Jasan.Rt.on_alloc_event rt
+       ~report:(fun ~kind ~addr -> reports := (kind, addr) :: !reports));
+  (alloc, rt, reports)
+
+let freed_at rt x =
+  match
+    Jt_jasan.Shadow.first_poisoned (Jt_jasan.Jasan.Rt.shadow rt) x ~len:1
+  with
+  | Some (_, Jt_jasan.Shadow.Heap_freed) -> true
+  | _ -> false
+
+let test_zero_size_free () =
+  (* Freeing a 0-byte block must poison 0 bytes: the byte at its base
+     belongs to its own right redzone, and marking it [Heap_freed] used
+     to misclassify later overflow probes (and outlive quarantine
+     retirement, since the quarantine records a 0-byte range). *)
+  let alloc, rt, reports = rt_harness () in
+  let a = Jt_vm.Alloc.malloc alloc 0 in
+  let b = Jt_vm.Alloc.malloc alloc 0 in
+  Jt_vm.Alloc.free alloc a;
+  Jt_vm.Alloc.free alloc b;
+  for x = a - 16 to b + 16 do
+    Alcotest.(check bool)
+      (Printf.sprintf "no heap-freed byte at %#x" x)
+      false (freed_at rt x)
+  done;
+  (* both bases still read as redzone, so an OOB probe keeps its
+     honest "heap-buffer-overflow" verdict *)
+  List.iter
+    (fun x ->
+      match
+        Jt_jasan.Shadow.first_poisoned (Jt_jasan.Jasan.Rt.shadow rt) x ~len:1
+      with
+      | Some (_, Jt_jasan.Shadow.Heap_redzone) -> ()
+      | _ -> Alcotest.failf "base %#x is not redzone" x)
+    [ a; b ];
+  Alcotest.(check int) "no bad-free reports" 0 (List.length !reports)
+
+let test_bad_free_kinds () =
+  let alloc, _rt, reports = rt_harness () in
+  let a = Jt_vm.Alloc.malloc alloc 32 in
+  Jt_vm.Alloc.free alloc a;
+  Jt_vm.Alloc.free alloc a;
+  Alcotest.(check (list (pair string int)))
+    "second free of a dead block"
+    [ ("double-free", a) ]
+    !reports;
+  Jt_vm.Alloc.free alloc (a + 8);
+  Alcotest.(check (pair string int))
+    "interior pointer"
+    ("invalid-free", a + 8)
+    (List.hd !reports);
+  Jt_vm.Alloc.free alloc 0x7777_0000;
+  Alcotest.(check (pair string int))
+    "wild pointer"
+    ("invalid-free", 0x7777_0000)
+    (List.hd !reports)
+
+let test_quarantine_holds_freed () =
+  (* Default capacity: a freed block stays [Heap_freed] no matter how
+     many same-size allocations follow (the bump allocator never hands
+     its footprint back while quarantined). *)
+  let alloc, rt, _ = rt_harness () in
+  let a = Jt_vm.Alloc.malloc alloc 16 in
+  Jt_vm.Alloc.free alloc a;
+  for _ = 1 to 50 do
+    ignore (Jt_vm.Alloc.malloc alloc 16)
+  done;
+  Alcotest.(check bool) "still freed" true (freed_at rt a);
+  Alcotest.(check bool) "whole payload" true (freed_at rt (a + 15))
+
+let test_quarantine_drain_and_reuse () =
+  (* Capacity 0 retires a block the moment it is freed; in reuse mode
+     the very next same-size malloc recycles the footprint — and the
+     recycled block must come back fully addressable, with no stale
+     [Heap_freed] byte. *)
+  let alloc, rt, reports = rt_harness ~reuse:true ~quarantine_capacity:0 () in
+  let a = Jt_vm.Alloc.malloc alloc 24 in
+  Jt_vm.Alloc.free alloc a;
+  Alcotest.(check int) "drained immediately" 0 (Jt_vm.Alloc.quarantined_bytes alloc);
+  Alcotest.(check bool) "freed while retired" true (freed_at rt a);
+  let b = Jt_vm.Alloc.malloc alloc 24 in
+  Alcotest.(check int) "footprint recycled" a b;
+  for x = b to b + 23 do
+    Alcotest.(check bool)
+      (Printf.sprintf "byte %#x live again" x)
+      false (freed_at rt x)
+  done;
+  Alcotest.(check int) "no reports" 0 (List.length !reports)
+
+let test_realloc_old_pointer_stays_poisoned () =
+  (* The whole point of the quarantine: reallocation elsewhere must not
+     clear the old footprint's [Heap_freed] state. *)
+  let open Jt_isa in
+  let open Jt_asm.Builder in
+  let open Jt_asm.Builder.Dsl in
+  let m =
+    build ~name:"stale_realloc" ~kind:Jt_obj.Objfile.Exec_nonpic
+      ~deps:[ "libc.so" ] ~entry:"main"
+      [
+        func "main"
+          ([
+             movi Reg.r0 16;
+             call_import "malloc";
+             mov Reg.r6 Reg.r0;
+             mov Reg.r0 Reg.r6;
+             movi Reg.r1 64;
+             call_import "realloc";
+             mov Reg.r7 Reg.r0;
+             (* several fresh allocations between free and use *)
+             movi Reg.r0 16;
+             call_import "malloc";
+             movi Reg.r0 16;
+             call_import "malloc";
+             ld Reg.r2 (mem_b ~disp:0 Reg.r6);
+           ]
+          @ Progs.exit0);
+      ]
+  in
+  List.iter
+    (fun (label, hybrid) ->
+      let o = run_jasan ~hybrid m in
+      Alcotest.(check (list string))
+        (label ^ " stale pointer caught")
+        [ "heap-use-after-free" ] (kinds o))
+    [ ("hybrid", true); ("dyn", false) ]
+
 let test_static_rules_emitted () =
   let m = Progs.sum_prog () in
   let tool, _ = Jt_jasan.Jasan.create () in
@@ -185,6 +321,18 @@ let () =
         [
           Alcotest.test_case "liveness opt" `Quick test_liveness_reduces_cost;
           Alcotest.test_case "hybrid vs dyn" `Quick test_hybrid_cheaper_than_dyn;
+        ] );
+      ( "alloc-lifecycle",
+        [
+          Alcotest.test_case "zero-size free poisons nothing" `Quick
+            test_zero_size_free;
+          Alcotest.test_case "bad-free kinds" `Quick test_bad_free_kinds;
+          Alcotest.test_case "quarantine holds freed" `Quick
+            test_quarantine_holds_freed;
+          Alcotest.test_case "drain and reuse" `Quick
+            test_quarantine_drain_and_reuse;
+          Alcotest.test_case "realloc leaves stale poisoned" `Quick
+            test_realloc_old_pointer_stays_poisoned;
         ] );
       ( "rules",
         [ Alcotest.test_case "static rules" `Quick test_static_rules_emitted ] );

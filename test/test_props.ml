@@ -281,6 +281,30 @@ let prop_shadow_wraparound =
       in
       Jt_jasan.Shadow.first_poisoned sh sstart ~len:slen = expected)
 
+(* Satellite of the same wraparound family, one layer down: the string
+   helpers index with [a + i], which must be masked before the per-byte
+   access so a write straddling the top of the address space lands at
+   the wrapped addresses (and reads back through the same window). *)
+let prop_memory_string_wraparound =
+  QCheck2.Test.make ~name:"write_string/read_cstring wrap modulo word size"
+    ~count:300
+    QCheck2.Gen.(
+      let* off = int_range 1 16 in
+      let* s =
+        string_size ~gen:(map Char.chr (int_range 1 255)) (int_range 1 32)
+      in
+      return (off, s))
+    (fun (off, s) ->
+      let mem = Jt_mem.Memory.create () in
+      let start = (Word.mask + 1 - off) land Word.mask in
+      Jt_mem.Memory.write_string mem start s;
+      Jt_mem.Memory.read_cstring mem start = s
+      && List.for_all
+           (fun i ->
+             Jt_mem.Memory.read8 mem ((start + i) land Word.mask)
+             = Char.code s.[i])
+           (List.init (String.length s) Fun.id))
+
 (* -- allocator invariants -- *)
 
 let prop_alloc_disjoint =
@@ -298,6 +322,76 @@ let prop_alloc_disjoint =
         | _ -> true
       in
       disjoint sorted)
+
+(* -- allocator/shadow lifecycle roundtrip --
+
+   Drive the JASan shadow maintenance with randomized alloc/free/realloc
+   cycles over a footprint-recycling allocator with a tiny quarantine,
+   so blocks retire and get reused aggressively.  Invariant after every
+   step: no byte of any live block is poisoned — neither stale
+   [Heap_freed] surviving a reallocation at a recycled address, nor
+   spillover from a neighbour's free (the zero-size regression). *)
+
+type life_op = Lalloc of int | Lfree of int | Lrealloc of int * int
+
+let gen_life_ops =
+  let open QCheck2.Gen in
+  list_size (int_range 1 60)
+    (oneof
+       [
+         map (fun s -> Lalloc s) (int_bound 48);
+         map (fun i -> Lfree i) (int_bound 1000);
+         map2 (fun i s -> Lrealloc (i, s)) (int_bound 1000) (int_bound 48);
+       ])
+
+let prop_lifecycle_shadow_roundtrip =
+  QCheck2.Test.make ~name:"alloc/free/realloc shadow roundtrip (reuse mode)"
+    ~count:200 gen_life_ops (fun ops ->
+      let alloc = Jt_vm.Alloc.create ~reuse:true ~quarantine_capacity:64 () in
+      let rt = Jt_jasan.Jasan.Rt.create () in
+      Jt_vm.Alloc.set_redzone alloc Jt_jasan.Jasan.redzone_bytes;
+      Jt_vm.Alloc.subscribe alloc
+        (Jt_jasan.Jasan.Rt.on_alloc_event rt
+           ~report:(fun ~kind:_ ~addr:_ -> ()));
+      let sh = Jt_jasan.Jasan.Rt.shadow rt in
+      let live = ref [] in
+      let ok = ref true in
+      let check_live () =
+        List.iter
+          (fun (a, s) ->
+            if s > 0 && Jt_jasan.Shadow.first_poisoned sh a ~len:s <> None
+            then ok := false)
+          !live
+      in
+      let take l i =
+        let n = List.length l in
+        (fst (List.nth l (i mod n)), List.filteri (fun k _ -> k <> i mod n) l)
+      in
+      let apply = function
+        | Lalloc s -> live := (Jt_vm.Alloc.malloc alloc s, s) :: !live
+        | Lfree i -> (
+          match !live with
+          | [] -> ()
+          | l ->
+            let a, rest = take l i in
+            live := rest;
+            Jt_vm.Alloc.free alloc a)
+        | Lrealloc (i, s) -> (
+          match !live with
+          | [] -> live := [ (Jt_vm.Alloc.malloc alloc s, s) ]
+          | l ->
+            (* libc order: allocate the new block, then free the old *)
+            let a, rest = take l i in
+            let b = Jt_vm.Alloc.malloc alloc s in
+            Jt_vm.Alloc.free alloc a;
+            live := (b, s) :: rest)
+      in
+      List.iter
+        (fun op ->
+          apply op;
+          check_live ())
+        ops;
+      !ok)
 
 (* -- AIR identities -- *)
 
@@ -330,7 +424,13 @@ let () =
           QCheck_alcotest.to_alcotest prop_shadow_matches_model;
           QCheck_alcotest.to_alcotest prop_shadow_wraparound;
         ] );
-      ("alloc", [ QCheck_alcotest.to_alcotest prop_alloc_disjoint ]);
+      ( "memory",
+        [ QCheck_alcotest.to_alcotest prop_memory_string_wraparound ] );
+      ( "alloc",
+        [
+          QCheck_alcotest.to_alcotest prop_alloc_disjoint;
+          QCheck_alcotest.to_alcotest prop_lifecycle_shadow_roundtrip;
+        ] );
       ( "air",
         [
           Alcotest.test_case "breakdown identity" `Quick test_air_breakdown_identity;
