@@ -1668,6 +1668,152 @@ let fuzz_bench () =
   print_string json;
   if r.rp_mismatches <> [] then exit 1
 
+(* ---- air: per-site CPA policy vs any-entry ----
+
+   For every workload: static AIR (BinCFI-style, over all indirect CTIs)
+   under JCFI's any-entry policy and under the per-site CPA policy, with
+   the forward/backward split; dynamic AIR over the executed sites for
+   both; the per-site target-set-size histogram; and the
+   refinement-soundness oracle — every executed (site, target) pair must
+   be inside the site's installed set whenever one exists.  CI gates:
+   zero oracle violations anywhere in the sweep, and per-site forward
+   static AIR strictly above any-entry averaged over the C subset.
+   Recorded in BENCH_air.json. *)
+
+type air_row = {
+  ar_sheet : Sheet.t;
+  ar_s_any : Jt_jcfi.Air.static_report;
+  ar_s_cpa : Jt_jcfi.Air.static_report;
+  ar_d_any : float;
+  ar_d_cpa : float;
+  ar_observed : int;  (* executed (site, target) pairs *)
+  ar_violations : int;  (* of which outside the site's resolved set *)
+}
+
+let air_eval (s : Sheet.t) =
+  Printf.eprintf "  air: %s...\n%!" s.Sheet.s_name;
+  let w = Specgen.build s in
+  let registry = w.Specgen.w_registry in
+  let main = s.Sheet.s_name in
+  let closure = Janitizer.Driver.static_closure ~registry ~main in
+  let s_any = Jt_jcfi.Air.static_jcfi_report closure in
+  let s_cpa = Jt_jcfi.Air.static_jcfi_report ~per_site:true closure in
+  let tool, rt = Jt_jcfi.Jcfi.create () in
+  let _ = Janitizer.Driver.run ~tool ~registry ~main () in
+  let d_any = Jt_jcfi.Air.dynamic rt in
+  let d_cpa = Jt_jcfi.Air.dynamic ~per_site:true rt in
+  let observed = Jt_jcfi.Jcfi.Rt.observed_icalls rt in
+  (* The oracle runs against the *installed* tables (run-time
+     addresses), not the link-time CPA sets, so PIC modules are checked
+     in the coordinate system the policy actually enforced. *)
+  let tables = List.map snd (Jt_jcfi.Jcfi.Rt.tables rt) in
+  let violations =
+    List.filter
+      (fun (site, target) ->
+        List.exists
+          (fun tbl ->
+            match Jt_jcfi.Targets.site_set tbl ~site with
+            | Some set -> not (List.mem target set)
+            | None -> false)
+          tables)
+      observed
+  in
+  List.iter
+    (fun (site, target) ->
+      Printf.eprintf "!! air: %s observed icall %d -> %d outside its set\n%!"
+        main site target)
+    violations;
+  {
+    ar_sheet = s;
+    ar_s_any = s_any;
+    ar_s_cpa = s_cpa;
+    ar_d_any = d_any;
+    ar_d_cpa = d_cpa;
+    ar_observed = List.length observed;
+    ar_violations = List.length violations;
+  }
+
+let air_bench () =
+  let rows = List.map air_eval Sheet.all in
+  open_table "AIR: any-entry vs per-site CPA policy"
+    "static forward AIR (BinCFI-style) and dynamic AIR (Lockdown-style)"
+    [ "s-fwd any"; "s-fwd cpa"; "resolved"; "d any"; "d cpa"; "viol" ]
+    (List.map
+       (fun r ->
+         ( r.ar_sheet.Sheet.s_name,
+           [
+             Jt_metrics.Metrics.Value r.ar_s_any.Jt_jcfi.Air.sr_fwd;
+             Jt_metrics.Metrics.Value r.ar_s_cpa.Jt_jcfi.Air.sr_fwd;
+             Jt_metrics.Metrics.Value
+               (float_of_int r.ar_s_cpa.Jt_jcfi.Air.sr_resolved);
+             Jt_metrics.Metrics.Value r.ar_d_any;
+             Jt_metrics.Metrics.Value r.ar_d_cpa;
+             Jt_metrics.Metrics.Value (float_of_int r.ar_violations);
+           ] ))
+       rows);
+  let c_names = List.map (fun s -> s.Sheet.s_name) Sheet.c_benchmarks in
+  let c_rows =
+    List.filter (fun r -> List.mem r.ar_sheet.Sheet.s_name c_names) rows
+  in
+  let mean f l =
+    List.fold_left (fun a r -> a +. f r) 0.0 l /. float_of_int (List.length l)
+  in
+  let c_any = mean (fun r -> r.ar_s_any.Jt_jcfi.Air.sr_fwd) c_rows in
+  let c_cpa = mean (fun r -> r.ar_s_cpa.Jt_jcfi.Air.sr_fwd) c_rows in
+  let total_violations =
+    List.fold_left (fun a r -> a + r.ar_violations) 0 rows
+  in
+  Printf.printf
+    "\nC-sweep static forward AIR: any-entry %.4f%%, per-site %.4f%% \
+     (gate: strict improvement)\n\
+     soundness-oracle violations: %d (gate: 0)\n"
+    c_any c_cpa total_violations;
+  let lang_name = function
+    | Sheet.C -> "C"
+    | Sheet.Cxx -> "C++"
+    | Sheet.Fortran -> "Fortran"
+    | Sheet.Mixed_cf -> "mixed C/Fortran"
+  in
+  let report_json (sr : Jt_jcfi.Air.static_report) =
+    Printf.sprintf
+      "{\"air\": %.6f, \"fwd\": %.6f, \"bwd\": %.6f, \"icalls\": %d, \
+       \"resolved\": %d, \"hist\": [%s]}"
+      sr.Jt_jcfi.Air.sr_air sr.sr_fwd sr.sr_bwd sr.sr_icalls sr.sr_resolved
+      (String.concat ", "
+         (List.map
+            (fun (size, n) ->
+              Printf.sprintf "{\"size\": %d, \"sites\": %d}" size n)
+            sr.sr_hist))
+  in
+  let row_json r =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"lang\": \"%s\",\n\
+      \     \"static_any\": %s,\n\
+      \     \"static_cpa\": %s,\n\
+      \     \"dynamic_any\": %.6f, \"dynamic_cpa\": %.6f,\n\
+      \     \"observed_icalls\": %d, \"violations\": %d}"
+      r.ar_sheet.Sheet.s_name
+      (lang_name r.ar_sheet.Sheet.s_lang)
+      (report_json r.ar_s_any) (report_json r.ar_s_cpa) r.ar_d_any r.ar_d_cpa
+      r.ar_observed r.ar_violations
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"target\": \"air\",\n\
+      \  \"c_sweep_static_fwd_any\": %.6f,\n\
+      \  \"c_sweep_static_fwd_cpa\": %.6f,\n\
+      \  \"oracle_violations\": %d,\n\
+      \  \"workloads\": [\n%s\n  ]\n}\n"
+      c_any c_cpa total_violations
+      (String.concat ",\n" (List.map row_json rows))
+  in
+  let oc = open_out "BENCH_air.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  if total_violations > 0 || c_cpa <= c_any then exit 1
+
 (* ---- driver ---- *)
 
 let targets =
@@ -1691,6 +1837,7 @@ let targets =
     ("micro", micro);
     ("emit", emit_bench);
     ("fuzz", fuzz_bench);
+    ("air", air_bench);
   ]
 
 (* Strip `--jobs N` (or `--jobs=N`) anywhere in the argument list; the

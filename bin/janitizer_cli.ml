@@ -256,7 +256,33 @@ let dump_facts oc ?(traces = []) (closure : Jt_obj.Objfile.t list) =
           if fi < List.length reports - 1 then Buffer.add_string buf ",";
           Buffer.add_char buf '\n')
         (List.combine sa.sa_fns reports);
-      Buffer.add_string buf "    ]}";
+      Buffer.add_string buf "    ],\n     \"cpa_sites\": [";
+      List.iteri
+        (fun si (s : Jt_analysis.Cpa.site) ->
+          if si > 0 then Buffer.add_string buf ", ";
+          let targets =
+            match s.cs_targets with
+            | None -> "\"Top\""
+            | Some ts ->
+              "[" ^ String.concat ", " (List.map string_of_int ts) ^ "]"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"entry\": %d, \"site\": %d, \"targets\": %s, \
+                \"witness\": %d}"
+               s.cs_fn s.cs_site targets s.cs_witness))
+        (Jt_analysis.Cpa.sites (Lazy.force sa.sa_cpa));
+      Buffer.add_string buf "],\n     \"callgraph\": [";
+      List.iteri
+        (fun ei (e : Jt_cfg.Callgraph.edge) ->
+          if ei > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"caller\": %d, \"site\": %d, \"callee\": %d, \"kind\": %s}"
+               e.e_caller e.e_site e.e_callee
+               (jstr (Jt_cfg.Callgraph.kind_name e.e_kind))))
+        (Jt_cfg.Callgraph.edges (Lazy.force sa.sa_callgraph));
+      Buffer.add_string buf "]}";
       if mi < List.length closure - 1 then Buffer.add_string buf ",";
       Buffer.add_char buf '\n')
     closure;

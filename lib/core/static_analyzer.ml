@@ -19,6 +19,9 @@ type t = {
   sa_addr_fn : (int, fn_analysis) Hashtbl.t;
   sa_reliable_conventions : bool;
   sa_raw_code_ptrs : int list Lazy.t;
+  sa_cpa : Jt_analysis.Cpa.t Lazy.t;
+  sa_callgraph : Jt_cfg.Callgraph.t Lazy.t;
+  sa_summaries : (int, Jt_analysis.Interproc.summary) Hashtbl.t Lazy.t;
   sa_ir : Ir.t Lazy.t;
 }
 
@@ -260,6 +263,22 @@ let addr_fn_of fns =
     fns;
   addr_fn
 
+(* The interprocedural fact base shared by JCFI and JASan: code-pointer
+   provenance, the indirect-edge-resolved call graph over it, and
+   CPA-refined call summaries.  All three are deterministic functions of
+   facts already pinned by the module digest, so forcing them on a
+   warm-started analysis (when the [cpa/v1] aux is absent) does not
+   count as a re-analysis. *)
+let compute_cpa sa =
+  Jt_analysis.Cpa.analyze ~m:sa.sa_mod
+    ~entries:sa.sa_disasm.Jt_disasm.Disasm.func_entries
+    ~code_ptrs:(Lazy.force sa.sa_raw_code_ptrs)
+    ~jump_table_targets:
+      (List.concat_map snd sa.sa_disasm.Jt_disasm.Disasm.jump_tables)
+    (List.map (fun fa -> (fa.fa_fn, Lazy.force fa.fa_vsa)) sa.sa_fns)
+
+let cpa_resolver sa site = Jt_analysis.Cpa.resolve (Lazy.force sa.sa_cpa) site
+
 let compute (m : Jt_obj.Objfile.t) =
   Atomic.incr analyses;
   let disasm = Jt_disasm.Disasm.run m in
@@ -311,6 +330,11 @@ let compute (m : Jt_obj.Objfile.t) =
       sa_addr_fn = addr_fn_of fns;
       sa_reliable_conventions = reliable;
       sa_raw_code_ptrs = lazy (Jt_disasm.Disasm.scan_code_pointers m);
+      sa_cpa = lazy (compute_cpa sa);
+      sa_callgraph =
+        lazy (Jt_cfg.Callgraph.build ~resolve:(cpa_resolver sa) sa.sa_cfg);
+      sa_summaries =
+        lazy (Jt_analysis.Interproc.summaries ~resolve:(cpa_resolver sa) sa.sa_cfg);
       sa_ir = lazy (build_ir sa);
     }
   in
@@ -426,16 +450,36 @@ let of_ir (m : Jt_obj.Objfile.t) (ir : Ir.t) =
         })
       ir.Ir.ir_fns
   in
-  {
-    sa_mod = m;
-    sa_disasm = disasm;
-    sa_cfg = { Jt_cfg.Cfg.c_disasm = disasm; c_blocks; c_fns };
-    sa_fns = fns;
-    sa_addr_fn = addr_fn_of fns;
-    sa_reliable_conventions = ir.Ir.ir_reliable;
-    sa_raw_code_ptrs = lazy ir.Ir.ir_code_ptrs;
-    sa_ir = lazy ir;
-  }
+  let rec sa =
+    {
+      sa_mod = m;
+      sa_disasm = disasm;
+      sa_cfg = { Jt_cfg.Cfg.c_disasm = disasm; c_blocks; c_fns };
+      sa_fns = fns;
+      sa_addr_fn = addr_fn_of fns;
+      sa_reliable_conventions = ir.Ir.ir_reliable;
+      sa_raw_code_ptrs = lazy ir.Ir.ir_code_ptrs;
+      (* Prefer the persisted sites over re-running the pass; a corrupt
+         aux degrades to the (deterministic) recompute, like any other
+         store damage. *)
+      sa_cpa =
+        lazy
+          (match Ir.find_aux ir Ir.Cpa.key with
+          | Some payload -> (
+            match Ir.Cpa.decode payload with
+            | sites -> Jt_analysis.Cpa.import sites
+            | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+            | exception _ -> compute_cpa sa)
+          | None -> compute_cpa sa);
+      sa_callgraph =
+        lazy (Jt_cfg.Callgraph.build ~resolve:(cpa_resolver sa) sa.sa_cfg);
+      sa_summaries =
+        lazy
+          (Jt_analysis.Interproc.summaries ~resolve:(cpa_resolver sa) sa.sa_cfg);
+      sa_ir = lazy ir;
+    }
+  in
+  sa
 
 let to_ir (sa : t) = Lazy.force sa.sa_ir
 

@@ -35,6 +35,16 @@ type t = {
   sa_raw_code_ptrs : int list Lazy.t;
       (** unfiltered sliding-window pointer-scan results; carried in the
           IR so warm loads skip the scan *)
+  sa_cpa : Jt_analysis.Cpa.t Lazy.t;
+      (** per-indirect-call-site code-pointer provenance; forcing it
+          forces VSA for every function.  Warm-started analyses restore
+          it from the [cpa/v1] aux table when present *)
+  sa_callgraph : Jt_cfg.Callgraph.t Lazy.t;
+      (** call graph with indirect edges resolved through [sa_cpa] *)
+  sa_summaries : (int, Jt_analysis.Interproc.summary) Hashtbl.t Lazy.t;
+      (** interprocedural clobber/read/barrier summaries with indirect
+          calls resolved through [sa_cpa] — the shared fact base behind
+          JCFI per-site sets and JASan cross-call elision *)
   sa_ir : Jt_ir.Ir.t Lazy.t;
       (** the serializable form of this analysis.  Forcing it forces the
           lazy per-function analyses (VSA, dominators, def-use) — only

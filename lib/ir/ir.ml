@@ -612,3 +612,41 @@ module Claims = struct
     if r.pos <> String.length s then failwith "Ir.Claims.decode: trailing bytes";
     fns
 end
+
+module Cpa = struct
+  let key = "cpa/v1"
+
+  let encode (sites : Jt_analysis.Cpa.site list) =
+    let b = Buffer.create 256 in
+    list32 b
+      (fun b (s : Jt_analysis.Cpa.site) ->
+        u32 b s.cs_fn;
+        u32 b s.cs_site;
+        (match s.cs_targets with
+        | None ->
+          u8 b 0;
+          u32 b 0;
+          list32 b (fun _ _ -> ()) []
+        | Some ts ->
+          u8 b 1;
+          u32 b s.cs_witness;
+          list32 b u32 ts))
+      sites;
+    Buffer.contents b
+
+  let decode s : Jt_analysis.Cpa.site list =
+    let r = { s; pos = 0 } in
+    let sites =
+      rlist32 r ~min:17 (fun r ->
+          let cs_fn = r32 r in
+          let cs_site = r32 r in
+          let resolved = byte r <> 0 in
+          let cs_witness = r32 r in
+          let targets = rlist32 r ~min:4 (fun r -> r32 r) in
+          let cs_targets = if resolved then Some targets else None in
+          let cs_witness = if resolved then cs_witness else 0 in
+          { Jt_analysis.Cpa.cs_fn; cs_site; cs_targets; cs_witness })
+    in
+    if r.pos <> String.length s then failwith "Ir.Cpa.decode: trailing bytes";
+    sites
+end

@@ -162,3 +162,16 @@ module Claims : sig
   val encode : fn_claims list -> string
   val decode : string -> fn_claims list  (** @raise Failure *)
 end
+
+(** Per-indirect-call-site code-pointer provenance results
+    ({!Jt_analysis.Cpa}), serialized so warm-start runs reuse the
+    interprocedural pass.  Unlike {!Claims} the key carries no
+    configuration fingerprint: the pass has none — its inputs are
+    exactly the facts already pinned by the module digest. *)
+module Cpa : sig
+  val key : string
+  (** ["cpa/v1"]. *)
+
+  val encode : Jt_analysis.Cpa.site list -> string
+  val decode : string -> Jt_analysis.Cpa.site list  (** @raise Failure *)
+end

@@ -203,7 +203,7 @@ type fn_report = {
    policy, which also claims every frame access, starves the proof into
    dead code).  An access claimed twice is a bug in the pass ordering
    and raises. *)
-let plan_elision ~hoist_scev ~skip_frame ~exempt_canary ~elide
+let plan_elision ~hoist_scev ~skip_frame ~exempt_canary ~elide ~cross
     (fa : Janitizer.Static_analyzer.fn_analysis) =
   let exempt =
     if exempt_canary then Jt_analysis.Canary.exempt_addrs fa.fa_canaries
@@ -313,9 +313,28 @@ let plan_elision ~hoist_scev ~skip_frame ~exempt_canary ~elide
         | Some k -> KS.add k st
         | None -> st
       in
-      (* calls/syscalls barrier and register-def kills: the shared
-         instruction-shape transfer, identical to the trace pass's *)
-      Jt_analysis.Avail.insn_transfer info.d_insn st
+      match info.d_insn with
+      | Insn.Call t -> (
+        (* Cross-call relaxation: shadow state only changes behind a
+           call via allocator events (syscall-gated) or canary
+           poisoning, both covered by the callee's barrier bit; with the
+           barrier clear, a claim survives iff the callee provably
+           leaves every register of its key alone.  [ip_clobbers]
+           always contains [sp] (the callee's ret redefines it), so
+           sp-relative keys still die here — the win is fp-based keys
+           across calls to leaves that don't touch fp. *)
+        match cross t with
+        | Some (s : Jt_analysis.Interproc.summary) when not s.ip_barrier ->
+          KS.filter
+            (fun key ->
+              Jt_analysis.Liveness.reg_mask (key_regs key) land s.ip_clobbers
+              = 0)
+            st
+        | _ -> Jt_analysis.Avail.insn_transfer info.d_insn st)
+      | _ ->
+        (* calls/syscalls barrier and register-def kills: the shared
+           instruction-shape transfer, identical to the trace pass's *)
+        Jt_analysis.Avail.insn_transfer info.d_insn st
     in
     let solver = Avail_solver.solve ~entry:KS.empty ~transfer fa.fa_fn in
     let domtree = Lazy.force fa.fa_domtree in
@@ -418,10 +437,20 @@ let pack_invariant (a : Jt_analysis.Scev.access) =
   in
   [ d1; a.a_mem.Insn.disp ]
 
+(* Callee-summary lookup for the cross-call relaxation.  Only modules
+   with reliable conventions qualify: the relaxation trusts VSA-backed
+   keys and the interprocedural summaries, both of which degrade on
+   convention-breaking modules. *)
+let cross_lookup ~cross_call ~elide (sa : Janitizer.Static_analyzer.t) =
+  if cross_call && elide && sa.sa_reliable_conventions then fun t ->
+    Hashtbl.find_opt (Lazy.force sa.sa_summaries) t
+  else fun _ -> None
+
 let elision_report ?(hoist_scev = true) ?(skip_frame = true)
-    ?(exempt_canary = true) ?(elide = true)
+    ?(exempt_canary = true) ?(elide = true) ?(cross_call = true)
     (sa : Janitizer.Static_analyzer.t) =
-  List.map (plan_elision ~hoist_scev ~skip_frame ~exempt_canary ~elide)
+  let cross = cross_lookup ~cross_call ~elide sa in
+  List.map (plan_elision ~hoist_scev ~skip_frame ~exempt_canary ~elide ~cross)
     sa.sa_fns
 
 (* Claim codes in the serialized partition ([Jt_ir.Ir.Claims]); only
@@ -439,12 +468,12 @@ let claim_code = function
    under a key fingerprinting the elision configuration — a different
    configuration yields a different partition and must not be read back
    as this one. *)
-let claims_aux ~hoist_scev ~skip_frame ~exempt_canary ~elide
+let claims_aux ~hoist_scev ~skip_frame ~exempt_canary ~elide ~cross_call
     (sa : Janitizer.Static_analyzer.t) =
   let bit b = if b then '1' else '0' in
   let config =
-    Printf.sprintf "jasan/%c%c%c%c" (bit hoist_scev) (bit skip_frame)
-      (bit exempt_canary) (bit elide)
+    Printf.sprintf "jasan/%c%c%c%c%c" (bit hoist_scev) (bit skip_frame)
+      (bit exempt_canary) (bit elide) (bit cross_call)
   in
   let fns =
     List.map
@@ -459,12 +488,13 @@ let claims_aux ~hoist_scev ~skip_frame ~exempt_canary ~elide
                 (addr, code, witness))
               r.er_claims;
         })
-      (elision_report ~hoist_scev ~skip_frame ~exempt_canary ~elide sa)
+      (elision_report ~hoist_scev ~skip_frame ~exempt_canary ~elide ~cross_call
+         sa)
   in
   [ (Jt_ir.Ir.Claims.key ~config, Jt_ir.Ir.Claims.encode fns) ]
 
 let static_pass ~liveness ~hoist_scev ~skip_frame ~exempt_canary ~elide
-    (sa : Janitizer.Static_analyzer.t) =
+    ~cross_call (sa : Janitizer.Static_analyzer.t) =
   let rules = ref [] in
   let emit r = rules := r :: !rules in
   (* Map instruction address -> enclosing block address, for rule bb
@@ -480,10 +510,11 @@ let static_pass ~liveness ~hoist_scev ~skip_frame ~exempt_canary ~elide
     Option.value ~default:insn_addr (Hashtbl.find_opt bb_of insn_addr)
   in
   let n_checks = ref 0 and n_frame = ref 0 and n_dom = ref 0 in
+  let cross = cross_lookup ~cross_call ~elide sa in
   List.iter
     (fun (fa : Janitizer.Static_analyzer.fn_analysis) ->
       let report =
-        plan_elision ~hoist_scev ~skip_frame ~exempt_canary ~elide fa
+        plan_elision ~hoist_scev ~skip_frame ~exempt_canary ~elide ~cross fa
       in
       let fn_entry = fa.fa_fn.Jt_cfg.Cfg.f_entry in
       (* Memory-access checks, minus everything the elision plan proved
@@ -792,7 +823,7 @@ let plan_dynamic rt ~elide (b : Jt_dbt.Dbt.block) =
 
 let create ?(liveness = Live_full) ?(hoist_scev = true)
     ?(skip_frame_accesses = true) ?(exempt_canary = true)
-    ?(clean_calls = false) ?(elide = true) () =
+    ?(clean_calls = false) ?(elide = true) ?(cross_call = true) () =
   let rt = Rt.create () in
   (* The clean-call ablation: every handler pays a full context switch
      instead of the inlined, liveness-aware save/restore of 4.1.1. *)
@@ -822,11 +853,11 @@ let create ?(liveness = Live_full) ?(hoist_scev = true)
       t_setup = (fun vm -> Rt.attach rt vm);
       t_static =
         static_pass ~liveness ~hoist_scev ~skip_frame:skip_frame_accesses
-          ~exempt_canary ~elide;
+          ~exempt_canary ~elide ~cross_call;
       t_client = client;
       t_on_load = Janitizer.Tool.no_on_load;
       t_aux =
         claims_aux ~hoist_scev ~skip_frame:skip_frame_accesses ~exempt_canary
-          ~elide;
+          ~elide ~cross_call;
     },
     rt )

@@ -106,6 +106,7 @@ val elision_report :
   ?skip_frame:bool ->
   ?exempt_canary:bool ->
   ?elide:bool ->
+  ?cross_call:bool ->
   Janitizer.Static_analyzer.t ->
   fn_report list
 (** The per-function elision decisions the static pass would make, for
@@ -121,6 +122,7 @@ val create :
   ?exempt_canary:bool ->
   ?clean_calls:bool ->
   ?elide:bool ->
+  ?cross_call:bool ->
   unit ->
   Janitizer.Tool.t * Rt.t
 (** A fresh JASan instance.  One instance per program run: the runtime
@@ -143,7 +145,15 @@ val create :
 
     [elide] (default true) enables the two analysis-driven elision
     passes (VSA frame bounds and dominating-check elimination); turn it
-    off for the differential safety harness's baseline. *)
+    off for the differential safety harness's baseline.
+
+    [cross_call] (default true) lets dominating-check claims survive
+    direct calls whose resolved callees are provably barrier-free (no
+    transitive syscall or canary touch — the only ways shadow state can
+    change) and leave the claim's key registers unclobbered, per the
+    {!Jt_analysis.Interproc} summaries over the CPA-resolved call graph.
+    Only applies to modules with reliable calling conventions; the DBT
+    trace layer stays conservative either way. *)
 
 val mem_operand :
   Jt_isa.Insn.t -> (int * Jt_isa.Insn.mem * bool) option

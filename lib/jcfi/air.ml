@@ -19,7 +19,11 @@ let total_code_bytes modules =
 
 (* ---- dynamic AIR over a finished run ---- *)
 
-let dynamic (rt : Jcfi.Rt.t) =
+(* Shared per-executed-site target-set accounting.  [per_site] switches
+   the indirect-call policy being measured: the any-entry baseline, or
+   the provenance-refined per-site sets the runtime actually enforces
+   (a site without a set degrades to any-entry either way). *)
+let site_sizer ~per_site (rt : Jcfi.Rt.t) =
   let tables = Jcfi.Rt.tables rt in
   let total =
     float_of_int
@@ -40,7 +44,14 @@ let dynamic (rt : Jcfi.Rt.t) =
     | Jcfi.Rt.Sicall -> (
       match table_of site with
       | Some (l, t) ->
-        float_of_int (Targets.n_intra_call t + inter_others l.load_order)
+        let intra =
+          if per_site then
+            match Targets.site_set t ~site with
+            | Some ts -> List.length ts
+            | None -> Targets.n_intra_call t
+          else Targets.n_intra_call t
+        in
+        float_of_int (intra + inter_others l.load_order)
       | None -> total (* JIT code: unconstrained source *))
     | Jcfi.Rt.Sijmp fn_entry -> (
       match table_of site with
@@ -64,59 +75,35 @@ let dynamic (rt : Jcfi.Rt.t) =
         float_of_int (intra + inter_others l.load_order)
       | None -> total)
   in
+  (total, site_size)
+
+let dynamic ?(per_site = false) (rt : Jcfi.Rt.t) =
+  let total, site_size = site_sizer ~per_site rt in
   let sizes = List.map site_size (Jcfi.Rt.executed_sites rt) in
   air ~sizes ~total
 
-let dynamic_breakdown (rt : Jcfi.Rt.t) =
-  let tables = Jcfi.Rt.tables rt in
-  let total =
-    float_of_int
-      (List.fold_left (fun acc (_, t) -> acc + Targets.code_bytes t) 0 tables)
-  in
+let dynamic_breakdown ?(per_site = false) (rt : Jcfi.Rt.t) =
+  let total, site_size = site_sizer ~per_site rt in
   let is_ret = function Jcfi.Rt.Sret -> true | _ -> false in
   let fwd, bwd =
     List.partition (fun (_, k) -> not (is_ret k)) (Jcfi.Rt.executed_sites rt)
   in
-  (* Backward sites are shadow-stack checks: |T| = 1 each.  Forward sites
-     use the same per-site accounting as [dynamic]. *)
-  let inter_others self =
-    List.fold_left
-      (fun acc (l, t) ->
-        if l.Jt_loader.Loader.load_order = self then acc else acc + Targets.n_inter t)
-      0 tables
-  in
-  let table_of addr =
-    List.find_opt (fun (l, _) -> Jt_loader.Loader.contains l addr) tables
-  in
-  let fwd_size (site, kind) =
-    match kind with
-    | Jcfi.Rt.Sret -> 1.0
-    | Jcfi.Rt.Sicall -> (
-      match table_of site with
-      | Some (l, t) -> float_of_int (Targets.n_intra_call t + inter_others l.load_order)
-      | None -> total)
-    | Jcfi.Rt.Sijmp fn_entry -> (
-      match table_of site with
-      | Some (l, t) ->
-        float_of_int
-          (Targets.n_jump_targets_of_fn t ~fn_entry + inter_others l.load_order)
-      | None -> total)
-    | Jcfi.Rt.Sijmp_sym range -> (
-      match table_of site with
-      | Some (l, t) ->
-        let intra =
-          Targets.n_jump_targets_of_fn t ~fn_entry:None
-          + (match range with Some (_, sz) -> max sz 1 | None -> Targets.code_bytes t)
-        in
-        float_of_int (intra + inter_others l.load_order)
-      | None -> total)
-  in
-  ( air ~sizes:(List.map fwd_size fwd) ~total,
+  (* Backward sites are shadow-stack checks: |T| = 1 each. *)
+  ( air ~sizes:(List.map site_size fwd) ~total,
     air ~sizes:(List.map (fun _ -> 1.0) bwd) ~total )
 
 (* ---- static AIR (BinCFI-style calculation) for JCFI's policy ---- *)
 
-let static_jcfi modules =
+type static_report = {
+  sr_air : float;
+  sr_fwd : float;
+  sr_bwd : float;
+  sr_icalls : int;
+  sr_resolved : int;
+  sr_hist : (int * int) list;
+}
+
+let static_jcfi_report ?(per_site = false) modules =
   let total = total_code_bytes modules in
   let analyses =
     List.map (fun m -> (m, Janitizer.Static_analyzer.analyze m)) modules
@@ -147,12 +134,17 @@ let static_jcfi modules =
       (fun acc (n, _, inter) -> if String.equal n name then acc else acc + inter)
       0 counts
   in
-  let sizes = ref [] in
+  let fwd_sizes = ref [] in
+  let bwd_sizes = ref [] in
+  let icalls = ref 0 in
+  let resolved = ref 0 in
+  let hist = Hashtbl.create 8 in
   List.iter
     (fun ((m : Jt_obj.Objfile.t), (sa : Janitizer.Static_analyzer.t)) ->
       let _, entries, _ =
         List.find (fun (n, _, _) -> String.equal n m.name) counts
       in
+      let cpa = if per_site then Some (Lazy.force sa.sa_cpa) else None in
       let jumps =
         List.fold_left
           (fun acc (_, ts) -> acc + List.length ts)
@@ -181,14 +173,28 @@ let static_jcfi modules =
                 (fun (info : Jt_disasm.Disasm.insn_info) ->
                   match Insn.cti_kind info.d_insn with
                   | Some Insn.Cti_call_ind ->
-                    sizes :=
-                      float_of_int (entries + inter_others m.name) :: !sizes
+                    incr icalls;
+                    let intra =
+                      match
+                        Option.bind cpa (fun cpa ->
+                            Jt_analysis.Cpa.resolve cpa info.d_addr)
+                      with
+                      | Some ts ->
+                        incr resolved;
+                        let n = List.length ts in
+                        Hashtbl.replace hist n
+                          (1 + Option.value ~default:0 (Hashtbl.find_opt hist n));
+                        n
+                      | None -> entries
+                    in
+                    fwd_sizes :=
+                      float_of_int (intra + inter_others m.name) :: !fwd_sizes
                   | Some Insn.Cti_jmp_ind ->
-                    sizes :=
+                    fwd_sizes :=
                       float_of_int
                         ((extent / 5) + jumps + entries + inter_others m.name)
-                      :: !sizes
-                  | Some Insn.Cti_ret -> sizes := 1.0 :: !sizes
+                      :: !fwd_sizes
+                  | Some Insn.Cti_ret -> bwd_sizes := 1.0 :: !bwd_sizes
                   | Some
                       ( Insn.Cti_jmp _ | Insn.Cti_jcc _ | Insn.Cti_call _
                       | Insn.Cti_halt | Insn.Cti_syscall )
@@ -198,4 +204,14 @@ let static_jcfi modules =
             (Jt_cfg.Cfg.fn_blocks fn))
         sa.sa_fns)
     analyses;
-  air ~sizes:!sizes ~total
+  {
+    sr_air = air ~sizes:(!fwd_sizes @ !bwd_sizes) ~total;
+    sr_fwd = air ~sizes:!fwd_sizes ~total;
+    sr_bwd = air ~sizes:!bwd_sizes ~total;
+    sr_icalls = !icalls;
+    sr_resolved = !resolved;
+    sr_hist =
+      List.sort compare (Hashtbl.fold (fun n c acc -> (n, c) :: acc) hist []);
+  }
+
+let static_jcfi modules = (static_jcfi_report modules).sr_air

@@ -14,6 +14,11 @@ module Ids = struct
   let tgt_export = 0x211
   let tgt_addr_taken = 0x212
   let tgt_jump = 0x213
+
+  let site_targets = 0x214
+  (** per-call-site resolved target set from the provenance analysis;
+      [insn] is the call site, [data] one chunk (≤ 4) of its targets —
+      a large set spans several rules anchored at the same site *)
 end
 
 module Rt = struct
@@ -24,14 +29,26 @@ module Rt = struct
     sstack : Shadow_stack.t;
     config : config;
     sites : (int, site_kind) Hashtbl.t;
+    observed : (int * int, unit) Hashtbl.t;
+        (* executed (indirect-call site, target) pairs — the dynamic side
+           of the CPA refinement-soundness oracle *)
   }
 
   let create config =
-    { tbl = []; sstack = Shadow_stack.create (); config; sites = Hashtbl.create 64 }
+    {
+      tbl = [];
+      sstack = Shadow_stack.create ();
+      config;
+      sites = Hashtbl.create 64;
+      observed = Hashtbl.create 64;
+    }
 
   let shadow_depth t = Shadow_stack.depth t.sstack
 
   let executed_sites t = Hashtbl.fold (fun a k acc -> (a, k) :: acc) t.sites []
+
+  let observed_icalls t =
+    Hashtbl.fold (fun (site, tgt) () acc -> (site, tgt) :: acc) t.observed []
 
   let tables t = t.tbl
 
@@ -62,7 +79,7 @@ module Rt = struct
     match (table_at t site, table_at t target) with
     | Some src, Some dst ->
       if src.Targets.tg_module.load_order = dst.Targets.tg_module.load_order then
-        Targets.intra_call_ok dst target || Targets.inter_module_ok dst target
+        Targets.call_ok dst ~site target || Targets.inter_module_ok dst target
       else Targets.inter_module_ok dst target
     | _, None -> in_jit_region target  (* dynamically generated code *)
     | None, Some dst ->
@@ -103,8 +120,11 @@ module Rt = struct
      returning into the C runtime's startup frames): always permitted. *)
   let check_icall t vm ~site target =
     record t site Sicall;
-    if target <> Jt_vm.Vm.sentinel && not (icall_ok t ~site target) then
-      Jt_vm.Vm.report_violation vm ~kind:"cfi-icall" ~addr:target
+    if target <> Jt_vm.Vm.sentinel then begin
+      Hashtbl.replace t.observed (site, target) ();
+      if not (icall_ok t ~site target) then
+        Jt_vm.Vm.report_violation vm ~kind:"cfi-icall" ~addr:target
+    end
 
   let check_ijmp t vm ~site ~fn_entry target =
     (match fn_entry with
@@ -235,6 +255,31 @@ let static_pass ~config (sa : Janitizer.Static_analyzer.t) =
         (fun tgt -> emit (Jt_rules.Rules.make ~id:Ids.tgt_jump ~bb:tgt ~insn:tgt ()))
         targets)
     sa.sa_disasm.Jt_disasm.Disasm.jump_tables;
+  (* Per-site provenance target sets.  Rules carry at most four data
+     words, so a site's set is chunked across several rules anchored at
+     the same call site; [targets_of_rules] unions them back.  Sites the
+     provenance analysis left at Top emit nothing and degrade to the
+     any-entry policy. *)
+  if config.cf_forward then
+    List.iter
+      (fun (s : Jt_analysis.Cpa.site) ->
+        match s.Jt_analysis.Cpa.cs_targets with
+        | None -> ()
+        | Some ts ->
+          let rec chunk = function
+            | [] -> ()
+            | a :: b :: c :: d :: rest ->
+              emit
+                (Jt_rules.Rules.make ~id:Ids.site_targets ~bb:s.cs_site
+                   ~insn:s.cs_site ~data:[ a; b; c; d ] ());
+              chunk rest
+            | rest ->
+              emit
+                (Jt_rules.Rules.make ~id:Ids.site_targets ~bb:s.cs_site
+                   ~insn:s.cs_site ~data:rest ())
+          in
+          chunk ts)
+      (Jt_analysis.Cpa.sites (Lazy.force sa.sa_cpa));
   let rules = Janitizer.Tool.noop_marks sa (List.rev !rules) in
   { Jt_rules.Rules.rf_module = m.Jt_obj.Objfile.name;
     rf_digest = Jt_obj.Objfile.digest m; rf_stats = []; rf_rules = rules }
@@ -248,6 +293,7 @@ let targets_of_rules (l : Jt_loader.Loader.loaded) (f : Jt_rules.Rules.file) =
   let exports = Hashtbl.create 32 in
   let addr_taken = Hashtbl.create 32 in
   let jump_targets = Hashtbl.create 16 in
+  let site_sets = Hashtbl.create 16 in
   List.iter
     (fun (r : Jt_rules.Rules.t) ->
       if r.rule_id = Ids.tgt_func then
@@ -257,9 +303,28 @@ let targets_of_rules (l : Jt_loader.Loader.loaded) (f : Jt_rules.Rules.file) =
       else if r.rule_id = Ids.tgt_addr_taken then
         Hashtbl.replace addr_taken (adj r.insn) ()
       else if r.rule_id = Ids.tgt_jump then
-        Hashtbl.replace jump_targets (adj r.insn) ())
+        Hashtbl.replace jump_targets (adj r.insn) ()
+      else if r.rule_id = Ids.site_targets then begin
+        (* one chunk of the site's set; targets are link addresses and
+           need the same PIC adjustment as the site itself *)
+        let site = adj r.insn in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt site_sets site) in
+        let chunk = List.map adj (Array.to_list r.data) in
+        Hashtbl.replace site_sets site (prev @ chunk)
+      end)
     f.rf_rules;
-  { Targets.tg_module = l; funcs; exports; addr_taken; jump_targets; precise = true }
+  Hashtbl.filter_map_inplace
+    (fun _ ts -> Some (List.sort_uniq compare ts))
+    site_sets;
+  {
+    Targets.tg_module = l;
+    funcs;
+    exports;
+    addr_taken;
+    jump_targets;
+    site_sets;
+    precise = true;
+  }
 
 (* ---- instrumentation plans ---- *)
 
@@ -476,6 +541,13 @@ let create ?(config = default_config) () =
                      + Hashtbl.length targets.Targets.jump_targets;
                  });
           Rt.install rt l targets);
-      t_aux = Janitizer.Tool.no_aux;
+      t_aux =
+        (fun sa ->
+          [
+            ( Jt_ir.Ir.Cpa.key,
+              Jt_ir.Ir.Cpa.encode
+                (Jt_analysis.Cpa.export
+                   (Lazy.force sa.Janitizer.Static_analyzer.sa_cpa)) );
+          ]);
     },
     rt )

@@ -41,6 +41,12 @@ module Rt : sig
   (** Indirect CTIs executed at least once (run-time addresses), the basis
       of the dynamic AIR metric. *)
 
+  val observed_icalls : t -> (int * int) list
+  (** Executed (indirect-call site, target) pairs (run-time addresses,
+      sentinel transfers excluded) — the dynamic side of the CPA
+      refinement-soundness oracle: every observed pair at a site with a
+      resolved set must be inside that set. *)
+
   val tables : t -> (Jt_loader.Loader.loaded * Targets.t) list
 
   val create : config -> t
@@ -90,4 +96,8 @@ module Ids : sig
   val tgt_export : int
   val tgt_addr_taken : int
   val tgt_jump : int
+
+  val site_targets : int
+  (** Per-call-site resolved target-set chunk (≤ 4 link addresses per
+      rule; a site's full set is the union of its chunks). *)
 end

@@ -6,6 +6,7 @@ type t = {
   exports : (int, unit) Hashtbl.t;
   addr_taken : (int, unit) Hashtbl.t;
   jump_targets : (int, unit) Hashtbl.t;
+  site_sets : (int, int list) Hashtbl.t;
   precise : bool;
 }
 
@@ -18,6 +19,24 @@ let in_function_of t ~entry a =
 
 let inter_module_ok t a = Hashtbl.mem t.exports a || Hashtbl.mem t.addr_taken a
 let intra_call_ok t a = Hashtbl.mem t.funcs a
+
+(* Per-site policy with sound Top degradation: only precise tables
+   (built from static hints) carry site sets, and a site without one —
+   CPA resolved it to Top, or the table predates the pass — falls back
+   to the any-entry policy.  Site sets only ever *narrow* the any-entry
+   set, so a target this rejects was never a function entry the
+   provenance analysis could justify. *)
+let call_ok t ~site a =
+  if not t.precise then intra_call_ok t a
+  else
+    match Hashtbl.find_opt t.site_sets site with
+    | Some targets -> List.mem a targets
+    | None -> intra_call_ok t a
+
+let site_set t ~site =
+  if t.precise then Hashtbl.find_opt t.site_sets site else None
+
+let n_site_sets t = Hashtbl.length t.site_sets
 
 let jump_ok t ~fn_entry a =
   (match fn_entry with
@@ -80,4 +99,12 @@ let of_module_runtime (l : Jt_loader.Loader.loaded) =
       if Hashtbl.mem funcs a then Hashtbl.replace addr_taken a ()
       else if m.symtab_level <> Objfile.Full then Hashtbl.replace addr_taken a ())
     (Jt_disasm.Disasm.scan_code_pointers m);
-  { tg_module = l; funcs; exports; addr_taken; jump_targets; precise = false }
+  {
+    tg_module = l;
+    funcs;
+    exports;
+    addr_taken;
+    jump_targets;
+    site_sets = Hashtbl.create 1;
+    precise = false;
+  }

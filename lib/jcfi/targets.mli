@@ -14,6 +14,10 @@ type t = {
   exports : (int, unit) Hashtbl.t;
   addr_taken : (int, unit) Hashtbl.t;
   jump_targets : (int, unit) Hashtbl.t;
+  site_sets : (int, int list) Hashtbl.t;
+      (** run-time call-site address -> resolved run-time target entries
+          (sorted), from the code-pointer provenance analysis; a site
+          with no entry resolved to Top *)
   precise : bool;  (** built from static hints *)
 }
 
@@ -25,6 +29,19 @@ val inter_module_ok : t -> int -> bool
 
 val intra_call_ok : t -> int -> bool
 (** Function entries of this module. *)
+
+val call_ok : t -> site:int -> int -> bool
+(** Per-site forward-edge policy.  A precise table consults the site's
+    resolved CPA target set; a site without one (Top), and every site of
+    an imprecise ([of_module_runtime]) table, degrades soundly to
+    {!intra_call_ok}.  Site sets are subsets of the function entries, so
+    this policy is never more permissive than any-entry. *)
+
+val site_set : t -> site:int -> int list option
+(** The resolved set {!call_ok} would consult, [None] on the degraded
+    path.  Imprecise tables never expose one. *)
+
+val n_site_sets : t -> int
 
 val jump_ok : t -> fn_entry:int option -> int -> bool
 (** JCFI's indirect-jump policy: within the same function, a recorded

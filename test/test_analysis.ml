@@ -264,6 +264,62 @@ let test_interproc_summaries () =
     (List.exists (Reg.equal Reg.r5)
        (Jt_analysis.Liveness.dead_regs_before main_fa.fa_liveness mov_addr))
 
+let test_interproc_syscall_precision () =
+  (* regression: the kernel interface used to be summarized as
+     clobber-everything, so a callee that merely prints lost every
+     caller value.  A syscall clobbers only r0 (the simulated kernel
+     restores the rest), so [sysleaf]'s summary must keep r4 out of the
+     clobber mask — making r4 live across the call in [main], the fact
+     the old summary destroyed — while still marking the callee a
+     shadow-state barrier (allocator events are syscall-gated). *)
+  let m =
+    build ~name:"ipa-sys" ~kind:Jt_obj.Objfile.Exec_nonpic
+      ~features:[ Jt_obj.Objfile.Breaks_calling_convention ] ~entry:"main"
+      [
+        func "sysleaf" [ movi Reg.r0 42; syscall Sysno.write_int; ret ];
+        func "main"
+          [
+            movi Reg.r4 7;
+            call "sysleaf";
+            mov Reg.r0 Reg.r4;
+            syscall Sysno.exit_;
+          ];
+      ]
+  in
+  let cfg = Jt_cfg.Cfg.build (Jt_disasm.Disasm.run m) in
+  let summaries = Jt_analysis.Interproc.summaries cfg in
+  let addr_of name = (Jt_obj.Objfile.find_symbol m name |> Option.get).vaddr in
+  let leaf = Hashtbl.find summaries (addr_of "sysleaf") in
+  let mask rs = Jt_analysis.Liveness.reg_mask rs in
+  Alcotest.(check bool)
+    "syscall leaf spares r4" true
+    (leaf.ip_clobbers land mask [ Reg.r4 ] = 0);
+  Alcotest.(check bool) "syscall leaf clobbers r0" true
+    (leaf.ip_clobbers land mask [ Reg.r0 ] <> 0);
+  Alcotest.(check bool) "still a shadow-state barrier" true leaf.ip_barrier;
+  let sa = Janitizer.Static_analyzer.analyze m in
+  let main_fa =
+    List.find
+      (fun (fa : Janitizer.Static_analyzer.fn_analysis) ->
+        fa.fa_fn.Jt_cfg.Cfg.f_entry = addr_of "main")
+      sa.sa_fns
+  in
+  let call_addr =
+    List.concat_map
+      (fun (b : Jt_cfg.Cfg.block) ->
+        Array.to_list
+          (Array.map (fun i -> (i.Jt_disasm.Disasm.d_addr, i.d_insn)) b.b_insns))
+      (Jt_cfg.Cfg.fn_blocks main_fa.fa_fn)
+    |> List.find_map (fun (a, i) ->
+           match i with Jt_isa.Insn.Call _ -> Some a | _ -> None)
+    |> Option.get
+  in
+  Alcotest.(check bool)
+    "r4 live across the printing callee (previously lost)" true
+    (not
+       (List.exists (Reg.equal Reg.r4)
+          (Jt_analysis.Liveness.dead_regs_before main_fa.fa_liveness call_addr)))
+
 let test_stackinfo () =
   let _, _, fa =
     analyze_main
@@ -588,6 +644,11 @@ let () =
           Alcotest.test_case "loop widening" `Quick test_vsa_loop_widens;
           Alcotest.test_case "convention bail" `Quick test_vsa_bails_without_conventions;
         ] );
-      ("interproc", [ Alcotest.test_case "summaries" `Quick test_interproc_summaries ]);
+      ( "interproc",
+        [
+          Alcotest.test_case "summaries" `Quick test_interproc_summaries;
+          Alcotest.test_case "syscall precision" `Quick
+            test_interproc_syscall_precision;
+        ] );
       ("stack", [ Alcotest.test_case "info" `Quick test_stackinfo ]);
     ]

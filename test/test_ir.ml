@@ -470,7 +470,7 @@ let test_claims_aux_persisted () =
       match Store.peek store ~digest:(Jt_obj.Objfile.digest m) with
       | None -> Alcotest.fail "module missing from store"
       | Some ir -> (
-        let key = Ir.Claims.key ~config:"jasan/1111" in
+        let key = Ir.Claims.key ~config:"jasan/11111" in
         match Ir.find_aux ir key with
         | None -> Alcotest.fail ("claims table missing under " ^ key)
         | Some payload ->
